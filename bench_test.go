@@ -1,0 +1,206 @@
+package repro_test
+
+// Benchmark harness: one benchmark per figure/experiment of the
+// reproduction suite (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for the recorded outputs), plus micro-benchmarks of the
+// engine hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the complete experiment (workload
+// generation, runs of every mode, table assembly), so ns/op is the cost of
+// regenerating the corresponding table/figure.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	run := experiments.Lookup(id)
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := run()
+		if !rep.Pass {
+			b.Fatalf("%s failed acceptance criteria: %v", id, rep.Notes)
+		}
+	}
+}
+
+func BenchmarkF1_Figure1Trace(b *testing.B)          { benchExperiment(b, "F1") }
+func BenchmarkF2_Figure2Trace(b *testing.B)          { benchExperiment(b, "F2") }
+func BenchmarkE1_BaudetUnboundedDelay(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2_Theorem1Bound(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3_AsyncVsSyncImbalance(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4_FlexibleVsAsync(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5_MacroVsEpoch(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6_ObstacleExchangeFreq(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7_AsyncBellmanFord(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8_FaultTolerance(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9_StepSizeSweep(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10_Scalability(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11_BoundedVsUnbounded(b *testing.B)   { benchExperiment(b, "E11") }
+func BenchmarkE12_ThetaAblation(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13_NewtonOperators(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14_MultigridSmoother(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15_StoppingCriteria(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16_NestedBoxes(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17_ContractionNecessity(b *testing.B) { benchExperiment(b, "E17") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the engine hot paths.
+
+// benchLinearOp builds a 64-dim diagonally dominant Jacobi operator.
+func benchLinearOp(b *testing.B) (*repro.Linear, []float64) {
+	b.Helper()
+	rng := repro.NewRNG(7)
+	n := 64
+	m := repro.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := 0.3 * rng.Normal()
+				m.Set(i, j, v)
+				if v < 0 {
+					off -= v
+				} else {
+					off += v
+				}
+			}
+		}
+		m.Set(i, i, 1.7*off+1)
+	}
+	rhs := rng.NormalVector(n)
+	op := repro.JacobiFromSystem(m, rhs)
+	xstar, err := m.SolveGaussian(rhs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return op, xstar
+}
+
+// BenchmarkModelEngineIteration measures the per-iteration cost of the
+// mathematical-model engine (Definition 1 execution with bookkeeping).
+func BenchmarkModelEngineIteration(b *testing.B) {
+	op, _ := benchLinearOp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunModel(repro.ModelConfig{
+			Op:      op,
+			Delay:   repro.BoundedRandomDelay{B: 8, Seed: 3},
+			MaxIter: 1000,
+		})
+		if err != nil || res.Iterations != 1000 {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkDESUpdatePhase measures the per-update cost of the
+// discrete-event simulator (event heap + messaging).
+func BenchmarkDESUpdatePhase(b *testing.B) {
+	op, _ := benchLinearOp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunSim(repro.SimConfig{
+			Op: op, Workers: 8, MaxUpdates: 1000, Seed: 4,
+		})
+		if err != nil || res.Updates < 1000 {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkSharedMemoryGoroutines measures the real-concurrency transport
+// (atomic coordinate cells, 8 goroutines).
+func BenchmarkSharedMemoryGoroutines(b *testing.B) {
+	op, _ := benchLinearOp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunShared(repro.ConcurrentConfig{
+			Op: op, Workers: 8, MaxUpdatesPerWorker: 200,
+		})
+		if err != nil || len(res.UpdatesPerWorker) != 8 {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkMessagePassingGoroutines measures the channel transport with
+// termination detection disabled (pure throughput).
+func BenchmarkMessagePassingGoroutines(b *testing.B) {
+	op, _ := benchLinearOp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunMessage(repro.ConcurrentConfig{
+			Op: op, Workers: 8, MaxUpdatesPerWorker: 200,
+		})
+		if err != nil || len(res.UpdatesPerWorker) != 8 {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkMacroTracker measures Definition 2 bookkeeping throughput.
+func BenchmarkMacroTracker(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := repro.NewMacroTracker(64)
+		for j := 1; j <= 10000; j++ {
+			tr.Observe(j, []int{(j - 1) % 64}, j-4)
+		}
+		if tr.K() == 0 {
+			b.Fatal("no boundaries")
+		}
+	}
+}
+
+// BenchmarkProxGradBFApply measures one application of the Definition 4
+// operator on a 64-dim lasso problem.
+func BenchmarkProxGradBFApply(b *testing.B) {
+	reg, err := repro.NewRegression(repro.RegressionConfig{
+		N: 64, Coupling: 0.3, Sparsity: 0.5, Reg: 0.1, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := reg.Smooth()
+	op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f))
+	x := make([]float64, 64)
+	dst := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(dst, x)
+	}
+}
+
+// BenchmarkBellmanFordComponent measures one min-plus relaxation on a
+// 1024-node graph.
+func BenchmarkBellmanFordComponent(b *testing.B) {
+	g, err := repro.RandomGraph(1024, 4096, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := repro.NewBellmanFordOp(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := op.InitialDistances()
+	d[0] = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = op.Component(i%1024, d)
+	}
+}

@@ -1,0 +1,191 @@
+// Command asyncsolve is a CLI for solving the library's workloads with a
+// chosen execution mode and delay model:
+//
+//	asyncsolve -problem lasso      -mode async  -delay bounded -n 64
+//	asyncsolve -problem flow       -mode sync
+//	asyncsolve -problem obstacle   -mode flexible -theta 0.7
+//	asyncsolve -problem routing    -delay sqrt
+//
+// It prints the solve summary: iterations, macro-iterations, epochs, final
+// residual and solution quality metrics specific to the problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/mldata"
+	"repro/internal/netflow"
+	"repro/internal/obstacle"
+	"repro/internal/operators"
+	"repro/internal/prox"
+	"repro/internal/sssp"
+	"repro/internal/steering"
+)
+
+func main() {
+	problem := flag.String("problem", "lasso", "workload: lasso | ridge | flow | obstacle | routing")
+	mode := flag.String("mode", "async", "execution: sync | async | flexible")
+	delayName := flag.String("delay", "bounded", "delay model: fresh | bounded | sqrt | log | ooo")
+	n := flag.Int("n", 64, "problem size (features / nodes / grid side)")
+	theta := flag.Float64("theta", 0.5, "flexible blend fraction (mode=flexible)")
+	tol := flag.Float64("tol", 1e-9, "convergence tolerance")
+	maxIter := flag.Int("maxiter", 5000000, "iteration budget")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var dm delay.Model
+	switch *delayName {
+	case "fresh":
+		dm = delay.Fresh{}
+	case "bounded":
+		dm = delay.BoundedRandom{B: 8, Seed: *seed + 1}
+	case "sqrt":
+		dm = delay.SqrtGrowth{}
+	case "log":
+		dm = delay.LogGrowth{}
+	case "ooo":
+		dm = delay.OutOfOrder{W: 16, Seed: *seed + 2}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown delay model %q\n", *delayName)
+		os.Exit(2)
+	}
+
+	var (
+		op     operators.Operator
+		x0     []float64
+		report func(x []float64)
+	)
+
+	switch *problem {
+	case "lasso", "ridge":
+		reg, err := mldata.NewRegression(mldata.RegressionConfig{
+			N: *n, Coupling: 0.3, Sparsity: 0.5, Noise: 0.01, Reg: 0.1, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := reg.Smooth()
+		gamma := operators.MaxStep(f)
+		if *problem == "lasso" {
+			bf := operators.NewProxGradBF(f, prox.L1{Lambda: 0.02}, gamma)
+			op = bf
+			report = func(x []float64) {
+				xp := bf.Primal(x)
+				fmt.Printf("lasso MSE: %.6f (truth %.6f)\n", reg.MSE(xp), reg.MSE(reg.XTrue))
+			}
+		} else {
+			op = operators.NewGradOp(f, gamma)
+			report = func(x []float64) {
+				fmt.Printf("ridge MSE: %.6f (truth %.6f)\n", reg.MSE(x), reg.MSE(reg.XTrue))
+			}
+		}
+		x0 = make([]float64, f.Dim())
+
+	case "flow":
+		side := 6
+		if *n >= 4 && *n <= 64 {
+			side = *n
+			if side > 12 {
+				side = 12
+			}
+		}
+		net, err := netflow.Grid(side, side, 4.0, 2.5, 0.2, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		op = netflow.NewRelaxOp(net)
+		x0 = make([]float64, net.NumNodes)
+		report = func(x []float64) {
+			rep := net.CheckKKT(x)
+			fmt.Printf("network flow: max imbalance %.2e, primal cost %.4f\n",
+				rep.MaxImbalance, rep.Cost)
+		}
+
+	case "obstacle":
+		side := 16
+		if *n >= 4 && *n <= 128 {
+			side = *n
+		}
+		p := obstacle.Membrane(side)
+		op = p
+		x0 = p.Supersolution()
+		report = func(x []float64) {
+			rep := p.CheckComplementarity(x)
+			fmt.Printf("obstacle: min gap %.2e, worst residual %.2e, slack %.2e, contact %d/%d\n",
+				rep.MinGap, rep.WorstResidual, rep.WorstSlackProduct,
+				len(p.ContactSet(x, 1e-8)), p.Dim())
+		}
+
+	case "routing":
+		g, err := sssp.RandomGraph(*n, 3**n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bf, err := sssp.NewBellmanFordOp(g, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		op = bf
+		x0 = bf.InitialDistances()
+		want := g.Dijkstra(0)
+		report = func(x []float64) {
+			dev := 0.0
+			for i := range want {
+				d := x[i] - want[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > dev {
+					dev = d
+				}
+			}
+			fmt.Printf("routing: max deviation from Dijkstra %.2e\n", dev)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Op:      op,
+		Delay:   dm,
+		X0:      x0,
+		Tol:     *tol,
+		MaxIter: *maxIter,
+	}
+	switch *mode {
+	case "sync":
+		cfg.Steering = steering.NewAll(op.Dim())
+		cfg.Delay = delay.Fresh{}
+	case "async":
+		cfg.Steering = steering.NewCyclic(op.Dim())
+	case "flexible":
+		cfg.Steering = steering.NewCyclic(op.Dim())
+		cfg.Theta = *theta
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem=%s mode=%s delay=%s n=%d\n", *problem, *mode, dm.Name(), op.Dim())
+	fmt.Printf("converged=%v iterations=%d updates=%d residual=%.3e\n",
+		res.Converged, res.Iterations, res.Updates, res.FinalResidual)
+	fmt.Printf("macro-iterations=%d (def2) %d (strict), epochs=%d\n",
+		len(res.Boundaries), len(res.StrictBoundaries), len(res.Epochs))
+	if report != nil {
+		report(res.X)
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}

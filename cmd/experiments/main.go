@@ -1,0 +1,71 @@
+// Command experiments runs the reproduction suite (F1-F2, E1-E12 of
+// DESIGN.md) and prints each experiment's tables and findings — the rows
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E2    # run one experiment
+//	experiments -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment id (e.g. E2); empty = all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runID != "" {
+		if experiments.Lookup(*runID) == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+				*runID, strings.Join(ids, " "))
+			os.Exit(2)
+		}
+		ids = []string{*runID}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		run := experiments.Lookup(id)
+		start := time.Now()
+		rep := run()
+		elapsed := time.Since(start)
+
+		fmt.Printf("%s\n", strings.Repeat("=", 78))
+		fmt.Printf("%s — %s   [%v]\n", rep.ID, rep.Title, elapsed.Round(time.Millisecond))
+		fmt.Printf("%s\n\n", strings.Repeat("=", 78))
+		for _, tb := range rep.Tables {
+			fmt.Println(tb)
+		}
+		for _, n := range rep.Notes {
+			fmt.Println(n)
+		}
+		status := "PASS"
+		if !rep.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("\n[%s] %s\n\n", status, rep.ID)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed acceptance criteria\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+// Package repro is a Go implementation of parallel and distributed
+// asynchronous iterative algorithms with unbounded delays, possible
+// out-of-order messages, and flexible communication, for convex
+// optimization and machine learning — a reproduction of D. El-Baz, "On
+// Parallel or Distributed Asynchronous Iterations with Unbounded Delays and
+// Possible Out of Order Messages or Flexible Communication for Convex
+// Optimization Problems and Machine Learning" (IPDPS Workshops 2022).
+//
+// The package is a facade over the internal engine and substrate packages;
+// it exposes everything a user needs to
+//
+//   - define fixed-point operators (affine contractions, gradient and
+//     proximal-gradient operators for composite problems min f+g, network
+//     flow dual relaxations, obstacle problems, Bellman–Ford routing),
+//   - run them under three execution models: the mathematical model of the
+//     paper's Definitions 1 and 3 (explicit steering sets S_j and label
+//     functions l_i(j)), a deterministic discrete-event simulation of
+//     heterogeneous workers and lossy/reordering links, and real goroutine
+//     concurrency over shared-memory or message-passing transports,
+//   - track macro-iteration sequences (Definition 2), epoch sequences
+//     (Mishchenko et al.), and verify the paper's Theorem 1 convergence
+//     bound (5) against measured errors.
+//
+// Quick start (asynchronous proximal-gradient for lasso):
+//
+//	reg, _ := repro.NewRegression(repro.RegressionConfig{N: 32, Sparsity: 0.5, Reg: 0.1, Seed: 1})
+//	f := reg.Smooth()
+//	op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.05}, repro.MaxStep(f))
+//	res, _ := repro.RunModel(repro.ModelConfig{Op: op, Delay: repro.BoundedRandomDelay{B: 8, Seed: 2}, Tol: 1e-9})
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md for
+// the reproduction of the paper's figures and claims.
+package repro

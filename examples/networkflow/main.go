@@ -1,0 +1,65 @@
+// Command networkflow solves a convex separable network flow problem by the
+// distributed asynchronous dual relaxation method of Bertsekas and El Baz
+// [6]: each node adjusts its own price to zero its conservation imbalance
+// given its neighbours' prices. The run is executed both synchronously and
+// totally asynchronously (with out-of-order message effects), and the
+// resulting flows are verified against the KKT conditions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 6x6 transport grid: source at the north-west corner, sink at the
+	// south-east, capacitated arcs with random quadratic costs.
+	net, err := repro.FlowGrid(6, 6, 4.0, 2.5, 0.2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := repro.NewFlowRelaxOp(net)
+	fmt.Printf("network: %d nodes, %d arcs (capacitated), supply +%.1f/-%.1f\n",
+		net.NumNodes, len(net.Arcs), net.Supply[0], -net.Supply[net.NumNodes-1])
+
+	// Synchronous reference.
+	pstar, ok := repro.FixedPoint(op, make([]float64, net.NumNodes), 1e-12, 200000)
+	if !ok {
+		log.Fatal("synchronous relaxation did not converge")
+	}
+	repSync := net.CheckKKT(pstar)
+
+	// Totally asynchronous run: out-of-order label reads with window 16.
+	res, err := repro.RunModel(repro.ModelConfig{
+		Op:       op,
+		Steering: repro.NewCyclic(net.NumNodes),
+		Delay:    repro.OutOfOrderDelay{W: 16, Seed: 5},
+		XStar:    pstar,
+		Tol:      1e-9,
+		MaxIter:  5000000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repAsync := net.CheckKKT(res.X)
+
+	table := repro.NewTable("dual relaxation for convex network flow",
+		"mode", "iterations", "max imbalance", "primal cost")
+	table.AddRow("synchronous", "-", repSync.MaxImbalance, repSync.Cost)
+	table.AddRow("async (out-of-order)", res.Iterations, repAsync.MaxImbalance, repAsync.Cost)
+	fmt.Print(table)
+
+	fmt.Printf("\nmacro-iterations completed: %d (Definition 2), %d (strict)\n",
+		len(res.Boundaries), len(res.StrictBoundaries))
+
+	// Show a few optimal flows.
+	flows := net.Flows(res.X)
+	fmt.Println("\nsample arc flows (first 8 arcs):")
+	for k := 0; k < 8 && k < len(flows); k++ {
+		a := net.Arcs[k]
+		fmt.Printf("  arc %2d->%-2d  flow %+.3f  (capacity [%.1f, %.1f])\n",
+			a.From, a.To, flows[k], a.Lo, a.Hi)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/steering"
+)
+
+func TestRunWithComponentErrorsReplayMatches(t *testing.T) {
+	op, xstar := testSystem(t, 6)
+	res, perIter, err := RunWithComponentErrors(Config{
+		Op:       op,
+		Steering: steering.NewCyclic(6),
+		Delay:    delay.BoundedRandom{B: 6, Seed: 3},
+		XStar:    xstar,
+		Tol:      1e-9,
+		MaxIter:  200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(perIter) != res.Iterations+1 {
+		t.Fatalf("perIter length %d, iterations %d", len(perIter), res.Iterations)
+	}
+	// Max over components of the recorded componentwise error must equal
+	// the engine's max-norm error series.
+	for j, errs := range perIter {
+		m := 0.0
+		for _, e := range errs {
+			if e > m {
+				m = e
+			}
+		}
+		if math.Abs(m-res.Errors[j]) > 1e-12 {
+			t.Fatalf("iteration %d: component-error max %v != engine error %v",
+				j, m, res.Errors[j])
+		}
+	}
+}
+
+func TestCheckBoxesNestedAndShrinking(t *testing.T) {
+	// The nested-box structure of the General Convergence Theorem: suffix
+	// envelopes at strict macro boundaries form strictly shrinking boxes on
+	// a contracting run.
+	op, xstar := testSystem(t, 6)
+	res, perIter, err := RunWithComponentErrors(Config{
+		Op:       op,
+		Steering: steering.NewCyclic(6),
+		Delay:    delay.BoundedRandom{B: 4, Seed: 5},
+		XStar:    xstar,
+		Tol:      1e-10,
+		MaxIter:  300000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckBoxes(res.StrictBoundaries, perIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Nested {
+		t.Errorf("boxes not nested: worst violation %v", rep.WorstInclusionViolation)
+	}
+	if len(rep.Radii) < 3 {
+		t.Fatalf("too few boxes: %v", rep.Radii)
+	}
+	// Radii must shrink overall: final radius far below the initial one.
+	first, last := rep.Radii[0], rep.Radii[len(rep.Radii)-1]
+	if last >= first*1e-3 {
+		t.Errorf("box radii did not shrink: %v -> %v", first, last)
+	}
+	// Every shrink factor is at most 1 (+ tolerance).
+	for k, f := range rep.ShrinkFactors {
+		if !math.IsNaN(f) && f > 1+1e-12 {
+			t.Errorf("shrink factor %d = %v > 1", k, f)
+		}
+	}
+}
+
+func TestCheckBoxesWithFlexibleCommunication(t *testing.T) {
+	op, xstar := testSystem(t, 6)
+	res, perIter, err := RunWithComponentErrors(Config{
+		Op:       op,
+		Steering: steering.NewCyclic(6),
+		Delay:    delay.BoundedRandom{B: 6, Seed: 7},
+		Theta:    0.6,
+		XStar:    xstar,
+		Tol:      1e-10,
+		MaxIter:  300000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckBoxes(res.StrictBoundaries, perIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Nested {
+		t.Error("flexible-communication run broke box nesting")
+	}
+}
+
+func TestCheckBoxesValidation(t *testing.T) {
+	if _, err := CheckBoxes(nil, [][]float64{{1}}); err == nil {
+		t.Error("expected error for empty boundaries")
+	}
+	if _, err := CheckBoxes([]int{1}, nil); err == nil {
+		t.Error("expected error for empty errors")
+	}
+}
+
+func TestRunWithComponentErrorsRequiresXStar(t *testing.T) {
+	op, _ := testSystem(t, 4)
+	if _, _, err := RunWithComponentErrors(Config{Op: op, MaxIter: 10}); err == nil {
+		t.Error("expected error without XStar")
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's primary contribution: an engine for
+// parallel or distributed asynchronous iterations with unbounded delays,
+// possible out-of-order messages, and flexible communication, together with
+// the macro-iteration bookkeeping and the Theorem 1 convergence-bound
+// checker.
+//
+// The engine in this package (ModelSim) executes the *mathematical model* of
+// Definitions 1 and 3 literally: a global iteration counter j, explicit
+// steering sets S_j, explicit label functions l_i(j), and full access to the
+// past iterates that unbounded delays may reach back to. The systems-level
+// engines (virtual-time discrete events, real goroutines) live in
+// internal/des and internal/runtime and feed the same bookkeeping.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// History stores the per-component update history of an asynchronous
+// iteration so that any past value x_i(l) can be retrieved — the storage
+// required by unbounded delays. Memory is proportional to the number of
+// updates actually performed (not iterations x dimension), because a
+// component's value only changes when it is relaxed.
+type History struct {
+	n     int
+	iters [][]int     // per component: strictly increasing update iterations
+	vals  [][]float64 // parallel values
+}
+
+// NewHistory starts a history at iteration 0 with initial iterate x0.
+func NewHistory(x0 []float64) *History {
+	h := &History{
+		n:     len(x0),
+		iters: make([][]int, len(x0)),
+		vals:  make([][]float64, len(x0)),
+	}
+	for i, v := range x0 {
+		h.iters[i] = append(h.iters[i], 0)
+		h.vals[i] = append(h.vals[i], v)
+	}
+	return h
+}
+
+// Dim returns the number of components.
+func (h *History) Dim() int { return h.n }
+
+// Set records that component i took value v at iteration j. Iterations must
+// be recorded in increasing order per component.
+func (h *History) Set(i, j int, v float64) {
+	last := h.iters[i][len(h.iters[i])-1]
+	if j < last {
+		panic(fmt.Sprintf("core: History.Set out of order for comp %d: j=%d after %d", i, j, last))
+	}
+	if j == last {
+		h.vals[i][len(h.vals[i])-1] = v
+		return
+	}
+	h.iters[i] = append(h.iters[i], j)
+	h.vals[i] = append(h.vals[i], v)
+}
+
+// At returns x_i(l): the value component i had at iteration label l (the
+// most recent update at or before l).
+func (h *History) At(i, l int) float64 {
+	it := h.iters[i]
+	// Find the largest index with it[idx] <= l.
+	idx := sort.Search(len(it), func(k int) bool { return it[k] > l }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.vals[i][idx]
+}
+
+// Latest returns the most recent value of component i.
+func (h *History) Latest(i int) float64 { return h.vals[i][len(h.vals[i])-1] }
+
+// LatestIter returns the iteration at which component i was last updated.
+func (h *History) LatestIter(i int) int { return h.iters[i][len(h.iters[i])-1] }
+
+// Snapshot materializes the full iterate vector x(l) at label l.
+func (h *History) Snapshot(l int) []float64 {
+	x := make([]float64, h.n)
+	for i := range x {
+		x[i] = h.At(i, l)
+	}
+	return x
+}
+
+// LatestSnapshot materializes the freshest iterate vector.
+func (h *History) LatestSnapshot() []float64 {
+	x := make([]float64, h.n)
+	for i := range x {
+		x[i] = h.Latest(i)
+	}
+	return x
+}
+
+// Updates returns the total number of recorded updates (excluding the
+// initial values).
+func (h *History) Updates() int {
+	total := 0
+	for i := range h.iters {
+		total += len(h.iters[i]) - 1
+	}
+	return total
+}

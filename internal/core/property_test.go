@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/macroiter"
+	"repro/internal/operators"
+	"repro/internal/prox"
+	"repro/internal/steering"
+	"repro/internal/vec"
+)
+
+// Property: Theorem 1's bound (5) holds on randomly generated admissible
+// instances — separable strongly convex f + L1, any admissible step, any
+// bounded delay, any flexibility fraction.
+func TestTheorem1RandomInstances(t *testing.T) {
+	rng := vec.NewRNG(71)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		a := make([]float64, n)
+		tt := make([]float64, n)
+		for i := range a {
+			a[i] = 0.5 + 4*rng.Float64()
+			tt[i] = 4*rng.Float64() - 2
+		}
+		f := operators.NewSeparable(a, tt)
+		gamma := (0.3 + 0.7*rng.Float64()) * operators.MaxStep(f)
+		lambda := 0.3 * rng.Float64()
+		op := operators.NewProxGradBF(f, prox.L1{Lambda: lambda}, gamma)
+		ystar, ok := operators.FixedPoint(op, make([]float64, n), 1e-14, 400000)
+		if !ok {
+			t.Fatalf("trial %d: reference failed", trial)
+		}
+		b := 1 + rng.Intn(8)
+		theta := rng.Float64()
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = ystar[i] + rng.Range(1, 5)
+		}
+		res, err := Run(Config{
+			Op:       op,
+			Steering: steering.NewCyclic(n),
+			Delay:    delay.BoundedRandom{B: b, Seed: rng.Uint64()},
+			Theta:    theta,
+			X0:       x0,
+			XStar:    ystar,
+			Tol:      1e-11,
+			MaxIter:  2000000,
+		})
+		if err != nil || !res.Converged {
+			t.Fatalf("trial %d: run failed (err=%v)", trial, err)
+		}
+		rho := operators.TheoreticalRho(f, gamma)
+		rep, err := CheckTheorem1(res, rho)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !rep.Holds {
+			t.Fatalf("trial %d: bound violated (n=%d b=%d theta=%.2f gamma=%.3f): ratio %v",
+				trial, n, b, theta, gamma, rep.WorstRatio)
+		}
+	}
+}
+
+// Property: the engine's recorded strict boundaries always satisfy the
+// suffix guarantee against the recorded labels, for varied delay models.
+func TestStrictBoundariesSuffixGuaranteeProperty(t *testing.T) {
+	op, xstar := testSystem(t, 6)
+	models := []delay.Model{
+		delay.Fresh{},
+		delay.BoundedRandom{B: 10, Seed: 3},
+		delay.OutOfOrder{W: 20, Seed: 4},
+		delay.SqrtGrowth{},
+	}
+	for _, m := range models {
+		res, err := Run(Config{
+			Op:      op,
+			Delay:   m,
+			XStar:   xstar,
+			MaxIter: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := res.StrictBoundaries
+		for k, b := range bs {
+			start := 0
+			if k > 0 {
+				start = bs[k-1]
+			}
+			for _, r := range res.Records {
+				if r.J > b && r.MinLabel < start {
+					t.Fatalf("%s: suffix guarantee violated at boundary %d (J=%d label=%d < %d)",
+						m.Name(), b, r.J, r.MinLabel, start)
+				}
+			}
+		}
+		// Strict boundaries can be no denser than Definition 2 boundaries.
+		if len(bs) > len(res.Boundaries) {
+			t.Fatalf("%s: strict count %d > def2 count %d", m.Name(), len(bs), len(res.Boundaries))
+		}
+		// And strict macro windows never admit pre-previous-window reads.
+		if v := macroiter.EpochStaleness(bs, res.Records); v != 0 {
+			t.Fatalf("%s: %d staleness violations in strict windows", m.Name(), v)
+		}
+	}
+}
+
+// Property: the error sequence of a contracting run is bounded by its
+// initial value at all times (the outermost box), for any delay model and
+// theta.
+func TestErrorNeverExceedsInitialBox(t *testing.T) {
+	op, xstar := testSystem(t, 6)
+	rng := vec.NewRNG(73)
+	for trial := 0; trial < 10; trial++ {
+		theta := rng.Float64()
+		res, err := Run(Config{
+			Op:      op,
+			Delay:   delay.BoundedRandom{B: 1 + rng.Intn(16), Seed: rng.Uint64()},
+			Theta:   theta,
+			XStar:   xstar,
+			MaxIter: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e0 := res.Errors[0]
+		for j, e := range res.Errors {
+			if e > e0+1e-12 {
+				t.Fatalf("trial %d: error %v at iteration %d exceeds initial %v",
+					trial, e, j, e0)
+			}
+		}
+	}
+}
+
+// Property: updates count equals the total size of all recorded S_j.
+func TestUpdatesMatchRecords(t *testing.T) {
+	op, _ := testSystem(t, 5)
+	res, err := Run(Config{
+		Op:       op,
+		Steering: steering.NewBlockCyclic(5, 2),
+		MaxIter:  321,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range res.Records {
+		total += len(r.S)
+	}
+	if total != res.Updates {
+		t.Errorf("sum |S_j| = %d, Updates = %d", total, res.Updates)
+	}
+}

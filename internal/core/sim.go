@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/flexible"
+	"repro/internal/macroiter"
+	"repro/internal/operators"
+	"repro/internal/steering"
+	"repro/internal/vec"
+)
+
+// Config describes an asynchronous iteration (F or G, x(0), S, L) in the
+// sense of Definitions 1 and 3 of the paper.
+type Config struct {
+	// Op is the fixed-point operator being relaxed.
+	Op operators.Operator
+	// Steering produces the sets S_j (Definition 1). Defaults to cyclic.
+	Steering steering.Policy
+	// Delay produces the labels l_i(j). Defaults to Fresh (l = j-1).
+	Delay delay.Model
+	// X0 is the initial iterate; defaults to the zero vector.
+	X0 []float64
+
+	// Theta enables flexible communication (Definition 3): reads blend the
+	// labelled value x_h(l_h(j)) toward the freshest available value
+	// x_h(j-1) by fraction Theta in [0, 1]. Theta = 0 reproduces plain
+	// asynchronous iterations (Definition 1); Theta = 1 reads fully fresh
+	// partial state. Intermediate values model consuming one-sided partial
+	// updates mid-computation (the hatched arrows of Fig. 2).
+	Theta float64
+
+	// MaxIter bounds the number of global iterations.
+	MaxIter int
+	// Tol stops the run when the fixed-point residual ||F(x)-x||_inf (or
+	// the error to XStar when provided) falls below it. Zero disables.
+	Tol float64
+	// XStar, when known, enables exact error tracking, Theorem 1 checking
+	// and constraint (3) validation.
+	XStar []float64
+	// Weights is the positive weight vector u of the weighted max norm;
+	// defaults to all ones.
+	Weights []float64
+	// WorkerOf maps a component to the machine that owns it (for the epoch
+	// sequence of [30]); defaults to identity (one component per machine).
+	WorkerOf func(i int) int
+	// Workers is the number of machines (required if WorkerOf is set).
+	Workers int
+	// ResidualEvery controls how often the O(n*row) fixed-point residual is
+	// evaluated for stopping; defaults to the dimension.
+	ResidualEvery int
+	// CheckConstraint3 validates inequality (3) at every read when XStar is
+	// known, recording violations.
+	CheckConstraint3 bool
+}
+
+// Result reports an asynchronous iteration run.
+type Result struct {
+	// X is the final iterate vector.
+	X []float64
+	// Iterations is the number of global iterations performed.
+	Iterations int
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// Updates is the total number of component relaxations.
+	Updates int
+
+	// Boundaries is the Definition 2 macro-iteration sequence {j_k}.
+	Boundaries []int
+	// StrictBoundaries is the suffix-guaranteed macro-iteration sequence
+	// used for Theorem 1 validation.
+	StrictBoundaries []int
+	// Epochs is the epoch sequence of Mishchenko et al. [30].
+	Epochs []int
+
+	// Errors[j] = ||x(j) - x*||_inf for j = 0..Iterations (only when XStar
+	// was provided).
+	Errors []float64
+	// Residuals holds (iteration, residual) samples.
+	Residuals []ResidualSample
+	// Records is the per-iteration log (S_j, l(j), worker) for offline
+	// macro/epoch analysis.
+	Records []macroiter.Record
+	// Constraint3Violations counts reads that violated inequality (3)
+	// (checked only when XStar is known and CheckConstraint3 is set).
+	Constraint3Violations int
+	// FinalResidual is ||F(x)-x||_inf at the final iterate.
+	FinalResidual float64
+}
+
+// ResidualSample pairs an iteration with its fixed-point residual.
+type ResidualSample struct {
+	Iter     int
+	Residual float64
+}
+
+// Run executes the asynchronous iteration model. It is deterministic for
+// deterministic steering/delay models.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Op == nil {
+		return nil, errors.New("core: Config.Op is required")
+	}
+	n := cfg.Op.Dim()
+	if n < 1 {
+		return nil, errors.New("core: operator dimension must be positive")
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = steering.NewCyclic(n)
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = delay.Fresh{}
+	}
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = make([]float64, n)
+	}
+	if len(x0) != n {
+		return nil, fmt.Errorf("core: X0 has length %d, want %d", len(x0), n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 1000 * n
+	}
+	if cfg.Theta < 0 || cfg.Theta > 1 {
+		return nil, fmt.Errorf("core: Theta %v outside [0,1]", cfg.Theta)
+	}
+	u := cfg.Weights
+	if u == nil {
+		u = operators.Ones(n)
+	}
+	if len(u) != n {
+		return nil, fmt.Errorf("core: Weights has length %d, want %d", len(u), n)
+	}
+	workerOf := cfg.WorkerOf
+	workers := cfg.Workers
+	if workerOf == nil {
+		workerOf = func(i int) int { return i }
+		workers = n
+	}
+	if workers < 1 {
+		return nil, errors.New("core: Workers must be positive when WorkerOf is set")
+	}
+	residEvery := cfg.ResidualEvery
+	if residEvery <= 0 {
+		residEvery = n
+	}
+
+	hist := NewHistory(x0)
+	tracker := macroiter.NewTracker(n)
+	epochs := macroiter.NewEpochTracker(workers)
+	res := &Result{}
+
+	// Wire residual-aware steering (Gauss–Southwell) to live residuals.
+	if ra, ok := cfg.Steering.(steering.ResidualAware); ok {
+		ra.SetResidualFunc(func(i int) float64 {
+			x := hist.LatestSnapshot()
+			return cfg.Op.Component(i, x) - x[i]
+		})
+	}
+
+	if cfg.XStar != nil {
+		res.Errors = append(res.Errors, vec.DistInf(x0, cfg.XStar))
+	}
+
+	xread := make([]float64, n)
+	xlabel := make([]float64, n)
+	converged := false
+
+	for j := 1; j <= cfg.MaxIter; j++ {
+		S := cfg.Steering.Select(j)
+
+		// Assemble the read vector: labelled values, optionally blended
+		// toward the freshest state (flexible communication).
+		minLabel := j - 1
+		for h := 0; h < n; h++ {
+			l := cfg.Delay.Label(h, j)
+			if l < minLabel {
+				minLabel = l
+			}
+			lv := hist.At(h, l)
+			xlabel[h] = lv
+			if cfg.Theta > 0 {
+				xread[h] = flexible.Interpolate(lv, hist.At(h, j-1), cfg.Theta)
+			} else {
+				xread[h] = lv
+			}
+		}
+
+		if cfg.CheckConstraint3 && cfg.XStar != nil && cfg.Theta > 0 {
+			if rep := flexible.CheckConstraint3(xread, xlabel, cfg.XStar, u); !rep.OK {
+				res.Constraint3Violations++
+			}
+		}
+
+		// Relax the selected components; others keep x_i(j-1) implicitly.
+		for _, i := range S {
+			hist.Set(i, j, cfg.Op.Component(i, xread))
+		}
+
+		// Bookkeeping: macro-iterations (Definition 2), epochs, records.
+		tracker.Observe(j, S, minLabel)
+		seen := map[int]bool{}
+		for _, i := range S {
+			w := workerOf(i)
+			if !seen[w] {
+				epochs.Observe(j, w)
+				seen[w] = true
+			}
+		}
+		res.Records = append(res.Records, macroiter.Record{
+			J: j, S: append([]int(nil), S...), MinLabel: minLabel, Worker: workerOf(S[0]),
+		})
+
+		if cfg.XStar != nil {
+			res.Errors = append(res.Errors, distInfLatest(hist, cfg.XStar))
+		}
+
+		// Stopping.
+		if cfg.Tol > 0 {
+			if cfg.XStar != nil {
+				if res.Errors[len(res.Errors)-1] <= cfg.Tol {
+					converged, res.Iterations = true, j
+					break
+				}
+			} else if j%residEvery == 0 {
+				r := operators.Residual(cfg.Op, hist.LatestSnapshot())
+				res.Residuals = append(res.Residuals, ResidualSample{Iter: j, Residual: r})
+				if r <= cfg.Tol {
+					converged, res.Iterations = true, j
+					break
+				}
+			}
+		}
+		res.Iterations = j
+	}
+
+	res.X = hist.LatestSnapshot()
+	res.Converged = converged
+	res.Updates = hist.Updates()
+	res.Boundaries = tracker.Boundaries()
+	res.StrictBoundaries = macroiter.StrictBoundaries(n, res.Records)
+	res.Epochs = epochs.Boundaries()
+	res.FinalResidual = operators.Residual(cfg.Op, res.X)
+	return res, nil
+}
+
+func distInfLatest(h *History, xstar []float64) float64 {
+	m := 0.0
+	for i := 0; i < h.Dim(); i++ {
+		d := math.Abs(h.Latest(i) - xstar[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

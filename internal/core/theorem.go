@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/macroiter"
+)
+
+// Theorem1Report is the outcome of checking inequality (5) of the paper,
+//
+//	||x(j) - x*||^2 <= (1 - rho)^k * max_i ||x_i(0) - x*||^2,  rho = gamma*mu,
+//
+// against a recorded run, with k the number of completed macro-iterations
+// at iteration j (strict sequence).
+type Theorem1Report struct {
+	// Holds reports whether the bound held at every iteration.
+	Holds bool
+	// WorstRatio is max_j measured/bound (<= 1 when the bound holds).
+	WorstRatio float64
+	// WorstIter is the iteration attaining WorstRatio.
+	WorstIter int
+	// K is the number of macro-iterations completed by the end of the run.
+	K int
+	// MeasuredRatePerK is the fitted per-macro-iteration contraction of the
+	// squared error (compare against 1-rho).
+	MeasuredRatePerK float64
+	// BoundRatePerK is 1 - rho.
+	BoundRatePerK float64
+	// ErrSqAtBoundaries lists the squared max-norm error at each strict
+	// macro-iteration boundary (the series the bound constrains).
+	ErrSqAtBoundaries []float64
+	// BoundAtBoundaries lists the corresponding theoretical bounds.
+	BoundAtBoundaries []float64
+}
+
+// CheckTheorem1 validates inequality (5) for a run produced with a known
+// XStar (so that res.Errors is populated) and a contraction parameter
+// rho = gamma*mu. It uses the strict macro-iteration sequence, whose suffix
+// guarantee is the hypothesis under which the level-set argument proves (5).
+func CheckTheorem1(res *Result, rho float64) (*Theorem1Report, error) {
+	if len(res.Errors) == 0 {
+		return nil, errors.New("core: CheckTheorem1 needs a run with XStar error tracking")
+	}
+	if rho <= 0 || rho >= 1 {
+		return nil, errors.New("core: CheckTheorem1 needs rho in (0,1)")
+	}
+	e0 := res.Errors[0]
+	e0sq := e0 * e0
+	rep := &Theorem1Report{Holds: true, BoundRatePerK: 1 - rho}
+	bs := res.StrictBoundaries
+	rep.K = len(bs)
+	for j := 0; j < len(res.Errors); j++ {
+		k := macroiter.KOf(bs, j)
+		bound := math.Pow(1-rho, float64(k)) * e0sq
+		measured := res.Errors[j] * res.Errors[j]
+		var ratio float64
+		switch {
+		case bound > 0:
+			ratio = measured / bound
+		case measured == 0:
+			ratio = 0
+		default:
+			ratio = math.Inf(1)
+		}
+		if ratio > rep.WorstRatio {
+			rep.WorstRatio = ratio
+			rep.WorstIter = j
+		}
+	}
+	if rep.WorstRatio > 1+1e-9 {
+		rep.Holds = false
+	}
+	for _, b := range bs {
+		if b < len(res.Errors) {
+			k := macroiter.KOf(bs, b)
+			esq := res.Errors[b] * res.Errors[b]
+			rep.ErrSqAtBoundaries = append(rep.ErrSqAtBoundaries, esq)
+			rep.BoundAtBoundaries = append(rep.BoundAtBoundaries,
+				math.Pow(1-rho, float64(k))*e0sq)
+		}
+	}
+	rep.MeasuredRatePerK = fitRate(rep.ErrSqAtBoundaries)
+	return rep, nil
+}
+
+// fitRate fits a geometric decay factor to a positive series by
+// least-squares on the logs (NaN when fewer than two usable points).
+func fitRate(series []float64) float64 {
+	var xs, ys []float64
+	for k, v := range series {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			xs = append(xs, float64(k))
+			ys = append(ys, math.Log(v))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return math.Exp((n*sxy - sx*sy) / den)
+}

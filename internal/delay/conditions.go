@@ -1,0 +1,117 @@
+package delay
+
+import "fmt"
+
+// Report is the result of checking the classical admissibility conditions of
+// asynchronous iterations over a finite horizon.
+type Report struct {
+	Horizon int
+	// AOK: labels satisfy 0 <= l_i(j) <= j-1 everywhere (condition a).
+	AOK bool
+	// BOK: labels diverge — for the checked thresholds every component's
+	// label eventually stays above the threshold (finite-horizon proxy of
+	// condition b).
+	BOK bool
+	// MaxDelay is max over (i, j) of d_i(j) = j - l_i(j).
+	MaxDelay int
+	// MeanDelay is the average of d_i(j) over the horizon.
+	MeanDelay float64
+	// MonotoneLabels reports whether every l_i is nondecreasing in j (true
+	// means no out-of-order reads were observed).
+	MonotoneLabels bool
+	// Violations holds human-readable descriptions of the first few
+	// violations encountered, for diagnostics.
+	Violations []string
+}
+
+// CheckConditions examines model m for n components over iterations
+// 1..horizon and reports on conditions a) and b) plus delay statistics.
+//
+// Condition b) (lim l_i(j) = +inf) cannot be decided from a finite prefix;
+// the proxy used here is: for the threshold J = horizon/4, there exists j0
+// such that l_i(j) >= J for all j in [j0, horizon] and all i. Models with
+// genuinely bounded-away labels (e.g. a frozen component) fail this proxy.
+func CheckConditions(m Model, n, horizon int) Report {
+	rep := Report{Horizon: horizon, AOK: true, BOK: true, MonotoneLabels: true}
+	if horizon < 4 || n < 1 {
+		return rep
+	}
+	sumDelay := 0
+	count := 0
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	// minTail[i] over the final quarter of the horizon.
+	threshold := horizon / 4
+	minTail := make([]int, n)
+	for i := range minTail {
+		minTail[i] = int(^uint(0) >> 1)
+	}
+	for j := 1; j <= horizon; j++ {
+		for i := 0; i < n; i++ {
+			l := m.Label(i, j)
+			if l < 0 || l > j-1 {
+				rep.AOK = false
+				rep.addViolation(fmt.Sprintf("condition a: l_%d(%d) = %d not in [0, %d]", i, j, l, j-1))
+			}
+			d := j - l
+			sumDelay += d
+			count++
+			if d > rep.MaxDelay {
+				rep.MaxDelay = d
+			}
+			if l < prev[i] {
+				rep.MonotoneLabels = false
+			}
+			prev[i] = l
+			if j > horizon-threshold {
+				if l < minTail[i] {
+					minTail[i] = l
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if minTail[i] < threshold {
+			rep.BOK = false
+			rep.addViolation(fmt.Sprintf("condition b proxy: component %d tail label %d < threshold %d", i, minTail[i], threshold))
+		}
+	}
+	if count > 0 {
+		rep.MeanDelay = float64(sumDelay) / float64(count)
+	}
+	return rep
+}
+
+func (r *Report) addViolation(s string) {
+	if len(r.Violations) < 8 {
+		r.Violations = append(r.Violations, s)
+	}
+}
+
+// CheckChaoticBound verifies the Chazan–Miranker/Miellou condition d): every
+// delay d_i(j) observed over the horizon (for j > b, where clamping cannot
+// mask anything) satisfies d_i(j) <= b. It returns ok and the first
+// violating (i, j, d) if any.
+func CheckChaoticBound(m Model, n, horizon, b int) (ok bool, vi, vj, vd int) {
+	for j := b + 1; j <= horizon; j++ {
+		for i := 0; i < n; i++ {
+			d := j - m.Label(i, j)
+			if d > b {
+				return false, i, j, d
+			}
+		}
+	}
+	return true, 0, 0, 0
+}
+
+// DelaySeries returns d_i(j) for j = 1..horizon for a fixed component;
+// experiment E1 prints it to exhibit the sqrt(j) growth of Baudet's example.
+func DelaySeries(m Model, i, horizon int) []int {
+	out := make([]int, horizon)
+	for j := 1; j <= horizon; j++ {
+		out[j-1] = j - m.Label(i, j)
+	}
+	return out
+}

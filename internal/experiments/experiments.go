@@ -1,0 +1,135 @@
+// Package experiments implements the reproduction suite F1–F2 and E1–E12
+// described in DESIGN.md: machine-generated versions of the paper's two
+// figures plus quantitative experiments validating Theorem 1 and every
+// qualitative claim (asynchronous vs synchronous efficiency, flexible
+// communication, macro-iterations vs epochs, fault tolerance, unbounded
+// delays, ...). Each experiment returns a Report whose tables are exactly
+// the rows recorded in EXPERIMENTS.md; cmd/experiments prints them and the
+// root bench suite times them.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	// Notes carries free-form findings (bound held, who won, ...).
+	Notes []string
+	// Pass indicates the experiment's acceptance criterion was met.
+	Pass bool
+}
+
+// Note appends a formatted note.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner is an experiment entry point.
+type Runner func() *Report
+
+// Registry maps experiment ids to runners, in presentation order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"F1", F1}, {"F2", F2},
+		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4},
+		{"E5", E5}, {"E6", E6}, {"E7", E7}, {"E8", E8},
+		{"E9", E9}, {"E10", E10}, {"E11", E11}, {"E12", E12},
+		{"E13", E13}, {"E14", E14}, {"E15", E15}, {"E16", E16},
+		{"E17", E17},
+	}
+}
+
+// Lookup returns the runner for an id (case-sensitive) or nil.
+func Lookup(id string) Runner {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run
+		}
+	}
+	return nil
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared problem builders.
+
+func newRNG(seed uint64) *vec.RNG { return vec.NewRNG(seed) }
+
+func newDense(rows, cols int) *vec.Dense { return vec.NewDense(rows, cols) }
+
+// diagDominantSystem builds an n x n strictly diagonally dominant system and
+// returns its Jacobi operator with the exact solution.
+func diagDominantSystem(n int, seed uint64) (*vec.Dense, []float64) {
+	rng := vec.NewRNG(seed)
+	m := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, 0.4*rng.Normal())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, 1.7*off+1)
+	}
+	return m, rng.NormalVector(n)
+}
+
+// offsetStart returns xstar shifted by +10 in every coordinate.
+func offsetStart(xstar []float64) []float64 {
+	x0 := make([]float64, len(xstar))
+	for i := range x0 {
+		x0[i] = xstar[i] + 10
+	}
+	return x0
+}
+
+// sampledIndices returns up to k roughly evenly spaced indices of [0, n).
+func sampledIndices(n, k int) []int {
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	set := map[int]bool{0: true, n - 1: true}
+	for i := 1; i < k-1; i++ {
+		set[i*(n-1)/(k-1)] = true
+	}
+	var out []int
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6",
+		"E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("E2") == nil {
+		t.Error("E2 not found")
+	}
+	if Lookup("e2") != nil {
+		t.Error("lookup should be case-sensitive")
+	}
+	if Lookup("E99") != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestSampledIndices(t *testing.T) {
+	idx := sampledIndices(100, 5)
+	if len(idx) > 5 || len(idx) < 2 {
+		t.Fatalf("sampled %v", idx)
+	}
+	if idx[0] != 0 || idx[len(idx)-1] != 99 {
+		t.Errorf("endpoints missing: %v", idx)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Errorf("not increasing: %v", idx)
+		}
+	}
+	small := sampledIndices(3, 10)
+	if len(small) != 3 {
+		t.Errorf("small case: %v", small)
+	}
+}
+
+// TestAllExperimentsPass executes the full reproduction suite; every
+// experiment must meet its acceptance criterion. This is the integration
+// test of the whole library (engines x workloads x analyses).
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run()
+			if rep.ID != e.ID {
+				t.Errorf("report id %q, want %q", rep.ID, e.ID)
+			}
+			if rep.Title == "" {
+				t.Error("empty title")
+			}
+			if !rep.Pass {
+				t.Errorf("%s failed acceptance: %s", e.ID, strings.Join(rep.Notes, " | "))
+			}
+			if len(rep.Tables) == 0 && len(rep.Notes) == 0 {
+				t.Error("experiment produced no output")
+			}
+			for _, tb := range rep.Tables {
+				if tb.NumRows() == 0 {
+					t.Error("empty table")
+				}
+			}
+		})
+	}
+}
+
+func TestReportNote(t *testing.T) {
+	rep := &Report{ID: "X"}
+	rep.Note("a=%d", 5)
+	if len(rep.Notes) != 1 || rep.Notes[0] != "a=5" {
+		t.Errorf("Notes = %v", rep.Notes)
+	}
+}
+
+func TestDiagDominantSystemIsDominant(t *testing.T) {
+	m, rhs := diagDominantSystem(12, 5)
+	if dd, _ := m.IsDiagonallyDominant(); !dd {
+		t.Error("system not diagonally dominant")
+	}
+	if len(rhs) != 12 {
+		t.Errorf("rhs length %d", len(rhs))
+	}
+}
+
+func TestOffsetStart(t *testing.T) {
+	x := offsetStart([]float64{1, -2})
+	if x[0] != 11 || x[1] != 8 {
+		t.Errorf("offsetStart = %v", x)
+	}
+}

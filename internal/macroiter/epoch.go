@@ -1,0 +1,99 @@
+package macroiter
+
+// EpochTracker implements the epoch sequence {k_m} of Mishchenko, Iutzeler
+// and Malick [30], quoted in Section IV of the paper:
+//
+//	k_0 = 0,
+//	k_{m+1} = min_k { each machine made at least two updates on {k_m, ..., k} }.
+//
+// Updates are attributed to machines, not components. The paper argues this
+// notion is less general than the macro-iteration sequence because it does
+// not account for out-of-order messages: completing two updates per machine
+// says nothing about how stale the information used by those updates was.
+// EpochStaleness quantifies exactly that gap.
+type EpochTracker struct {
+	machines   int
+	counts     []int
+	satisfied  int
+	boundaries []int
+	lastJ      int
+}
+
+// NewEpochTracker returns a tracker over the given number of machines.
+func NewEpochTracker(machines int) *EpochTracker {
+	if machines < 1 {
+		panic("macroiter: need at least one machine")
+	}
+	return &EpochTracker{machines: machines, counts: make([]int, machines)}
+}
+
+// Observe records that machine performed an update at global iteration j.
+// Several machines may update at the same j (block-parallel sweeps), so j
+// must be nondecreasing rather than strictly increasing.
+func (t *EpochTracker) Observe(j, machine int) {
+	if j < t.lastJ {
+		panic("macroiter: EpochTracker.Observe out of order")
+	}
+	t.lastJ = j
+	if machine < 0 || machine >= t.machines {
+		return
+	}
+	t.counts[machine]++
+	if t.counts[machine] == 2 {
+		t.satisfied++
+	}
+	if t.satisfied == t.machines {
+		t.boundaries = append(t.boundaries, j)
+		for i := range t.counts {
+			t.counts[i] = 0
+		}
+		t.satisfied = 0
+	}
+}
+
+// Boundaries returns the completed epoch boundaries k_1, k_2, ...
+func (t *EpochTracker) Boundaries() []int { return t.boundaries }
+
+// M returns the number of completed epochs.
+func (t *EpochTracker) M() int { return len(t.boundaries) }
+
+// EpochBoundaries computes the epoch sequence offline from records.
+func EpochBoundaries(machines int, recs []Record) []int {
+	t := NewEpochTracker(machines)
+	for _, r := range recs {
+		t.Observe(r.J, r.Worker)
+	}
+	return t.Boundaries()
+}
+
+// EpochStaleness counts, for a boundary sequence (epochs or otherwise), the
+// updates that fall in window m (boundaries[m-1], boundaries[m]] but read
+// information labelled before the start of the *previous* window — i.e.
+// information the window-based analysis implicitly assumes has been retired.
+// For the strict macro-iteration sequence this count is zero by
+// construction; for epochs under out-of-order delivery it is generally
+// positive, which is the paper's Section IV critique made quantitative.
+func EpochStaleness(boundaries []int, recs []Record) int {
+	if len(boundaries) == 0 {
+		return 0
+	}
+	violations := 0
+	for _, r := range recs {
+		// Find the window m with boundaries[m-1] < J <= boundaries[m].
+		m := 0
+		for m < len(boundaries) && boundaries[m] < r.J {
+			m++
+		}
+		if m >= len(boundaries) || m == 0 {
+			continue // before first boundary or after last: no previous window start
+		}
+		prevStart := 0
+		if m >= 2 {
+			prevStart = boundaries[m-2]
+		}
+		if r.MinLabel < prevStart {
+			violations++
+		}
+	}
+	return violations
+}

@@ -1,0 +1,289 @@
+package macroiter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runRecords builds a deterministic run: n components relaxed cyclically one
+// per iteration with a constant delay d (so l(j) = max(0, j-d)).
+func cyclicRecords(n, horizon, d int) []Record {
+	recs := make([]Record, 0, horizon)
+	for j := 1; j <= horizon; j++ {
+		l := j - d
+		if l < 0 {
+			l = 0
+		}
+		if l > j-1 {
+			l = j - 1
+		}
+		recs = append(recs, Record{J: j, S: []int{(j - 1) % n}, MinLabel: l, Worker: (j - 1) % n})
+	}
+	return recs
+}
+
+func TestTrackerCyclicFresh(t *testing.T) {
+	// n=3, fresh labels (d=1). Window 1: iterations 1..3 cover {0,1,2} and all
+	// labels l(j)=j-1 >= 0, so j_1 = 3; then j_2 = 6, etc.
+	bs := Boundaries(3, cyclicRecords(3, 12, 1))
+	want := []int{3, 6, 9, 12}
+	if len(bs) != len(want) {
+		t.Fatalf("boundaries = %v, want %v", bs, want)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("boundaries = %v, want %v", bs, want)
+		}
+	}
+}
+
+func TestTrackerDelayedLabels(t *testing.T) {
+	// With constant delay d=3 and n=2 cyclic: labels lag, so coverage of a
+	// macro window only counts iterations whose l(j) >= j_k; boundaries are
+	// pushed later than the fresh case.
+	bsFresh := Boundaries(2, cyclicRecords(2, 40, 1))
+	bsSlow := Boundaries(2, cyclicRecords(2, 40, 5))
+	if len(bsSlow) >= len(bsFresh) {
+		t.Fatalf("delays should reduce macro-iteration count: fresh %d vs slow %d",
+			len(bsFresh), len(bsSlow))
+	}
+	// Early boundaries may coincide because labels clamp to 0 near the start
+	// of the run; from the second boundary on the delayed run lags.
+	if len(bsSlow) < 2 || bsSlow[1] <= bsFresh[1] {
+		t.Fatalf("second slow boundary should exceed fresh: slow %v fresh %v", bsSlow, bsFresh)
+	}
+}
+
+func TestTrackerBoundariesStrictlyIncrease(t *testing.T) {
+	f := func(nRaw, dRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		d := int(dRaw%7) + 1
+		bs := Boundaries(n, cyclicRecords(n, 200, d))
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerKAt(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Observe(1, []int{0}, 0)
+	tr.Observe(2, []int{1}, 1) // boundary at 2
+	tr.Observe(3, []int{0}, 2)
+	tr.Observe(4, []int{1}, 3) // boundary at 4
+	if tr.K() != 2 {
+		t.Fatalf("K = %d", tr.K())
+	}
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 9: 2}
+	for j, want := range cases {
+		if got := tr.KAt(j); got != want {
+			t.Errorf("KAt(%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestObserveOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr := NewTracker(1)
+	tr.Observe(2, []int{0}, 0)
+	tr.Observe(1, []int{0}, 0)
+}
+
+func TestStaleIterationsDoNotCover(t *testing.T) {
+	// Component 1 is only ever relaxed with very stale labels; after the
+	// first boundary the tracker must not count those relaxations, so only
+	// one boundary forms.
+	tr := NewTracker(2)
+	tr.Observe(1, []int{0}, 0)
+	tr.Observe(2, []int{1}, 0) // covers -> boundary j_1 = 2
+	for j := 3; j < 30; j++ {
+		if j%2 == 1 {
+			tr.Observe(j, []int{0}, j-1)
+		} else {
+			tr.Observe(j, []int{1}, 0) // stale: l(j)=0 < j_1
+		}
+	}
+	if tr.K() != 1 {
+		t.Fatalf("stale relaxations covered a window: K = %d, boundaries %v", tr.K(), tr.Boundaries())
+	}
+}
+
+func TestStrictBoundariesSuffixGuarantee(t *testing.T) {
+	// Build a run with one out-of-order stale read late in the stream; the
+	// strict sequence must not close a window before it.
+	recs := cyclicRecords(2, 20, 1)
+	recs[9].MinLabel = 0 // iteration 10 suddenly reads x(0)
+	strict := StrictBoundaries(2, recs)
+	// No strict boundary with start > 0 may appear before iteration 10.
+	for _, b := range strict {
+		if b > 0 && b <= 10 && b != recs[9].J {
+			// Any boundary at or before 10 must have start 0 and be >= covering point.
+			_ = b
+		}
+	}
+	// The guarantee: for every window (j_k, j_{k+1}], all iterations after
+	// j_{k+1} have MinLabel >= j_k.
+	check := func(bs []int) bool {
+		for k, b := range bs {
+			start := 0
+			if k > 0 {
+				start = bs[k-1]
+			}
+			for _, r := range recs {
+				if r.J > b && r.MinLabel < start {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !check(strict) {
+		t.Fatalf("strict boundaries %v violate suffix guarantee", strict)
+	}
+}
+
+func TestStrictEqualsDefinition2OnMonotoneRuns(t *testing.T) {
+	recs := cyclicRecords(3, 60, 2)
+	def2 := Boundaries(3, recs)
+	strict := StrictBoundaries(3, recs)
+	if len(strict) == 0 || len(def2) == 0 {
+		t.Fatal("no boundaries formed")
+	}
+	// With monotone labels the strict sequence matches Definition 2.
+	if len(strict) != len(def2) {
+		t.Fatalf("lengths differ: def2 %v strict %v", def2, strict)
+	}
+	for i := range def2 {
+		if def2[i] != strict[i] {
+			t.Fatalf("mismatch at %d: def2 %v strict %v", i, def2, strict)
+		}
+	}
+}
+
+func TestKOf(t *testing.T) {
+	bs := []int{3, 7, 12}
+	cases := map[int]int{0: 0, 3: 1, 6: 1, 7: 2, 100: 3}
+	for j, want := range cases {
+		if got := KOf(bs, j); got != want {
+			t.Errorf("KOf(%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestEpochTrackerTwoUpdatesPerMachine(t *testing.T) {
+	// 2 machines alternating: epochs close once each has 2 updates, i.e.
+	// after iterations 4, 8, 12, ...
+	et := NewEpochTracker(2)
+	for j := 1; j <= 12; j++ {
+		et.Observe(j, (j-1)%2)
+	}
+	want := []int{4, 8, 12}
+	got := et.Boundaries()
+	if len(got) != len(want) {
+		t.Fatalf("epochs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("epochs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEpochTrackerSlowMachine(t *testing.T) {
+	// Machine 1 updates rarely; epochs stretch accordingly.
+	et := NewEpochTracker(2)
+	j := 0
+	for r := 0; r < 50; r++ {
+		j++
+		et.Observe(j, 0)
+		if r%10 == 9 {
+			j++
+			et.Observe(j, 1)
+		}
+	}
+	bs := et.Boundaries()
+	if len(bs) == 0 {
+		t.Fatal("no epochs formed")
+	}
+	if bs[0] < 20 {
+		t.Errorf("first epoch closed too early at %d", bs[0])
+	}
+}
+
+func TestEpochStalenessZeroForStrictMacro(t *testing.T) {
+	recs := cyclicRecords(2, 60, 3)
+	strict := StrictBoundaries(2, recs)
+	if v := EpochStaleness(strict, recs); v != 0 {
+		t.Fatalf("strict macro-iterations produced %d staleness violations", v)
+	}
+}
+
+func TestEpochStalenessPositiveUnderOOO(t *testing.T) {
+	// Two machines alternate and usually read fresh values, but sporadically
+	// an old message arrives: MinLabel drops to 0. Epochs ignore labels, so
+	// windows close while pre-window information is still in use.
+	var recs []Record
+	for j := 1; j <= 100; j++ {
+		l := j - 1
+		if j%17 == 0 {
+			l = 0 // an ancient message is consumed
+		}
+		recs = append(recs, Record{J: j, S: []int{(j - 1) % 2}, MinLabel: l, Worker: (j - 1) % 2})
+	}
+	epochs := EpochBoundaries(2, recs)
+	if len(epochs) < 3 {
+		t.Fatalf("too few epochs: %v", epochs)
+	}
+	if v := EpochStaleness(epochs, recs); v == 0 {
+		t.Fatal("expected staleness violations for epoch windows under OOO delivery")
+	}
+	strict := StrictBoundaries(2, recs)
+	if v := EpochStaleness(strict, recs); v != 0 {
+		t.Fatalf("strict macro sequence must have zero violations, got %d (boundaries %v)", v, strict)
+	}
+}
+
+func TestStopCriterion(t *testing.T) {
+	s := NewStopCriterion(1e-6, 2)
+	if s.ObserveBoundary(1e-3) {
+		t.Fatal("should not stop at large residual")
+	}
+	if s.ObserveBoundary(1e-7) {
+		t.Fatal("needs 2 consecutive")
+	}
+	if !s.ObserveBoundary(1e-8) {
+		t.Fatal("should stop after 2 consecutive")
+	}
+	if !s.Done() {
+		t.Fatal("Done should be latched")
+	}
+	s.Reset()
+	if s.Done() {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestStopCriterionStreakResets(t *testing.T) {
+	s := NewStopCriterion(1e-6, 3)
+	s.ObserveBoundary(1e-7)
+	s.ObserveBoundary(1e-7)
+	s.ObserveBoundary(1.0) // breaks the streak
+	s.ObserveBoundary(1e-7)
+	s.ObserveBoundary(1e-7)
+	if s.Done() {
+		t.Fatal("streak should have been reset")
+	}
+	if !s.ObserveBoundary(1e-7) {
+		t.Fatal("third consecutive should finish")
+	}
+}

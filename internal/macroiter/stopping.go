@@ -1,0 +1,51 @@
+package macroiter
+
+// StopCriterion is the macro-iteration based stopping rule in the spirit of
+// Miellou, Spiteri and El Baz [15]: because inequality (5) contracts the
+// error once per macro-iteration, declaring convergence after the residual
+// has stayed below the tolerance for R consecutive macro-iteration
+// boundaries is robust to the transient residual oscillations that plague
+// per-iteration tests of asynchronous methods (a single small residual may
+// be an artifact of a stale read).
+type StopCriterion struct {
+	// Tol is the residual threshold.
+	Tol float64
+	// ConsecutiveK is the number of consecutive macro-iteration boundaries
+	// whose residual must be below Tol (>= 1).
+	ConsecutiveK int
+
+	streak int
+	done   bool
+}
+
+// NewStopCriterion returns a criterion requiring the residual to stay below
+// tol at consecutiveK successive macro-iteration boundaries.
+func NewStopCriterion(tol float64, consecutiveK int) *StopCriterion {
+	if consecutiveK < 1 {
+		consecutiveK = 1
+	}
+	return &StopCriterion{Tol: tol, ConsecutiveK: consecutiveK}
+}
+
+// ObserveBoundary feeds the residual measured at a macro-iteration boundary
+// and reports whether the criterion is now satisfied.
+func (s *StopCriterion) ObserveBoundary(residual float64) bool {
+	if s.done {
+		return true
+	}
+	if residual <= s.Tol {
+		s.streak++
+	} else {
+		s.streak = 0
+	}
+	if s.streak >= s.ConsecutiveK {
+		s.done = true
+	}
+	return s.done
+}
+
+// Done reports whether the criterion has been satisfied.
+func (s *StopCriterion) Done() bool { return s.done }
+
+// Reset clears the criterion for reuse.
+func (s *StopCriterion) Reset() { s.streak, s.done = 0, false }

@@ -1,0 +1,175 @@
+// Package metrics provides the reporting primitives of the experiment
+// harness: aligned ASCII tables (the "rows the paper reports"), speedup and
+// efficiency computations, and least-squares contraction-rate fits used to
+// compare measured convergence against the theoretical (1-rho)^k of
+// inequality (5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.6g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Speedup returns tBase / t.
+func Speedup(tBase, t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return tBase / t
+}
+
+// Efficiency returns speedup / workers.
+func Efficiency(speedup float64, workers int) float64 {
+	if workers <= 0 {
+		return 0
+	}
+	return speedup / float64(workers)
+}
+
+// FitContractionRate fits err_k ~ C * rate^k by least squares on
+// log(err_k) and returns the rate. Zero or non-finite entries are skipped;
+// the fit needs at least two usable points (otherwise NaN is returned).
+func FitContractionRate(errs []float64) float64 {
+	var xs, ys []float64
+	for k, e := range errs {
+		if e > 0 && !math.IsInf(e, 0) && !math.IsNaN(e) {
+			xs = append(xs, float64(k))
+			ys = append(ys, math.Log(e))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	slope := (n*sxy - sx*sy) / den
+	return math.Exp(slope)
+}
+
+// GeometricMean returns the geometric mean of positive values (NaN if none).
+func GeometricMean(vals []float64) float64 {
+	s, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+}
+
+// Summarize computes min/max/mean of vals.
+func Summarize(vals []float64) Summary {
+	s := Summary{}
+	for _, v := range vals {
+		if s.N == 0 {
+			s.Min, s.Max = v, v
+		} else {
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+		s.Mean += v
+		s.N++
+	}
+	if s.N > 0 {
+		s.Mean /= float64(s.N)
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E0: demo", "name", "value", "note")
+	tb.AddRow("alpha", 1.5, "ok")
+	tb.AddRow("beta-long-name", 0.123456789, "x")
+	out := tb.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "beta-long-name") {
+		t.Error("missing row")
+	}
+	if !strings.Contains(out, "0.123457") { // %.6g
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Header and rows must have the second column starting at the same
+	// offset.
+	idx := strings.Index(lines[2], "y")
+	idx2 := strings.Index(lines[3], "z")
+	if idx != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx, idx2, tb.String())
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("zero time should give +inf speedup")
+	}
+	if got := Efficiency(5, 4); got != 1.25 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if Efficiency(5, 0) != 0 {
+		t.Error("zero workers efficiency should be 0")
+	}
+}
+
+func TestFitContractionRateExact(t *testing.T) {
+	rate := 0.7
+	errs := make([]float64, 20)
+	v := 3.0
+	for i := range errs {
+		errs[i] = v
+		v *= rate
+	}
+	if got := FitContractionRate(errs); math.Abs(got-rate) > 1e-9 {
+		t.Errorf("FitContractionRate = %v, want %v", got, rate)
+	}
+}
+
+func TestFitContractionRateSkipsZeros(t *testing.T) {
+	errs := []float64{1, 0.5, 0, 0.25, math.NaN(), 0.125}
+	got := FitContractionRate(errs)
+	if math.IsNaN(got) || got <= 0 || got >= 1 {
+		t.Errorf("rate = %v", got)
+	}
+}
+
+func TestFitContractionRateDegenerate(t *testing.T) {
+	if !math.IsNaN(FitContractionRate([]float64{1})) {
+		t.Error("single point should give NaN")
+	}
+	if !math.IsNaN(FitContractionRate(nil)) {
+		t.Error("empty series should give NaN")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeometricMean = %v", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{-1, 0})) {
+		t.Error("no positive values should give NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || math.Abs(s.Mean-2) > 1e-15 {
+		t.Errorf("Summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

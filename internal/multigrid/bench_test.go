@@ -1,0 +1,38 @@
+package multigrid
+
+import "testing"
+
+func benchSolve(b *testing.B, n int, sm Smoother) {
+	s, err := NewSolver(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Smoother = sm
+	s.Seed = 1
+	f := PoissonRHS(n, func(x, y float64) float64 { return 1 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, ok := s.Solve(f, 1e-8, 60)
+		if !ok {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkVCycleJacobi63(b *testing.B)  { benchSolve(b, 63, SmootherJacobi) }
+func BenchmarkVCycleChaotic63(b *testing.B) { benchSolve(b, 63, SmootherChaotic) }
+
+func BenchmarkSmoothSweep127(b *testing.B) {
+	s, err := NewSolver(127)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := PoissonRHS(127, func(x, y float64) float64 { return 1 })
+	u := make([]float64, 127*127)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.smoothSweep(127, u, f)
+	}
+}

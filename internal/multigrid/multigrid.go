@@ -1,0 +1,304 @@
+// Package multigrid implements geometric multigrid for the 2-D Poisson
+// equation with asynchronous (chaotic) relaxation smoothers — the modern
+// use of asynchronous block relaxation the paper highlights in its
+// introduction ("asynchronous block relaxation methods are very popular as
+// smoothers for multigrid methods", citing Rodriguez et al. [5]).
+//
+// The V-cycle is standard (full-weighting restriction, bilinear
+// interpolation, damped-Jacobi or chaotic smoothing, exact coarsest solve);
+// the smoother is the asynchronous ingredient:
+//
+//   - SmootherJacobi: synchronous damped Jacobi sweeps (the baseline);
+//   - SmootherChaotic: free-steering relaxation — points are updated in a
+//     seeded random order, in place, so each update mixes fresh and stale
+//     neighbour values exactly as an asynchronous shared-memory smoother
+//     does (Rosenfeld's chaotic relaxation, the paper's reference [13]).
+package multigrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Smoother selects the relaxation scheme used inside V-cycles.
+type Smoother int
+
+// Smoother kinds.
+const (
+	SmootherJacobi Smoother = iota
+	SmootherChaotic
+)
+
+func (s Smoother) String() string {
+	switch s {
+	case SmootherJacobi:
+		return "jacobi"
+	case SmootherChaotic:
+		return "chaotic"
+	default:
+		return fmt.Sprintf("smoother(%d)", int(s))
+	}
+}
+
+// Solver is a 2-D Poisson multigrid solver on an n x n interior grid
+// (n = 2^k - 1) of the unit square with zero Dirichlet boundary.
+type Solver struct {
+	// N is the finest interior grid side (must be 2^k - 1, k >= 2).
+	N int
+	// PreSmooth / PostSmooth are the smoothing sweeps per V-cycle level.
+	PreSmooth, PostSmooth int
+	// Omega is the Jacobi damping factor (2/3 is optimal for 2-D Poisson
+	// high-frequency smoothing).
+	Omega float64
+	// Smoother selects synchronous Jacobi or chaotic (asynchronous-order)
+	// relaxation.
+	Smoother Smoother
+	// Seed drives the chaotic orderings.
+	Seed uint64
+
+	rng *vec.RNG
+}
+
+// NewSolver validates the grid size and returns a solver with standard
+// defaults (1 pre-, 1 post-smoothing sweep, omega = 2/3).
+func NewSolver(n int) (*Solver, error) {
+	if n < 3 || (n+1)&n != 0 {
+		return nil, errors.New("multigrid: N must be 2^k - 1 with k >= 2")
+	}
+	return &Solver{
+		N: n, PreSmooth: 1, PostSmooth: 1, Omega: 2.0 / 3.0,
+		Smoother: SmootherJacobi,
+	}, nil
+}
+
+// idx maps interior coordinates to the flat index on an n-grid.
+func idx(n, r, c int) int { return r*n + c }
+
+// applyA computes the scaled 5-point operator (A u)_i = 4u_i - sum of
+// neighbours, i.e. h^2 * (-Laplace u).
+func applyA(n int, u, out []float64) {
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := idx(n, r, c)
+			s := 4 * u[i]
+			if r > 0 {
+				s -= u[i-n]
+			}
+			if r < n-1 {
+				s -= u[i+n]
+			}
+			if c > 0 {
+				s -= u[i-1]
+			}
+			if c < n-1 {
+				s -= u[i+1]
+			}
+			out[i] = s
+		}
+	}
+}
+
+// residual computes r = f - A u.
+func residual(n int, u, f, r []float64) {
+	applyA(n, u, r)
+	for i := range r {
+		r[i] = f[i] - r[i]
+	}
+}
+
+// smoothSweep performs one relaxation sweep of A u = f.
+func (s *Solver) smoothSweep(n int, u, f []float64) {
+	switch s.Smoother {
+	case SmootherJacobi:
+		next := make([]float64, len(u))
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				i := idx(n, r, c)
+				sum := f[i]
+				if r > 0 {
+					sum += u[i-n]
+				}
+				if r < n-1 {
+					sum += u[i+n]
+				}
+				if c > 0 {
+					sum += u[i-1]
+				}
+				if c < n-1 {
+					sum += u[i+1]
+				}
+				gs := sum / 4
+				next[i] = u[i] + s.Omega*(gs-u[i])
+			}
+		}
+		copy(u, next)
+	case SmootherChaotic:
+		// Free-steering: visit points in a fresh random order, updating in
+		// place; each relaxation reads a mix of already-updated (fresh) and
+		// not-yet-updated (stale) neighbours — the shared-memory
+		// asynchronous pattern, deterministic under the seed.
+		if s.rng == nil {
+			s.rng = vec.NewRNG(s.Seed | 1)
+		}
+		order := s.rng.Perm(n * n)
+		for _, i := range order {
+			r, c := i/n, i%n
+			sum := f[i]
+			if r > 0 {
+				sum += u[i-n]
+			}
+			if r < n-1 {
+				sum += u[i+n]
+			}
+			if c > 0 {
+				sum += u[i-1]
+			}
+			if c < n-1 {
+				sum += u[i+1]
+			}
+			gs := sum / 4
+			u[i] += s.Omega * (gs - u[i])
+		}
+	}
+}
+
+// restrict applies full weighting from an n-grid to the (n-1)/2-grid.
+func restrict(n int, fine []float64) []float64 {
+	nc := (n - 1) / 2
+	coarse := make([]float64, nc*nc)
+	at := func(r, c int) float64 {
+		if r < 0 || r >= n || c < 0 || c >= n {
+			return 0
+		}
+		return fine[idx(n, r, c)]
+	}
+	for r := 0; r < nc; r++ {
+		for c := 0; c < nc; c++ {
+			fr, fc := 2*r+1, 2*c+1
+			v := 4*at(fr, fc) +
+				2*(at(fr-1, fc)+at(fr+1, fc)+at(fr, fc-1)+at(fr, fc+1)) +
+				(at(fr-1, fc-1) + at(fr-1, fc+1) + at(fr+1, fc-1) + at(fr+1, fc+1))
+			coarse[idx(nc, r, c)] = v / 16 * 4 // x4: operator rescaling for h -> 2h
+		}
+	}
+	return coarse
+}
+
+// prolong applies bilinear interpolation from an nc-grid to the 2nc+1 grid,
+// accumulating into fine.
+func prolong(nc int, coarse, fine []float64) {
+	n := 2*nc + 1
+	at := func(r, c int) float64 {
+		if r < 0 || r >= nc || c < 0 || c >= nc {
+			return 0
+		}
+		return coarse[idx(nc, r, c)]
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			var v float64
+			switch {
+			case r%2 == 1 && c%2 == 1:
+				v = at(r/2, c/2)
+			case r%2 == 1:
+				v = 0.5 * (at(r/2, c/2-1) + at(r/2, c/2))
+			case c%2 == 1:
+				v = 0.5 * (at(r/2-1, c/2) + at(r/2, c/2))
+			default:
+				v = 0.25 * (at(r/2-1, c/2-1) + at(r/2-1, c/2) + at(r/2, c/2-1) + at(r/2, c/2))
+			}
+			fine[idx(n, r, c)] += v
+		}
+	}
+}
+
+// VCycle performs one V-cycle on A u = f at grid size n, in place.
+func (s *Solver) VCycle(n int, u, f []float64) {
+	if n <= 3 {
+		// Coarsest: solve directly with many sweeps (3x3 grid converges
+		// immediately).
+		for k := 0; k < 32; k++ {
+			s.smoothSweep(n, u, f)
+		}
+		return
+	}
+	for k := 0; k < s.PreSmooth; k++ {
+		s.smoothSweep(n, u, f)
+	}
+	r := make([]float64, n*n)
+	residual(n, u, f, r)
+	rc := restrict(n, r)
+	nc := (n - 1) / 2
+	ec := make([]float64, nc*nc)
+	s.VCycle(nc, ec, rc)
+	prolong(nc, ec, u)
+	for k := 0; k < s.PostSmooth; k++ {
+		s.smoothSweep(n, u, f)
+	}
+}
+
+// Solve iterates V-cycles until the scaled residual infinity norm falls
+// below tol, returning the solution, the cycle count, the per-cycle
+// contraction factors, and whether it converged.
+func (s *Solver) Solve(f []float64, tol float64, maxCycles int) (u []float64, cycles int, factors []float64, ok bool) {
+	n := s.N
+	if len(f) != n*n {
+		panic(fmt.Sprintf("multigrid: f has length %d, want %d", len(f), n*n))
+	}
+	u = make([]float64, n*n)
+	r := make([]float64, n*n)
+	residual(n, u, f, r)
+	prev := vec.NormInf(r)
+	for cycles = 1; cycles <= maxCycles; cycles++ {
+		s.VCycle(n, u, f)
+		residual(n, u, f, r)
+		cur := vec.NormInf(r)
+		if prev > 0 {
+			factors = append(factors, cur/prev)
+		}
+		prev = cur
+		if cur <= tol {
+			return u, cycles, factors, true
+		}
+	}
+	return u, maxCycles, factors, false
+}
+
+// PoissonRHS samples h^2 * f at the interior points for the load function.
+func PoissonRHS(n int, load func(x, y float64) float64) []float64 {
+	h := 1.0 / float64(n+1)
+	f := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			x := float64(c+1) * h
+			y := float64(r+1) * h
+			f[idx(n, r, c)] = h * h * load(x, y)
+		}
+	}
+	return f
+}
+
+// MeanConvergenceFactor returns the geometric mean of the per-cycle
+// contraction factors, skipping the first (transient) cycle.
+func MeanConvergenceFactor(factors []float64) float64 {
+	if len(factors) <= 1 {
+		if len(factors) == 1 {
+			return factors[0]
+		}
+		return math.NaN()
+	}
+	s, n := 0.0, 0
+	for _, v := range factors[1:] {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}

@@ -1,0 +1,207 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestNewSolverValidation(t *testing.T) {
+	for _, n := range []int{0, 2, 4, 6, 8} {
+		if _, err := NewSolver(n); err == nil {
+			t.Errorf("N=%d should be rejected", n)
+		}
+	}
+	for _, n := range []int{3, 7, 15, 31, 63} {
+		if _, err := NewSolver(n); err != nil {
+			t.Errorf("N=%d should be accepted: %v", n, err)
+		}
+	}
+}
+
+// manufactured solution u = sin(pi x) sin(pi y): -Lap u = 2 pi^2 u.
+func manufactured(n int) (f []float64, want []float64) {
+	h := 1.0 / float64(n+1)
+	f = PoissonRHS(n, func(x, y float64) float64 {
+		return 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+	})
+	want = make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			x := float64(c+1) * h
+			y := float64(r+1) * h
+			want[idx(n, r, c)] = math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		}
+	}
+	return f, want
+}
+
+func TestSolveManufacturedSolution(t *testing.T) {
+	n := 31
+	s, err := NewSolver(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, want := manufactured(n)
+	u, cycles, _, ok := s.Solve(f, 1e-10, 60)
+	if !ok {
+		t.Fatalf("did not converge in %d cycles", cycles)
+	}
+	// Discretization error is O(h^2) ~ 1e-3 at n=31.
+	worst := 0.0
+	for i := range u {
+		if d := math.Abs(u[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 5e-3 {
+		t.Errorf("max deviation from manufactured solution %v", worst)
+	}
+}
+
+func TestVCycleConvergenceFactorGridIndependent(t *testing.T) {
+	// Multigrid's signature property: the per-cycle contraction factor is
+	// bounded away from 1 independently of the grid size.
+	for _, n := range []int{15, 31, 63} {
+		s, _ := NewSolver(n)
+		s.PreSmooth, s.PostSmooth = 2, 2
+		f, _ := manufactured(n)
+		_, _, factors, ok := s.Solve(f, 1e-10, 60)
+		if !ok {
+			t.Fatalf("n=%d did not converge", n)
+		}
+		mf := MeanConvergenceFactor(factors)
+		if mf > 0.35 {
+			t.Errorf("n=%d: convergence factor %v too close to 1", n, mf)
+		}
+	}
+}
+
+func TestChaoticSmootherConverges(t *testing.T) {
+	n := 31
+	s, _ := NewSolver(n)
+	s.Smoother = SmootherChaotic
+	s.Seed = 7
+	f, _ := manufactured(n)
+	_, cycles, factors, ok := s.Solve(f, 1e-10, 80)
+	if !ok {
+		t.Fatalf("chaotic smoother did not converge in %d cycles", cycles)
+	}
+	if mf := MeanConvergenceFactor(factors); mf > 0.5 {
+		t.Errorf("chaotic smoother factor %v too weak", mf)
+	}
+}
+
+func TestChaoticSmootherCompetitiveWithJacobi(t *testing.T) {
+	// Free-steering mixes fresh values (Gauss-Seidel-like), so it should
+	// smooth at least as well as damped Jacobi on average.
+	n := 31
+	f, _ := manufactured(n)
+	run := func(sm Smoother) float64 {
+		s, _ := NewSolver(n)
+		s.Smoother = sm
+		s.Seed = 9
+		_, _, factors, ok := s.Solve(f, 1e-10, 80)
+		if !ok {
+			t.Fatalf("%v did not converge", sm)
+		}
+		return MeanConvergenceFactor(factors)
+	}
+	jac := run(SmootherJacobi)
+	cha := run(SmootherChaotic)
+	if cha > jac*1.2 {
+		t.Errorf("chaotic factor %v much worse than jacobi %v", cha, jac)
+	}
+}
+
+func TestRestrictProlongShapes(t *testing.T) {
+	n := 7
+	fine := make([]float64, n*n)
+	for i := range fine {
+		fine[i] = 1
+	}
+	coarse := restrict(n, fine)
+	if len(coarse) != 9 {
+		t.Fatalf("coarse length %d, want 9", len(coarse))
+	}
+	back := make([]float64, n*n)
+	prolong(3, coarse, back)
+	if vec.NormInf(back) == 0 {
+		t.Error("prolongation produced zeros")
+	}
+}
+
+func TestProlongInterpolatesConstants(t *testing.T) {
+	// Interior of the prolonged field should reproduce the coarse constant.
+	nc := 3
+	coarse := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	n := 2*nc + 1
+	fine := make([]float64, n*n)
+	prolong(nc, coarse, fine)
+	// Centre point (3,3) is coarse-coincident: must be exactly 1.
+	if fine[idx(n, 3, 3)] != 1 {
+		t.Errorf("coarse-coincident point = %v", fine[idx(n, 3, 3)])
+	}
+	// Odd-odd points between two coarse points: 1 as well.
+	if fine[idx(n, 3, 2)] != 1 {
+		t.Errorf("edge-interpolated point = %v", fine[idx(n, 3, 2)])
+	}
+}
+
+func TestResidualOfExactSolveIsZero(t *testing.T) {
+	// Solve a tiny system directly and compare applyA against it.
+	n := 3
+	f := PoissonRHS(n, func(x, y float64) float64 { return 1 })
+	dim := n * n
+	m := vec.NewDense(dim, dim)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := idx(n, r, c)
+			m.Set(i, i, 4)
+			if r > 0 {
+				m.Set(i, i-n, -1)
+			}
+			if r < n-1 {
+				m.Set(i, i+n, -1)
+			}
+			if c > 0 {
+				m.Set(i, i-1, -1)
+			}
+			if c < n-1 {
+				m.Set(i, i+1, -1)
+			}
+		}
+	}
+	want, err := m.SolveGaussian(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, dim)
+	residual(n, want, f, r)
+	if vec.NormInf(r) > 1e-12 {
+		t.Errorf("residual of direct solution: %v", vec.NormInf(r))
+	}
+	// And multigrid reaches the same answer.
+	s, _ := NewSolver(n)
+	u, _, _, ok := s.Solve(f, 1e-12, 100)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if !vec.Equal(u, want, 1e-10) {
+		t.Error("multigrid deviates from direct solve")
+	}
+}
+
+func TestMeanConvergenceFactor(t *testing.T) {
+	if !math.IsNaN(MeanConvergenceFactor(nil)) {
+		t.Error("empty factors should be NaN")
+	}
+	if got := MeanConvergenceFactor([]float64{0.5}); got != 0.5 {
+		t.Errorf("single factor = %v", got)
+	}
+	got := MeanConvergenceFactor([]float64{0.9, 0.25, 0.25})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("mean factor = %v (first must be skipped)", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package netflow implements convex separable network flow problems and the
+// distributed asynchronous dual relaxation method of Bertsekas and El Baz
+// [6] (also the workload of [7], [8], [9]): minimize a sum of strictly
+// convex arc costs subject to flow conservation, by coordinate ascent on
+// node prices. Each node's relaxation step adjusts its own price so that
+// the flow it induces on incident arcs satisfies its conservation
+// constraint given the neighbours' current prices — a per-component
+// fixed-point map that converges under totally asynchronous iteration.
+//
+// Arc costs are quadratic with optional capacity bounds,
+//
+//	c_a(f) = r_a/2 * (f - t_a)^2,   lo_a <= f <= hi_a,  r_a > 0,
+//
+// giving the dual flow response f_a(p) = clamp(t_a + (p_tail - p_head)/r_a,
+// lo_a, hi_a). A small "ground conductance" regularizes the singular dual
+// (prices are otherwise determined only up to a constant) and makes the
+// relaxation a max-norm contraction.
+package netflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Arc is a directed arc with quadratic cost parameters.
+type Arc struct {
+	From, To int
+	R        float64 // strict convexity weight r_a > 0
+	T        float64 // cost-minimizing free flow t_a
+	Lo, Hi   float64 // capacity interval (use +-Inf for uncapacitated)
+}
+
+// Network is a convex separable network flow instance.
+type Network struct {
+	NumNodes int
+	Arcs     []Arc
+	Supply   []float64 // b_i, must sum to ~0
+	// Ground is the conductance of the implicit grounding leak at every
+	// node; it removes the dual's constant-shift degeneracy. Must be > 0.
+	Ground float64
+
+	in, out [][]int // arc indices incident to each node
+}
+
+// New validates and indexes a network.
+func New(numNodes int, arcs []Arc, supply []float64, ground float64) (*Network, error) {
+	if numNodes < 1 {
+		return nil, errors.New("netflow: need at least one node")
+	}
+	if len(supply) != numNodes {
+		return nil, fmt.Errorf("netflow: supply length %d, want %d", len(supply), numNodes)
+	}
+	if ground <= 0 {
+		return nil, errors.New("netflow: ground conductance must be positive")
+	}
+	total := 0.0
+	for _, b := range supply {
+		total += b
+	}
+	if math.Abs(total) > 1e-9 {
+		return nil, fmt.Errorf("netflow: supplies sum to %v, want 0", total)
+	}
+	n := &Network{
+		NumNodes: numNodes,
+		Arcs:     arcs,
+		Supply:   append([]float64(nil), supply...),
+		Ground:   ground,
+		in:       make([][]int, numNodes),
+		out:      make([][]int, numNodes),
+	}
+	for k, a := range arcs {
+		if a.From < 0 || a.From >= numNodes || a.To < 0 || a.To >= numNodes {
+			return nil, fmt.Errorf("netflow: arc %d endpoints out of range", k)
+		}
+		if a.From == a.To {
+			return nil, fmt.Errorf("netflow: arc %d is a self-loop", k)
+		}
+		if a.R <= 0 {
+			return nil, fmt.Errorf("netflow: arc %d has nonpositive weight", k)
+		}
+		if a.Lo > a.Hi {
+			return nil, fmt.Errorf("netflow: arc %d has empty capacity interval", k)
+		}
+		n.out[a.From] = append(n.out[a.From], k)
+		n.in[a.To] = append(n.in[a.To], k)
+	}
+	return n, nil
+}
+
+// FlowOf returns the dual flow response of arc k to prices p.
+func (n *Network) FlowOf(k int, p []float64) float64 {
+	a := n.Arcs[k]
+	f := a.T + (p[a.From]-p[a.To])/a.R
+	if f < a.Lo {
+		f = a.Lo
+	}
+	if f > a.Hi {
+		f = a.Hi
+	}
+	return f
+}
+
+// Flows materializes all arc flows for prices p.
+func (n *Network) Flows(p []float64) []float64 {
+	f := make([]float64, len(n.Arcs))
+	for k := range n.Arcs {
+		f[k] = n.FlowOf(k, p)
+	}
+	return f
+}
+
+// Imbalance returns node i's conservation residual under prices p:
+// supply + inflow - outflow - ground*p_i. The relaxation drives it to zero.
+func (n *Network) Imbalance(i int, p []float64) float64 {
+	s := n.Supply[i] - n.Ground*p[i]
+	for _, k := range n.in[i] {
+		s += n.FlowOf(k, p)
+	}
+	for _, k := range n.out[i] {
+		s -= n.FlowOf(k, p)
+	}
+	return s
+}
+
+// Cost returns the total arc cost of flows f.
+func (n *Network) Cost(f []float64) float64 {
+	s := 0.0
+	for k, a := range n.Arcs {
+		d := f[k] - a.T
+		s += 0.5 * a.R * d * d
+	}
+	return s
+}
+
+// Degree returns the number of arcs incident to node i.
+func (n *Network) Degree(i int) int { return len(n.in[i]) + len(n.out[i]) }
+
+// RelaxOp is the per-node dual relaxation operator: component i returns the
+// price p_i* that zeroes node i's imbalance given the other prices — the
+// exact single-coordinate maximization of the dual functional (the
+// "relaxation method" of [6]). The imbalance is continuous, strictly
+// decreasing in p_i (slope at least Ground), so bisection converges; the
+// operator is monotone and, thanks to the ground leak, a max-norm
+// contraction with factor deg_w/(deg_w + Ground) where deg_w is the node's
+// total incident conductance.
+type RelaxOp struct {
+	Net *Network
+	// Eps is the bisection tolerance on the imbalance root (default 1e-13).
+	Eps float64
+}
+
+// NewRelaxOp wraps a network.
+func NewRelaxOp(net *Network) *RelaxOp { return &RelaxOp{Net: net, Eps: 1e-13} }
+
+// Dim implements operators.Operator.
+func (o *RelaxOp) Dim() int { return o.Net.NumNodes }
+
+// Name implements operators.Operator.
+func (o *RelaxOp) Name() string {
+	return fmt.Sprintf("netflowRelax(nodes=%d,arcs=%d)", o.Net.NumNodes, len(o.Net.Arcs))
+}
+
+// Component implements operators.Operator: solve Imbalance_i(p_i) = 0 in
+// p_i by expanding-interval bisection.
+func (o *RelaxOp) Component(i int, p []float64) float64 {
+	local := make([]float64, len(p))
+	copy(local, p)
+	eval := func(pi float64) float64 {
+		local[i] = pi
+		return o.Net.Imbalance(i, local)
+	}
+	// Imbalance is decreasing in p_i. Bracket the root.
+	lo, hi := p[i]-1, p[i]+1
+	flo, fhi := eval(lo), eval(hi)
+	for grow := 0; grow < 200 && flo < 0; grow++ {
+		lo -= 2 * (hi - lo)
+		flo = eval(lo)
+	}
+	for grow := 0; grow < 200 && fhi > 0; grow++ {
+		hi += 2 * (hi - lo)
+		fhi = eval(hi)
+	}
+	eps := o.Eps
+	if eps <= 0 {
+		eps = 1e-13
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := 0.5 * (lo + hi)
+		fm := eval(mid)
+		if math.Abs(fm) <= eps || hi-lo < 1e-15*(1+math.Abs(mid)) {
+			return mid
+		}
+		if fm > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// KKTReport summarizes optimality of a price vector.
+type KKTReport struct {
+	// MaxImbalance is the worst node conservation residual (including the
+	// ground leak term).
+	MaxImbalance float64
+	// Cost is the primal cost of the induced flows.
+	Cost float64
+}
+
+// CheckKKT evaluates optimality of prices p.
+func (n *Network) CheckKKT(p []float64) KKTReport {
+	rep := KKTReport{}
+	for i := 0; i < n.NumNodes; i++ {
+		if v := math.Abs(n.Imbalance(i, p)); v > rep.MaxImbalance {
+			rep.MaxImbalance = v
+		}
+	}
+	rep.Cost = n.Cost(n.Flows(p))
+	return rep
+}
+
+// Grid builds a w x h grid network (4-neighbour arcs in both directions)
+// with random free flows and unit-ish weights, one source (node 0) and one
+// sink (last node), each with the given supply magnitude.
+func Grid(w, h int, supplyMag float64, capacity float64, ground float64, seed uint64) (*Network, error) {
+	if w < 1 || h < 1 || w*h < 2 {
+		return nil, errors.New("netflow: grid too small")
+	}
+	rng := vec.NewRNG(seed)
+	var arcs []Arc
+	id := func(x, y int) int { return y*w + x }
+	addBoth := func(a, b int) {
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if capacity > 0 {
+			lo, hi = -capacity, capacity
+		}
+		arcs = append(arcs,
+			Arc{From: a, To: b, R: rng.Range(0.5, 2), T: rng.Range(-0.2, 0.2), Lo: lo, Hi: hi})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addBoth(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				addBoth(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	supply := make([]float64, w*h)
+	supply[0] = supplyMag
+	supply[w*h-1] = -supplyMag
+	return New(w*h, arcs, supply, ground)
+}
+
+// Random builds a random connected network: a spanning chain plus extra
+// random arcs, random supplies balanced to zero.
+func Random(nodes, extraArcs int, ground float64, seed uint64) (*Network, error) {
+	if nodes < 2 {
+		return nil, errors.New("netflow: need at least two nodes")
+	}
+	rng := vec.NewRNG(seed)
+	var arcs []Arc
+	inf := math.Inf(1)
+	for i := 1; i < nodes; i++ {
+		arcs = append(arcs, Arc{From: i - 1, To: i, R: rng.Range(0.5, 2), T: 0, Lo: -inf, Hi: inf})
+	}
+	for e := 0; e < extraArcs; e++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		arcs = append(arcs, Arc{From: a, To: b, R: rng.Range(0.5, 2), T: rng.Range(-0.5, 0.5), Lo: -inf, Hi: inf})
+	}
+	supply := make([]float64, nodes)
+	total := 0.0
+	for i := 0; i < nodes-1; i++ {
+		supply[i] = rng.Range(-1, 1)
+		total += supply[i]
+	}
+	supply[nodes-1] = -total
+	return New(nodes, arcs, supply, ground)
+}

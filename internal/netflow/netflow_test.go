@@ -1,0 +1,206 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/operators"
+	"repro/internal/steering"
+)
+
+func twoNodeNet(t *testing.T) *Network {
+	t.Helper()
+	inf := math.Inf(1)
+	n, err := New(2,
+		[]Arc{{From: 0, To: 1, R: 1, T: 0, Lo: -inf, Hi: inf}},
+		[]float64{1, -1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"zero nodes", func() error {
+			_, err := New(0, nil, nil, 1)
+			return err
+		}},
+		{"bad supply len", func() error {
+			_, err := New(2, nil, []float64{1}, 1)
+			return err
+		}},
+		{"unbalanced supply", func() error {
+			_, err := New(2, nil, []float64{1, 1}, 1)
+			return err
+		}},
+		{"zero ground", func() error {
+			_, err := New(2, nil, []float64{0, 0}, 0)
+			return err
+		}},
+		{"self loop", func() error {
+			_, err := New(2, []Arc{{From: 0, To: 0, R: 1, Lo: -inf, Hi: inf}}, []float64{0, 0}, 1)
+			return err
+		}},
+		{"bad weight", func() error {
+			_, err := New(2, []Arc{{From: 0, To: 1, R: 0, Lo: -inf, Hi: inf}}, []float64{0, 0}, 1)
+			return err
+		}},
+		{"empty capacity", func() error {
+			_, err := New(2, []Arc{{From: 0, To: 1, R: 1, Lo: 2, Hi: 1}}, []float64{0, 0}, 1)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFlowResponse(t *testing.T) {
+	n := twoNodeNet(t)
+	p := []float64{2, 0}
+	if got := n.FlowOf(0, p); math.Abs(got-2) > 1e-12 {
+		t.Errorf("flow = %v, want 2", got)
+	}
+	// Capacitated clamp.
+	inf := math.Inf(1)
+	_ = inf
+	nc, err := New(2, []Arc{{From: 0, To: 1, R: 1, T: 0, Lo: -1, Hi: 1}}, []float64{0, 0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nc.FlowOf(0, p); got != 1 {
+		t.Errorf("clamped flow = %v, want 1", got)
+	}
+}
+
+func TestRelaxOpZeroesImbalance(t *testing.T) {
+	n := twoNodeNet(t)
+	op := NewRelaxOp(n)
+	p := []float64{0, 0}
+	p0 := op.Component(0, p)
+	q := []float64{p0, 0}
+	if v := math.Abs(n.Imbalance(0, q)); v > 1e-9 {
+		t.Errorf("imbalance after relaxation = %v", v)
+	}
+}
+
+func TestSyncRelaxationSolvesKKT(t *testing.T) {
+	net, err := Grid(4, 4, 2, 0, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewRelaxOp(net)
+	p, ok := operators.FixedPoint(op, make([]float64, net.NumNodes), 1e-11, 20000)
+	if !ok {
+		t.Fatal("relaxation did not converge")
+	}
+	rep := net.CheckKKT(p)
+	if rep.MaxImbalance > 1e-8 {
+		t.Errorf("KKT imbalance %v", rep.MaxImbalance)
+	}
+}
+
+func TestAsyncRelaxationMatchesSync(t *testing.T) {
+	net, err := Random(12, 20, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewRelaxOp(net)
+	pSync, ok := operators.FixedPoint(op, make([]float64, net.NumNodes), 1e-11, 40000)
+	if !ok {
+		t.Fatal("sync reference did not converge")
+	}
+	res, err := core.Run(core.Config{
+		Op:       op,
+		Steering: steering.NewCyclic(net.NumNodes),
+		Delay:    delay.BoundedRandom{B: 8, Seed: 3},
+		XStar:    pSync,
+		Tol:      1e-8,
+		MaxIter:  2000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("async relaxation did not converge; error %v", res.Errors[len(res.Errors)-1])
+	}
+	rep := net.CheckKKT(res.X)
+	if rep.MaxImbalance > 1e-6 {
+		t.Errorf("async KKT imbalance %v", rep.MaxImbalance)
+	}
+}
+
+func TestCapacitatedFlowsRespectBounds(t *testing.T) {
+	net, err := Grid(3, 3, 5, 0.8, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewRelaxOp(net)
+	p, ok := operators.FixedPoint(op, make([]float64, net.NumNodes), 1e-10, 40000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	for k, f := range net.Flows(p) {
+		a := net.Arcs[k]
+		if f < a.Lo-1e-9 || f > a.Hi+1e-9 {
+			t.Errorf("arc %d flow %v outside [%v, %v]", k, f, a.Lo, a.Hi)
+		}
+	}
+}
+
+func TestGroundLeakVanishesWithSmallGround(t *testing.T) {
+	// As Ground -> 0, the conservation residual of the *original* problem
+	// (without the leak) goes to 0: the leak is a vanishing regularization.
+	resid := func(ground float64) float64 {
+		net, err := Grid(3, 3, 1, 0, ground, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := NewRelaxOp(net)
+		p, ok := operators.FixedPoint(op, make([]float64, net.NumNodes), 1e-10, 500000)
+		if !ok {
+			t.Fatal("did not converge")
+		}
+		// True conservation residual excludes the leak term.
+		worst := 0.0
+		for i := 0; i < net.NumNodes; i++ {
+			v := math.Abs(net.Imbalance(i, p) + net.Ground*p[i])
+			if v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	big := resid(0.5)
+	small := resid(0.05)
+	if small >= big {
+		t.Errorf("leak residual should shrink with ground: %v vs %v", small, big)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	net, _ := Grid(2, 2, 1, 0, 0.1, 6)
+	for i := 0; i < net.NumNodes; i++ {
+		if net.Degree(i) != 2 {
+			t.Errorf("corner node %d degree = %d, want 2", i, net.Degree(i))
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Grid(1, 1, 1, 0, 0.1, 7); err == nil {
+		t.Error("expected error for 1x1 grid")
+	}
+	if _, err := Random(1, 0, 0.1, 7); err == nil {
+		t.Error("expected error for single-node random net")
+	}
+}

@@ -1,0 +1,102 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+// Property: the relaxation step exactly zeroes the relaxed node's imbalance
+// from arbitrary price states, on arbitrary networks.
+func TestRelaxationZeroesImbalanceRandomized(t *testing.T) {
+	rng := vec.NewRNG(101)
+	for trial := 0; trial < 20; trial++ {
+		nodes := 2 + rng.Intn(10)
+		net, err := Random(nodes, rng.Intn(3*nodes), 0.1+rng.Float64(), rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := NewRelaxOp(net)
+		p := rng.NormalVector(nodes)
+		for i := 0; i < nodes; i++ {
+			pi := op.Component(i, p)
+			q := vec.Clone(p)
+			q[i] = pi
+			if v := math.Abs(net.Imbalance(i, q)); v > 1e-8 {
+				t.Fatalf("trial %d node %d: residual imbalance %v", trial, i, v)
+			}
+		}
+	}
+}
+
+// Property: the relaxation operator is monotone in the relaxed node's
+// neighbourhood — raising neighbour prices raises the relaxed price.
+func TestRelaxationMonotoneInNeighbours(t *testing.T) {
+	net, err := Grid(3, 3, 2, 0, 0.3, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewRelaxOp(net)
+	rng := vec.NewRNG(103)
+	for trial := 0; trial < 100; trial++ {
+		p1 := rng.NormalVector(net.NumNodes)
+		p2 := vec.Clone(p1)
+		for i := range p2 {
+			p2[i] += rng.Range(0, 2)
+		}
+		i := rng.Intn(net.NumNodes)
+		a := op.Component(i, p1)
+		b := op.Component(i, p2)
+		if b < a-1e-9 {
+			t.Fatalf("trial %d: raising neighbours lowered relaxed price: %v -> %v", trial, a, b)
+		}
+	}
+}
+
+// Property: total cost at the relaxed optimum is no larger than the cost of
+// arbitrary feasible-leak price vectors (dual optimality spot check).
+func TestRelaxedPricesImproveImbalance(t *testing.T) {
+	net, err := Random(10, 15, 0.3, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewRelaxOp(net)
+	pstar, ok := operators.FixedPoint(op, make([]float64, 10), 1e-11, 100000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	optimal := net.CheckKKT(pstar).MaxImbalance
+	rng := vec.NewRNG(105)
+	for trial := 0; trial < 20; trial++ {
+		p := rng.NormalVector(10)
+		if net.CheckKKT(p).MaxImbalance < optimal-1e-9 {
+			t.Fatalf("random prices beat the fixed point's imbalance")
+		}
+	}
+}
+
+// Property: flows are antisymmetric under price negation when free flows
+// are zero: f(-p) = -f(p).
+func TestFlowAntisymmetry(t *testing.T) {
+	nodes := 6
+	rng := vec.NewRNG(106)
+	var arcs []Arc
+	inf := math.Inf(1)
+	for i := 1; i < nodes; i++ {
+		arcs = append(arcs, Arc{From: i - 1, To: i, R: rng.Range(0.5, 2), T: 0, Lo: -inf, Hi: inf})
+	}
+	supply := make([]float64, nodes)
+	net, err := New(nodes, arcs, supply, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rng.NormalVector(nodes)
+	neg := vec.Scale(-1, p)
+	for k := range net.Arcs {
+		if math.Abs(net.FlowOf(k, p)+net.FlowOf(k, neg)) > 1e-12 {
+			t.Fatalf("arc %d: antisymmetry violated", k)
+		}
+	}
+}

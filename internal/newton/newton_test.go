@@ -1,0 +1,224 @@
+package newton
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/operators"
+	"repro/internal/steering"
+	"repro/internal/vec"
+)
+
+// testQuadratic builds a diagonally dominant SPD quadratic with known
+// minimizer.
+func testQuadratic(t *testing.T, n int, seed uint64) (QuadraticHessian, []float64) {
+	t.Helper()
+	rng := vec.NewRNG(seed)
+	q := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := 0.3 * rng.Normal()
+			q.Set(i, j, v)
+			q.Set(j, i, v) // symmetric
+		}
+	}
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(q.At(i, j))
+			}
+		}
+		q.Set(i, i, 1.5*off+1)
+	}
+	b := rng.NormalVector(n)
+	f := operators.NewQuadratic(q, b, 0)
+	xstar, err := f.Minimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return QuadraticHessian{Quadratic: f}, xstar
+}
+
+func TestDiagNewtonFixedPointIsMinimizer(t *testing.T) {
+	f, xstar := testQuadratic(t, 8, 1)
+	op := NewDiagNewton(f, 1.0)
+	x, ok := operators.FixedPoint(op, make([]float64, 8), 1e-12, 100000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if !vec.Equal(x, xstar, 1e-9) {
+		t.Errorf("fixed point %v, minimizer %v", x, xstar)
+	}
+}
+
+func TestDiagNewtonIsJacobiOnQuadratic(t *testing.T) {
+	// With gamma = 1 and a quadratic, diagonal Newton is exactly the Jacobi
+	// iteration on Qx = b.
+	f, _ := testQuadratic(t, 5, 2)
+	op := NewDiagNewton(f, 1.0)
+	jac := operators.JacobiFromSystem(f.Q, f.B)
+	x := vec.NewRNG(3).NormalVector(5)
+	for i := 0; i < 5; i++ {
+		if math.Abs(op.Component(i, x)-jac.Component(i, x)) > 1e-12 {
+			t.Errorf("component %d: diagNewton %v != jacobi %v",
+				i, op.Component(i, x), jac.Component(i, x))
+		}
+	}
+}
+
+func TestBlockNewtonFixedPointIsMinimizer(t *testing.T) {
+	f, xstar := testQuadratic(t, 12, 4)
+	for _, nb := range []int{1, 2, 3, 4} {
+		op := NewBlockNewton(f, 1.0, nb)
+		x, ok := operators.FixedPoint(op, make([]float64, 12), 1e-12, 100000)
+		if !ok {
+			t.Fatalf("blocks=%d did not converge", nb)
+		}
+		if !vec.Equal(x, xstar, 1e-8) {
+			t.Errorf("blocks=%d: fixed point deviates", nb)
+		}
+	}
+}
+
+func TestBlockNewtonSingleBlockIsExactNewton(t *testing.T) {
+	// One block = full Newton = exact minimizer in a single application
+	// (quadratic case, gamma = 1).
+	f, xstar := testQuadratic(t, 6, 5)
+	op := NewBlockNewton(f, 1.0, 1)
+	x0 := vec.NewRNG(6).NormalVector(6)
+	got := make([]float64, 6)
+	for i := range got {
+		got[i] = op.Component(i, x0)
+	}
+	if !vec.Equal(got, xstar, 1e-9) {
+		t.Errorf("one Newton step %v, want %v", got, xstar)
+	}
+}
+
+func TestBlockNewtonFasterThanDiagonal(t *testing.T) {
+	// Bigger blocks use more curvature and need fewer synchronous sweeps.
+	f, xstar := testQuadratic(t, 16, 7)
+	iters := func(op operators.Operator) int {
+		x := make([]float64, 16)
+		y := make([]float64, 16)
+		for it := 1; it <= 100000; it++ {
+			operators.Apply(op, y, x)
+			copy(x, y)
+			if vec.DistInf(x, xstar) <= 1e-10 {
+				return it
+			}
+		}
+		return math.MaxInt32
+	}
+	diag := iters(NewDiagNewton(f, 1.0))
+	blk4 := iters(NewBlockNewton(f, 1.0, 4))
+	if blk4 > diag {
+		t.Errorf("block Newton (%d sweeps) slower than diagonal (%d)", blk4, diag)
+	}
+}
+
+func TestMultisplittingConverges(t *testing.T) {
+	f, xstar := testQuadratic(t, 16, 8)
+	op := NewMultisplitting(f, 1.0, 4)
+	x, ok := operators.FixedPoint(op, make([]float64, 16), 1e-11, 100000)
+	if !ok {
+		t.Fatal("multisplitting did not converge")
+	}
+	if !vec.Equal(x, xstar, 1e-8) {
+		t.Error("multisplitting fixed point deviates from minimizer")
+	}
+}
+
+func TestAsyncNewtonUnderDelays(t *testing.T) {
+	// The [25] setting: asynchronous iteration of the Newton operators with
+	// delays; all variants must converge.
+	f, xstar := testQuadratic(t, 12, 9)
+	ops := []operators.Operator{
+		NewDiagNewton(f, 1.0),
+		NewBlockNewton(f, 1.0, 3),
+		NewMultisplitting(f, 1.0, 3),
+	}
+	for _, op := range ops {
+		res, err := core.Run(core.Config{
+			Op:       op,
+			Steering: steering.NewCyclic(12),
+			Delay:    delay.BoundedRandom{B: 8, Seed: 10},
+			XStar:    xstar,
+			Tol:      1e-9,
+			MaxIter:  2000000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%s did not converge asynchronously", op.Name())
+		}
+	}
+}
+
+func TestLeastSquaresHessianAdapter(t *testing.T) {
+	a := vec.DenseFromRows([][]float64{
+		{2, 0},
+		{0, 3},
+		{1, 1},
+	})
+	f := operators.NewLeastSquares(a, []float64{1, 2, 3}, 0.5)
+	h := NewLeastSquaresHessian(f)
+	full := f.Hessian()
+	for i := 0; i < 2; i++ {
+		if math.Abs(h.HessDiag(i, nil)-full.At(i, i)) > 1e-12 {
+			t.Errorf("HessDiag(%d) mismatch", i)
+		}
+	}
+	blk := h.HessBlock([]int{0, 1}, nil)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(blk.At(i, j)-full.At(i, j)) > 1e-12 {
+				t.Errorf("HessBlock[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestUnderRelaxedNewton(t *testing.T) {
+	f, xstar := testQuadratic(t, 6, 11)
+	op := NewDiagNewton(f, 0.5) // damped
+	x, ok := operators.FixedPoint(op, make([]float64, 6), 1e-11, 200000)
+	if !ok {
+		t.Fatal("damped Newton did not converge")
+	}
+	if !vec.Equal(x, xstar, 1e-8) {
+		t.Error("damped Newton fixed point deviates")
+	}
+}
+
+func TestGammaValidation(t *testing.T) {
+	f, _ := testQuadratic(t, 2, 12)
+	for _, fn := range []func(){
+		func() { NewDiagNewton(f, 0) },
+		func() { NewBlockNewton(f, -1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad gamma")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	f, _ := testQuadratic(t, 4, 13)
+	for _, op := range []operators.Operator{
+		NewDiagNewton(f, 1), NewBlockNewton(f, 1, 2), NewMultisplitting(f, 1, 2),
+	} {
+		if op.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package prox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftThreshold(t *testing.T) {
+	p := L1{Lambda: 1}
+	cases := []struct{ v, gamma, want float64 }{
+		{3, 1, 2},
+		{-3, 1, -2},
+		{0.5, 1, 0},
+		{-0.5, 1, 0},
+		{1, 1, 0},
+		{3, 0.5, 2.5},
+	}
+	for _, c := range cases {
+		if got := p.Apply(0, c.v, c.gamma); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("soft(%v, gamma=%v) = %v, want %v", c.v, c.gamma, got, c.want)
+		}
+	}
+}
+
+func TestSquaredL2Shrink(t *testing.T) {
+	p := SquaredL2{Lambda: 2}
+	if got := p.Apply(0, 3, 0.5); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("shrink = %v, want 1.5", got)
+	}
+}
+
+func TestBoxProjection(t *testing.T) {
+	p := NewBoxScalar(2, -1, 1)
+	if got := p.Apply(0, 5, 1); got != 1 {
+		t.Errorf("project above = %v", got)
+	}
+	if got := p.Apply(1, -5, 1); got != -1 {
+		t.Errorf("project below = %v", got)
+	}
+	if got := p.Apply(0, 0.5, 1); got != 0.5 {
+		t.Errorf("interior moved = %v", got)
+	}
+	if !math.IsInf(p.Value(0, 2), 1) {
+		t.Error("indicator should be +inf outside")
+	}
+	if p.Value(0, 0.5) != 0 {
+		t.Error("indicator should be 0 inside")
+	}
+}
+
+func TestBoxHalfOpen(t *testing.T) {
+	p := Box{Lo: []float64{0}} // only lower bound
+	if got := p.Apply(0, -3, 1); got != 0 {
+		t.Errorf("lower-only box = %v", got)
+	}
+	if got := p.Apply(0, 1e9, 1); got != 1e9 {
+		t.Errorf("unbounded above clipped: %v", got)
+	}
+}
+
+func TestNonNeg(t *testing.T) {
+	p := NonNeg{}
+	if p.Apply(0, -2, 1) != 0 || p.Apply(0, 2, 1) != 2 {
+		t.Error("NonNeg projection wrong")
+	}
+}
+
+func TestElasticNetReducesToParts(t *testing.T) {
+	en := ElasticNet{L1w: 0.5, L2w: 0}
+	l1 := L1{Lambda: 0.5}
+	for _, v := range []float64{-2, -0.1, 0, 0.3, 4} {
+		if math.Abs(en.Apply(0, v, 1)-l1.Apply(0, v, 1)) > 1e-15 {
+			t.Errorf("elastic net with L2w=0 != soft threshold at %v", v)
+		}
+	}
+	en2 := ElasticNet{L1w: 0, L2w: 0.7}
+	l2 := SquaredL2{Lambda: 0.7}
+	for _, v := range []float64{-2, 0.3, 4} {
+		if math.Abs(en2.Apply(0, v, 1)-l2.Apply(0, v, 1)) > 1e-15 {
+			t.Errorf("elastic net with L1w=0 != shrinkage at %v", v)
+		}
+	}
+}
+
+// Property: every prox map is nonexpansive per coordinate:
+// |prox(a) - prox(b)| <= |a - b|. This is what Theorem 1's max-norm
+// contraction argument requires of g.
+func TestNonexpansiveness(t *testing.T) {
+	maps := []Prox{
+		Zero{}, L1{Lambda: 0.7}, SquaredL2{Lambda: 1.3},
+		ElasticNet{L1w: 0.4, L2w: 0.9}, NewBoxScalar(1, -2, 3), NonNeg{},
+	}
+	for _, p := range maps {
+		f := func(a, b float64, gRaw uint8) bool {
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				return true
+			}
+			gamma := 0.01 + float64(gRaw)/64.0
+			pa := p.Apply(0, a, gamma)
+			pb := p.Apply(0, b, gamma)
+			return math.Abs(pa-pb) <= math.Abs(a-b)+1e-12
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s not nonexpansive: %v", p.Name(), err)
+		}
+	}
+}
+
+// Property: the prox is the unique minimizer of g(v) + (1/2 gamma)(v-x)^2.
+// Verify first-order optimality for L1 by comparing against a grid search.
+func TestProxMinimizesObjective(t *testing.T) {
+	p := L1{Lambda: 0.8}
+	gamma := 0.5
+	obj := func(v, x float64) float64 {
+		return p.Value(0, v) + (v-x)*(v-x)/(2*gamma)
+	}
+	for _, x := range []float64{-3, -0.2, 0, 0.1, 2.4} {
+		best := p.Apply(0, x, gamma)
+		bestObj := obj(best, x)
+		for dv := -2.0; dv <= 2.0; dv += 0.001 {
+			if o := obj(best+dv, x); o < bestObj-1e-9 {
+				t.Fatalf("prox(%v) = %v not a minimizer: %v beats %v", x, best, best+dv, bestObj)
+			}
+		}
+	}
+}
+
+func TestApplyVecAndTotalValue(t *testing.T) {
+	p := L1{Lambda: 1}
+	src := []float64{3, -3, 0.5}
+	dst := make([]float64, 3)
+	ApplyVec(p, dst, src, 1)
+	want := []float64{2, -2, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("ApplyVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if got := TotalValue(p, src); math.Abs(got-6.5) > 1e-15 {
+		t.Errorf("TotalValue = %v, want 6.5", got)
+	}
+}
+
+func TestApplyVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ApplyVec(Zero{}, make([]float64, 2), make([]float64, 3), 1)
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Prox{Zero{}, L1{1}, SquaredL2{1}, ElasticNet{1, 1}, Box{}, NonNeg{}} {
+		if p.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package runtime executes asynchronous iterations with real concurrency:
+// one goroutine per worker. Two transports are provided, mirroring the
+// paper's two data-exchange settings:
+//
+//   - shared memory with per-coordinate atomic cells (the one-sided
+//     put()/get() SHMEM style of [10]; flexible communication publishes
+//     partial values mid-phase), and
+//   - message passing over channels (the distributed-memory setting of
+//     [6],[9]), with the supervisor-based termination detection of [22]
+//     (quiescence = all local residuals below tolerance and no messages in
+//     flight).
+//
+// Real schedulers are nondeterministic, so tests assert invariants
+// (convergence, termination, race freedom) rather than exact traces; the
+// deterministic studies live in internal/core and internal/des.
+package runtime
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicVector is a float64 vector with atomic per-coordinate access: the
+// shared iterate of Hogwild-style asynchronous relaxation. Coordinates are
+// stored as uint64 bit patterns.
+type AtomicVector struct {
+	bits []atomic.Uint64
+}
+
+// NewAtomicVector initializes the vector to x0.
+func NewAtomicVector(x0 []float64) *AtomicVector {
+	v := &AtomicVector{bits: make([]atomic.Uint64, len(x0))}
+	for i, x := range x0 {
+		v.bits[i].Store(math.Float64bits(x))
+	}
+	return v
+}
+
+// Len returns the dimension.
+func (v *AtomicVector) Len() int { return len(v.bits) }
+
+// Load atomically reads coordinate i.
+func (v *AtomicVector) Load(i int) float64 {
+	return math.Float64frombits(v.bits[i].Load())
+}
+
+// Store atomically writes coordinate i.
+func (v *AtomicVector) Store(i int, x float64) {
+	v.bits[i].Store(math.Float64bits(x))
+}
+
+// Snapshot copies the vector into dst (coordinatewise atomic; the snapshot
+// is not a consistent cut, which is exactly the asynchronous reading model).
+func (v *AtomicVector) Snapshot(dst []float64) {
+	for i := range dst {
+		dst[i] = v.Load(i)
+	}
+}
+
+// Copy returns a freshly allocated snapshot.
+func (v *AtomicVector) Copy() []float64 {
+	dst := make([]float64, len(v.bits))
+	v.Snapshot(dst)
+	return dst
+}

@@ -1,0 +1,240 @@
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// blockMsg carries one worker's freshly computed block to a peer.
+type blockMsg struct {
+	from int
+	lo   int
+	vals []float64
+}
+
+// RunMessage executes the message-passing transport: each worker owns its
+// block, keeps a private view of the full vector, and exchanges blocks over
+// buffered channels. Active workers send without blocking — when a peer's
+// inbox is full the message is dropped, the transient-fault regime the
+// paper argues asynchronous iterations tolerate (later messages carry
+// fresher values).
+//
+// Termination follows the supervisor scheme of [22]: a worker whose block
+// displacement stays below Tol for SweepsBelowTol consecutive sweeps turns
+// passive — it reliably re-broadcasts its final block, stops computing and
+// only drains its inbox; a received value that breaks local convergence
+// reactivates it. The run is quiescent when every worker is passive and no
+// messages are in flight (sent == delivered + dropped), at which point the
+// supervisor broadcasts stop.
+func RunMessage(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = make([]float64, n)
+	}
+	blocks := vec.Blocks(n, cfg.Workers)
+	p := len(blocks)
+
+	inboxes := make([]chan blockMsg, p)
+	for w := range inboxes {
+		inboxes[w] = make(chan blockMsg, 16*p)
+	}
+
+	var stop atomic.Bool
+	var sent, delivered, dropped atomic.Int64
+	var doneWorkers atomic.Int64
+	passive := make([]atomic.Bool, p)
+	exited := make([]atomic.Bool, p)
+	updates := make([]int, p)
+	finals := make([][]float64, p)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer doneWorkers.Add(1)
+			defer exited[w].Store(true)
+			lo, hi := blocks[w][0], blocks[w][1]
+			view := make([]float64, n)
+			copy(view, x0)
+			out := make([]float64, hi-lo)
+
+			drain := func() bool {
+				got := false
+				for {
+					select {
+					case m := <-inboxes[w]:
+						copy(view[m.lo:m.lo+len(m.vals)], m.vals)
+						delivered.Add(1)
+						got = true
+					default:
+						return got
+					}
+				}
+			}
+			blockDelta := func() float64 {
+				d := 0.0
+				for c := lo; c < hi; c++ {
+					v := cfg.Op.Component(c, view) - view[c]
+					if v < 0 {
+						v = -v
+					}
+					if v > d {
+						d = v
+					}
+				}
+				return d
+			}
+			// sendReliable retries a full send, draining our own inbox
+			// between attempts so no cyclic wait can form. It only gives up
+			// when the run is stopping or the receiver has exited (an
+			// exited peer never drains; its view no longer matters because
+			// the owner's own block values remain authoritative).
+			// Termination detection depends on finals being truly reliable:
+			// a lost final would let the system quiesce on inconsistent
+			// views.
+			sendReliable := func(q int, m blockMsg) {
+				sent.Add(1)
+				for {
+					select {
+					case inboxes[q] <- m:
+						return
+					default:
+						drain()
+						runtime.Gosched()
+					}
+					if stop.Load() || exited[q].Load() {
+						dropped.Add(1)
+						return
+					}
+				}
+			}
+
+			streak := 0
+			for k := 0; k < cfg.MaxUpdatesPerWorker; k++ {
+				if stop.Load() {
+					break
+				}
+				if passive[w].Load() {
+					// Passive: only drain; reactivate if new data breaks
+					// local convergence. Wait for one message then drain
+					// the rest so a burst cannot back up the inbox.
+					got := false
+					select {
+					case m := <-inboxes[w]:
+						copy(view[m.lo:m.lo+len(m.vals)], m.vals)
+						delivered.Add(1)
+						got = true
+					case <-time.After(50 * time.Microsecond):
+					}
+					if drain() {
+						got = true
+					}
+					if got && blockDelta() > cfg.Tol {
+						passive[w].Store(false)
+						streak = 0
+					}
+					continue // passivity consumes budget, bounding the loop
+				}
+				drain()
+				delta := 0.0
+				for c := lo; c < hi; c++ {
+					out[c-lo] = cfg.Op.Component(c, view)
+					if d := out[c-lo] - view[c]; d > delta {
+						delta = d
+					} else if -d > delta {
+						delta = -d
+					}
+				}
+				copy(view[lo:hi], out)
+				updates[w]++
+				// Lossy broadcast while active.
+				for q := 0; q < p; q++ {
+					if q == w {
+						continue
+					}
+					m := blockMsg{from: w, lo: lo, vals: append([]float64(nil), out...)}
+					sent.Add(1)
+					select {
+					case inboxes[q] <- m:
+					default:
+						dropped.Add(1)
+					}
+				}
+				if cfg.Tol > 0 {
+					if delta <= cfg.Tol {
+						streak++
+					} else {
+						streak = 0
+					}
+					if streak >= cfg.SweepsBelowTol {
+						// Reliable final broadcast, then go passive.
+						for q := 0; q < p; q++ {
+							if q == w {
+								continue
+							}
+							sendReliable(q, blockMsg{from: w, lo: lo, vals: append([]float64(nil), view[lo:hi]...)})
+						}
+						if blockDelta() > cfg.Tol {
+							streak = 0 // drained data broke convergence
+							continue
+						}
+						passive[w].Store(true)
+					}
+				}
+			}
+			finals[w] = append([]float64(nil), view[lo:hi]...)
+		}(w)
+	}
+
+	// Supervisor: poll for quiescence.
+	if cfg.Tol > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if doneWorkers.Load() == int64(p) {
+					return // every worker hit its update bound
+				}
+				all := true
+				for q := 0; q < p; q++ {
+					if !passive[q].Load() {
+						all = false
+						break
+					}
+				}
+				inFlight := sent.Load() - delivered.Load() - dropped.Load()
+				if all && inFlight == 0 {
+					stop.Store(true)
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	x := make([]float64, n)
+	for w, b := range blocks {
+		if finals[w] != nil {
+			copy(x[b[0]:b[1]], finals[w])
+		}
+	}
+	return &Result{
+		X:                x,
+		Converged:        stop.Load(),
+		UpdatesPerWorker: updates,
+		Elapsed:          time.Since(start),
+		MessagesSent:     sent.Load(),
+		MessagesDropped:  dropped.Load(),
+	}, nil
+}

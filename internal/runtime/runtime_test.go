@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flexible"
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+// contractingOp builds a diagonally dominant Jacobi operator with known
+// fixed point and contraction factor.
+func contractingOp(t *testing.T, n int, seed uint64) (*operators.Linear, []float64, float64) {
+	t.Helper()
+	rng := vec.NewRNG(seed)
+	m := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, 0.4*rng.Normal())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, 2*off+1)
+	}
+	rhs := rng.NormalVector(n)
+	op := operators.JacobiFromSystem(m, rhs)
+	xstar, err := m.SolveGaussian(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, xstar, op.ContractionFactor()
+}
+
+func TestAtomicVector(t *testing.T) {
+	v := NewAtomicVector([]float64{1.5, -2.5})
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Load(0) != 1.5 || v.Load(1) != -2.5 {
+		t.Error("initial values wrong")
+	}
+	v.Store(0, 3.25)
+	if v.Load(0) != 3.25 {
+		t.Error("Store/Load roundtrip failed")
+	}
+	snap := v.Copy()
+	if snap[0] != 3.25 || snap[1] != -2.5 {
+		t.Errorf("Copy = %v", snap)
+	}
+}
+
+func TestRunSharedConverges(t *testing.T) {
+	op, xstar, alpha := contractingOp(t, 32, 1)
+	tol := 1e-10
+	res, err := RunShared(Config{
+		Op: op, Workers: 4, Tol: tol,
+		MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("shared-memory run did not converge")
+	}
+	// Displacement tol implies error <= tol/(1-alpha).
+	bound := tol / (1 - alpha) * 10 // slack for concurrent interleaving
+	if e := vec.DistInf(res.X, xstar); e > bound {
+		t.Errorf("error %v exceeds bound %v", e, bound)
+	}
+	for w, u := range res.UpdatesPerWorker {
+		if u == 0 {
+			t.Errorf("worker %d performed no updates", w)
+		}
+	}
+}
+
+func TestRunSharedFlexible(t *testing.T) {
+	op, xstar, alpha := contractingOp(t, 32, 2)
+	tol := 1e-10
+	res, err := RunShared(Config{
+		Op: op, Workers: 4, Tol: tol,
+		MaxUpdatesPerWorker: 1 << 18,
+		Flexible:            flexible.Uniform(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("flexible shared run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > tol/(1-alpha)*10 {
+		t.Errorf("error %v too large", e)
+	}
+}
+
+func TestRunSharedSingleWorker(t *testing.T) {
+	op, xstar, _ := contractingOp(t, 8, 3)
+	res, err := RunShared(Config{
+		Op: op, Workers: 1, Tol: 1e-12, MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("single worker did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-9 {
+		t.Errorf("error %v", e)
+	}
+}
+
+func TestRunSharedMaxUpdatesBound(t *testing.T) {
+	op, _, _ := contractingOp(t, 8, 4)
+	res, err := RunShared(Config{
+		Op: op, Workers: 2, MaxUpdatesPerWorker: 10, // no Tol: never "converges"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("should not report convergence without Tol")
+	}
+	for w, u := range res.UpdatesPerWorker {
+		if u != 10 {
+			t.Errorf("worker %d updates = %d, want 10", w, u)
+		}
+	}
+}
+
+func TestRunMessageConverges(t *testing.T) {
+	op, xstar, alpha := contractingOp(t, 32, 5)
+	tol := 1e-10
+	res, err := RunMessage(Config{
+		Op: op, Workers: 4, Tol: tol,
+		MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("message run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > tol/(1-alpha)*10 {
+		t.Errorf("error %v too large", e)
+	}
+	if res.MessagesSent == 0 {
+		t.Error("no messages sent")
+	}
+}
+
+func TestRunMessageTerminatesAtUpdateBound(t *testing.T) {
+	op, _, _ := contractingOp(t, 8, 6)
+	res, err := RunMessage(Config{
+		Op: op, Workers: 4, Tol: 1e-30, // unreachable tolerance
+		MaxUpdatesPerWorker: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("unreachable tolerance should not converge")
+	}
+}
+
+func TestRunMessageDropsCovered(t *testing.T) {
+	// Tiny inboxes force drops; convergence must survive because newer
+	// messages supersede lost ones. (Drops occur naturally under heavy
+	// traffic; this test just asserts the run still converges.)
+	op, xstar, _ := contractingOp(t, 64, 7)
+	res, err := RunMessage(Config{
+		Op: op, Workers: 8, Tol: 1e-9,
+		MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-5 {
+		t.Errorf("error %v too large", e)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	op, _, _ := contractingOp(t, 4, 8)
+	if _, err := RunShared(Config{}); err == nil {
+		t.Error("expected error without operator")
+	}
+	if _, err := RunShared(Config{Op: op, Workers: 0}); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	if _, err := RunShared(Config{Op: op, Workers: 2, X0: []float64{1}}); err == nil {
+		t.Error("expected error for bad X0")
+	}
+	if _, err := RunMessage(Config{Op: op, Workers: 0}); err == nil {
+		t.Error("expected message error for zero workers")
+	}
+}
+
+func TestWorkersClampedToDim(t *testing.T) {
+	op, _, _ := contractingOp(t, 3, 9)
+	res, err := RunShared(Config{Op: op, Workers: 16, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UpdatesPerWorker) != 3 {
+		t.Errorf("workers not clamped: %d", len(res.UpdatesPerWorker))
+	}
+}

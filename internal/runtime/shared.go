@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flexible"
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+// Config describes a concurrent asynchronous run.
+type Config struct {
+	// Op is the fixed-point operator (must be safe for concurrent
+	// read-only evaluation).
+	Op operators.Operator
+	// Workers is the number of goroutines (components are block-partitioned).
+	Workers int
+	// X0 is the initial iterate (defaults to zero).
+	X0 []float64
+	// Tol is the per-coordinate displacement tolerance: a worker considers
+	// itself locally converged when max_i |F_i(x) - x_i| over its block is
+	// <= Tol. For an alpha-contraction the true error is then bounded by
+	// Tol/(1-alpha).
+	Tol float64
+	// SweepsBelowTol is how many consecutive locally-converged sweeps every
+	// worker must observe before the run terminates (default 2) — the
+	// consecutive-confirmation idea of the macro-iteration stopping rule.
+	SweepsBelowTol int
+	// MaxUpdatesPerWorker bounds each worker's updating phases.
+	MaxUpdatesPerWorker int
+	// Flexible publishes partial coordinate values mid-phase (shared-memory
+	// transport only).
+	Flexible flexible.Schedule
+}
+
+// Result reports a concurrent run.
+type Result struct {
+	X                []float64
+	Converged        bool
+	UpdatesPerWorker []int
+	Elapsed          time.Duration
+	// MessagesSent/MessagesDropped are populated by the message transport.
+	MessagesSent, MessagesDropped int64
+}
+
+func (c *Config) validate() (n int, err error) {
+	if c.Op == nil {
+		return 0, errors.New("runtime: Config.Op is required")
+	}
+	n = c.Op.Dim()
+	if c.Workers < 1 {
+		return 0, errors.New("runtime: need at least one worker")
+	}
+	if c.Workers > n {
+		c.Workers = n
+	}
+	if c.X0 != nil && len(c.X0) != n {
+		return 0, fmt.Errorf("runtime: X0 length %d, want %d", len(c.X0), n)
+	}
+	if c.SweepsBelowTol <= 0 {
+		c.SweepsBelowTol = 2
+	}
+	if c.MaxUpdatesPerWorker <= 0 {
+		c.MaxUpdatesPerWorker = 1 << 20
+	}
+	return n, nil
+}
+
+// RunShared executes the shared-memory transport: every coordinate is an
+// atomic cell; workers snapshot the vector (an inconsistent cut — the
+// asynchronous read model), relax their block, and publish results (and,
+// under flexible communication, intermediate partial values) coordinate by
+// coordinate with one-sided stores.
+func RunShared(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = make([]float64, n)
+	}
+	sv := NewAtomicVector(x0)
+	blocks := vec.Blocks(n, cfg.Workers)
+	p := len(blocks)
+
+	var stop atomic.Bool
+	// streaks[w] counts the worker's consecutive locally-converged sweeps;
+	// written by worker w, read by all (termination check).
+	streaks := make([]atomic.Int64, p)
+	updates := make([]int, p)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := blocks[w][0], blocks[w][1]
+			snap := make([]float64, n)
+			out := make([]float64, hi-lo)
+			old := make([]float64, hi-lo)
+			for k := 0; k < cfg.MaxUpdatesPerWorker; k++ {
+				if stop.Load() {
+					return
+				}
+				sv.Snapshot(snap)
+				delta := 0.0
+				for c := lo; c < hi; c++ {
+					old[c-lo] = snap[c]
+					out[c-lo] = cfg.Op.Component(c, snap)
+					if d := math.Abs(out[c-lo] - snap[c]); d > delta {
+						delta = d
+					}
+				}
+				// Flexible communication: publish interpolated partial
+				// values before the final ones (one-sided puts mid-phase).
+				for _, f := range cfg.Flexible.Fracs {
+					if f >= 1 {
+						continue
+					}
+					for c := lo; c < hi; c++ {
+						sv.Store(c, flexible.Interpolate(old[c-lo], out[c-lo], f))
+					}
+				}
+				for c := lo; c < hi; c++ {
+					sv.Store(c, out[c-lo])
+				}
+				updates[w]++
+
+				if cfg.Tol > 0 {
+					if delta <= cfg.Tol {
+						streaks[w].Add(1)
+					} else {
+						streaks[w].Store(0)
+					}
+					// Supervisor check, performed cooperatively: when every
+					// worker has a sufficient streak, quiescence is a
+					// *candidate* — streaks are per-block observations
+					// against possibly mutually stale snapshots, so the
+					// checking worker certifies the candidate with a full
+					// fixed-point residual before broadcasting stop.
+					if streaks[w].Load() >= int64(cfg.SweepsBelowTol) {
+						all := true
+						for q := 0; q < p; q++ {
+							if streaks[q].Load() < int64(cfg.SweepsBelowTol) {
+								all = false
+								break
+							}
+						}
+						if all {
+							sv.Snapshot(snap)
+							resid := 0.0
+							for c := 0; c < n && resid <= cfg.Tol; c++ {
+								if d := math.Abs(cfg.Op.Component(c, snap) - snap[c]); d > resid {
+									resid = d
+								}
+							}
+							if resid <= cfg.Tol {
+								stop.Store(true)
+								return
+							}
+							// False alarm: our own view was stale.
+							streaks[w].Store(0)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		X:                sv.Copy(),
+		Converged:        stop.Load(),
+		UpdatesPerWorker: updates,
+		Elapsed:          time.Since(start),
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// Property: synchronous Bellman-Ford sweeps from the standard start match
+// Dijkstra on arbitrary random strongly connected graphs.
+func TestBellmanFordMatchesDijkstraRandomized(t *testing.T) {
+	rng := vec.NewRNG(91)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		extra := rng.Intn(4 * n)
+		g, err := RandomGraph(n, extra, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.Intn(n)
+		op, err := NewBellmanFordOp(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Dijkstra(src)
+		d := op.InitialDistances()
+		next := make([]float64, n)
+		for sweep := 0; sweep < n+1; sweep++ {
+			for i := range next {
+				next[i] = op.Component(i, d)
+			}
+			copy(d, next)
+		}
+		if !vec.Equal(d, want, 1e-12) {
+			t.Fatalf("trial %d (n=%d, src=%d): BF deviates from Dijkstra", trial, n, src)
+		}
+	}
+}
+
+// Property: the Bellman-Ford operator is monotone (order-preserving) and
+// nonexpansive in the max norm — the structure behind totally asynchronous
+// convergence.
+func TestBellmanFordMonotoneNonexpansive(t *testing.T) {
+	rng := vec.NewRNG(92)
+	g, err := RandomGraph(12, 30, 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := NewBellmanFordOp(g, 0)
+	for trial := 0; trial < 200; trial++ {
+		d1 := rng.RandomVector(12, 0, 50)
+		d2 := make([]float64, 12)
+		// d2 >= d1 componentwise.
+		bump := rng.RandomVector(12, 0, 5)
+		for i := range d2 {
+			d2[i] = d1[i] + bump[i]
+		}
+		maxBump := vec.NormInf(bump)
+		for i := 0; i < 12; i++ {
+			f1 := op.Component(i, d1)
+			f2 := op.Component(i, d2)
+			if f2 < f1-1e-12 {
+				t.Fatalf("monotonicity violated at component %d", i)
+			}
+			if f2-f1 > maxBump+1e-12 {
+				t.Fatalf("nonexpansiveness violated at component %d: gap %v > %v",
+					i, f2-f1, maxBump)
+			}
+		}
+	}
+}
+
+// Property: distances satisfy the Bellman optimality conditions at the
+// fixed point: d_i = min over incoming (d_j + w) and d_src = 0.
+func TestBellmanOptimalityConditions(t *testing.T) {
+	g, err := GridGraph(5, 5, 94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := NewBellmanFordOp(g, 3)
+	d := g.Dijkstra(3)
+	for i := 0; i < g.N; i++ {
+		if math.Abs(op.Component(i, d)-d[i]) > 1e-12 {
+			t.Fatalf("optimality violated at node %d", i)
+		}
+	}
+}
+
+// Property: adding an edge never increases any shortest distance.
+func TestAddingEdgesOnlyImproves(t *testing.T) {
+	rng := vec.NewRNG(95)
+	g, err := RandomGraph(15, 10, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Dijkstra(0)
+	for k := 0; k < 10; k++ {
+		a, b := rng.Intn(15), rng.Intn(15)
+		if a == b {
+			continue
+		}
+		if err := g.AddEdge(a, b, rng.Range(1, 10)); err != nil {
+			t.Fatal(err)
+		}
+		after := g.Dijkstra(0)
+		for i := range after {
+			if after[i] > before[i]+1e-12 {
+				t.Fatalf("distance to %d increased after adding an edge", i)
+			}
+		}
+		before = after
+	}
+}

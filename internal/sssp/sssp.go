@@ -1,0 +1,223 @@
+// Package sssp implements distributed asynchronous Bellman–Ford shortest
+// paths — the algorithm the paper recalls as the first routing algorithm of
+// the Arpanet (Section II, [11] pp. 479-480, [17]) and a canonical totally
+// asynchronous iteration: the min-plus fixed-point map
+//
+//	F_i(d) = min over incoming arcs (j -> i) of d_j + w_ji,   F_s(d) = 0,
+//
+// is monotone and converges under unbounded delays and out-of-order
+// messages from the standard initialization d = +inf. Dijkstra's algorithm
+// provides the reference solution.
+package sssp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Graph is a directed graph with nonnegative arc weights.
+type Graph struct {
+	N   int
+	adj [][]edge // outgoing adjacency
+	rev [][]edge // incoming adjacency (what Bellman-Ford relaxation reads)
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, errors.New("sssp: need at least one node")
+	}
+	return &Graph{N: n, adj: make([][]edge, n), rev: make([][]edge, n)}, nil
+}
+
+// AddEdge inserts a directed edge with nonnegative weight.
+func (g *Graph) AddEdge(from, to int, w float64) error {
+	if from < 0 || from >= g.N || to < 0 || to >= g.N {
+		return fmt.Errorf("sssp: edge (%d,%d) out of range", from, to)
+	}
+	if w < 0 {
+		return fmt.Errorf("sssp: negative weight %v", w)
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, w: w})
+	g.rev[to] = append(g.rev[to], edge{to: from, w: w})
+	return nil
+}
+
+// SetWeight updates the weight of every edge from->to (dynamic topology
+// changes mid-run, as in routing).
+func (g *Graph) SetWeight(from, to int, w float64) int {
+	changed := 0
+	for k := range g.adj[from] {
+		if g.adj[from][k].to == to {
+			g.adj[from][k].w = w
+			changed++
+		}
+	}
+	for k := range g.rev[to] {
+		if g.rev[to][k].to == from {
+			g.rev[to][k].w = w
+		}
+	}
+	return changed
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total
+}
+
+// BellmanFordOp is the asynchronous distance-vector operator for a fixed
+// source.
+type BellmanFordOp struct {
+	G      *Graph
+	Source int
+}
+
+// NewBellmanFordOp wraps a graph and source.
+func NewBellmanFordOp(g *Graph, source int) (*BellmanFordOp, error) {
+	if source < 0 || source >= g.N {
+		return nil, fmt.Errorf("sssp: source %d out of range", source)
+	}
+	return &BellmanFordOp{G: g, Source: source}, nil
+}
+
+// Dim implements operators.Operator.
+func (o *BellmanFordOp) Dim() int { return o.G.N }
+
+// Name implements operators.Operator.
+func (o *BellmanFordOp) Name() string {
+	return fmt.Sprintf("bellmanFord(n=%d,m=%d)", o.G.N, o.G.NumEdges())
+}
+
+// Component implements operators.Operator.
+func (o *BellmanFordOp) Component(i int, d []float64) float64 {
+	if i == o.Source {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, e := range o.G.rev[i] {
+		if v := d[e.to] + e.w; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// InitialDistances returns the standard starting point: 0 at the source,
+// +inf elsewhere.
+func (o *BellmanFordOp) InitialDistances() []float64 {
+	d := make([]float64, o.G.N)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[o.Source] = 0
+	return d
+}
+
+// Dijkstra computes reference shortest distances from source.
+func (g *Graph) Dijkstra(source int) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	pq := &nodeHeap{{node: source, d: 0}}
+	visited := make([]bool, g.N)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		for _, e := range g.adj[it.node] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, nodeItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeItem struct {
+	node int
+	d    float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// RandomGraph builds a strongly connected random digraph: a Hamiltonian
+// cycle plus extra random edges, weights uniform in [1, 10).
+func RandomGraph(n, extraEdges int, seed uint64) (*Graph, error) {
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := vec.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n, rng.Range(1, 10)); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < extraEdges; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if err := g.AddEdge(a, b, rng.Range(1, 10)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// GridGraph builds a w x h bidirectional grid (the Arpanet-style mesh)
+// with weights uniform in [1, 5).
+func GridGraph(w, h int, seed uint64) (*Graph, error) {
+	g, err := NewGraph(w * h)
+	if err != nil {
+		return nil, err
+	}
+	rng := vec.NewRNG(seed)
+	id := func(x, y int) int { return y*w + x }
+	add := func(a, b int) {
+		_ = g.AddEdge(a, b, rng.Range(1, 5))
+		_ = g.AddEdge(b, a, rng.Range(1, 5))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				add(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				add(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,219 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/steering"
+	"repro/internal/vec"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if err := g.AddEdge(0, 1, -1); err == nil {
+		t.Error("expected negative-weight error")
+	}
+	if _, err := NewGraph(0); err == nil {
+		t.Error("expected empty-graph error")
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	g, _ := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	d := g.Dijkstra(0)
+	want := []float64{0, 1, 2, 3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("d[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g, _ := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	d := g.Dijkstra(0)
+	if !math.IsInf(d[2], 1) {
+		t.Errorf("unreachable node distance = %v", d[2])
+	}
+}
+
+func TestBellmanFordSyncMatchesDijkstra(t *testing.T) {
+	g, err := RandomGraph(40, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewBellmanFordOp(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Dijkstra(0)
+	d := op.InitialDistances()
+	next := make([]float64, len(d))
+	for sweep := 0; sweep < g.N+2; sweep++ {
+		for i := range next {
+			next[i] = op.Component(i, d)
+		}
+		copy(d, next)
+	}
+	if !vec.Equal(d, want, 1e-12) {
+		t.Error("synchronous Bellman-Ford deviates from Dijkstra")
+	}
+}
+
+func TestAsyncBellmanFordUnboundedDelays(t *testing.T) {
+	// The Arpanet scenario: asynchronous distance-vector iterations with
+	// unbounded delays and out-of-order reads still reach the shortest
+	// paths.
+	g, err := RandomGraph(30, 90, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := NewBellmanFordOp(g, 0)
+	want := g.Dijkstra(0)
+	res, err := core.Run(core.Config{
+		Op:       op,
+		Steering: steering.NewCyclic(g.N),
+		Delay:    delay.SqrtGrowth{},
+		X0:       op.InitialDistances(),
+		XStar:    want,
+		Tol:      1e-12,
+		MaxIter:  2000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("async Bellman-Ford did not converge; error %v",
+			res.Errors[len(res.Errors)-1])
+	}
+	if !vec.Equal(res.X, want, 1e-12) {
+		t.Error("async distances deviate from Dijkstra")
+	}
+}
+
+func TestAsyncBellmanFordOutOfOrder(t *testing.T) {
+	g, err := GridGraph(6, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := NewBellmanFordOp(g, 0)
+	want := g.Dijkstra(0)
+	res, err := core.Run(core.Config{
+		Op:       op,
+		Steering: steering.NewRandomSubset(g.N, 3, 5),
+		Delay:    delay.OutOfOrder{W: 16, Seed: 4},
+		X0:       op.InitialDistances(),
+		XStar:    want,
+		Tol:      1e-12,
+		MaxIter:  2000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("out-of-order Bellman-Ford did not converge")
+	}
+}
+
+func TestDynamicWeightDecrease(t *testing.T) {
+	// A link improves mid-run (cost decrease); the iteration must settle on
+	// the new shortest paths without reinitialization.
+	g, _ := NewGraph(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(2, 3, 1)
+	op, _ := NewBellmanFordOp(g, 0)
+	d := op.InitialDistances()
+	next := make([]float64, 4)
+	for sweep := 0; sweep < 8; sweep++ {
+		for i := range next {
+			next[i] = op.Component(i, d)
+		}
+		copy(d, next)
+	}
+	if changed := g.SetWeight(0, 2, 1); changed != 1 {
+		t.Fatalf("SetWeight changed %d edges", changed)
+	}
+	for sweep := 0; sweep < 8; sweep++ {
+		for i := range next {
+			next[i] = op.Component(i, d)
+		}
+		copy(d, next)
+	}
+	want := g.Dijkstra(0)
+	if !vec.Equal(d, want, 1e-12) {
+		t.Errorf("after decrease: %v, want %v", d, want)
+	}
+}
+
+func TestDynamicWeightIncreaseFromScratch(t *testing.T) {
+	// Cost increases generally require restarting from +inf (the classic
+	// distance-vector caveat); verify reconvergence after reinit.
+	g, _ := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	op, _ := NewBellmanFordOp(g, 0)
+	d := op.InitialDistances()
+	next := make([]float64, 3)
+	iterate := func() {
+		for sweep := 0; sweep < 6; sweep++ {
+			for i := range next {
+				next[i] = op.Component(i, d)
+			}
+			copy(d, next)
+		}
+	}
+	iterate()
+	g.SetWeight(1, 2, 10)
+	d = op.InitialDistances() // restart
+	iterate()
+	want := g.Dijkstra(0)
+	if !vec.Equal(d, want, 1e-12) {
+		t.Errorf("after increase: %v, want %v", d, want)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g, _ := NewGraph(2)
+	if _, err := NewBellmanFordOp(g, 5); err == nil {
+		t.Error("expected source range error")
+	}
+}
+
+func TestGridGraphShape(t *testing.T) {
+	g, err := GridGraph(3, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 6 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// 7 undirected grid edges -> 14 directed.
+	if g.NumEdges() != 14 {
+		t.Errorf("NumEdges = %d, want 14", g.NumEdges())
+	}
+}

@@ -1,0 +1,290 @@
+// Package steering implements the steering policies of asynchronous
+// iterations: the choice of the nonempty component sets S_j that are relaxed
+// at each global iteration j (Definition 1 of the reproduced paper). The
+// convergence theory only requires condition c) — every component occurs
+// infinitely often — so the policy space is large; this package provides the
+// classical ones plus a fairness wrapper that enforces condition c) around
+// any inner policy.
+package steering
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy produces the steering sequence S = {S_j}. Implementations must
+// return a nonempty subset of {0, ..., n-1} for every j >= 1. Policies are
+// queried with strictly increasing j by the engines; stateful policies may
+// rely on that.
+type Policy interface {
+	// Select returns S_j for the 1-based iteration j. Callers must not
+	// mutate the returned slice.
+	Select(j int) []int
+	// Name identifies the policy in traces and experiment tables.
+	Name() string
+}
+
+// ResidualAware is implemented by policies (e.g. Gauss–Southwell) that
+// select components from current residual magnitudes. Engines that know how
+// to compute per-component residuals wire the callback before iterating.
+type ResidualAware interface {
+	SetResidualFunc(f func(i int) float64)
+}
+
+// Cyclic relaxes exactly one component per iteration in round-robin order:
+// S_j = {(j-1) mod n}. This is the classical free steering of sequential
+// Gauss–Seidel.
+type Cyclic struct {
+	N   int
+	buf [1]int
+}
+
+// NewCyclic returns a cyclic single-component policy over n components.
+func NewCyclic(n int) *Cyclic {
+	mustPositive(n)
+	return &Cyclic{N: n}
+}
+
+func (c *Cyclic) Select(j int) []int {
+	c.buf[0] = (j - 1) % c.N
+	return c.buf[:]
+}
+
+func (c *Cyclic) Name() string { return fmt.Sprintf("cyclic(n=%d)", c.N) }
+
+// All relaxes every component at every iteration (Jacobi steering): S_j =
+// {0, ..., n-1}. Combined with the Fresh delay model this is exactly the
+// synchronous Jacobi method, the baseline of experiments E3/E10.
+type All struct {
+	idx []int
+}
+
+// NewAll returns the Jacobi steering over n components.
+func NewAll(n int) *All {
+	mustPositive(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return &All{idx: idx}
+}
+
+func (a *All) Select(j int) []int { return a.idx }
+func (a *All) Name() string       { return fmt.Sprintf("all(n=%d)", len(a.idx)) }
+
+// BlockCyclic relaxes one contiguous block per iteration in round-robin
+// order; blocks model per-processor component ownership.
+type BlockCyclic struct {
+	blocks [][]int
+}
+
+// NewBlockCyclic partitions n components into m nearly equal contiguous
+// blocks and cycles through them.
+func NewBlockCyclic(n, m int) *BlockCyclic {
+	mustPositive(n)
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	base, rem := n/m, n%m
+	var blocks [][]int
+	lo := 0
+	for b := 0; b < m; b++ {
+		sz := base
+		if b < rem {
+			sz++
+		}
+		blk := make([]int, sz)
+		for k := range blk {
+			blk[k] = lo + k
+		}
+		blocks = append(blocks, blk)
+		lo += sz
+	}
+	return &BlockCyclic{blocks: blocks}
+}
+
+func (b *BlockCyclic) Select(j int) []int { return b.blocks[(j-1)%len(b.blocks)] }
+func (b *BlockCyclic) Name() string       { return fmt.Sprintf("blockCyclic(m=%d)", len(b.blocks)) }
+
+// rngState is a tiny xorshift so this package stays dependency-free and
+// deterministic under explicit seeds.
+type rngState uint64
+
+func (r *rngState) next() uint64 {
+	x := uint64(*r)
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rngState(x)
+	return x
+}
+
+// RandomSubset relaxes a uniformly random nonempty subset of fixed size K
+// each iteration. It models uncoordinated workers grabbing components.
+// Condition c) holds almost surely but not deterministically; wrap in Fair
+// for a hard guarantee.
+type RandomSubset struct {
+	N, K int
+	rng  rngState
+	buf  []int
+}
+
+// NewRandomSubset returns a policy drawing K distinct components per
+// iteration from n, using the given seed.
+func NewRandomSubset(n, k int, seed uint64) *RandomSubset {
+	mustPositive(n)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return &RandomSubset{N: n, K: k, rng: rngState(seed | 1), buf: make([]int, 0, k)}
+}
+
+func (r *RandomSubset) Select(j int) []int {
+	r.buf = r.buf[:0]
+	// Floyd's algorithm for a K-subset of [0, N).
+	chosen := make(map[int]bool, r.K)
+	for v := r.N - r.K; v < r.N; v++ {
+		t := int(r.rng.next() % uint64(v+1))
+		if chosen[t] {
+			t = v
+		}
+		chosen[t] = true
+		r.buf = append(r.buf, t)
+	}
+	sort.Ints(r.buf)
+	return r.buf
+}
+
+func (r *RandomSubset) Name() string { return fmt.Sprintf("randomSubset(k=%d)", r.K) }
+
+// GaussSouthwell greedily relaxes the component with the largest current
+// residual (plus optional ties within a tolerance). It needs a residual
+// callback wired by the engine; until then it behaves cyclically.
+type GaussSouthwell struct {
+	N     int
+	resid func(i int) float64
+	buf   [1]int
+}
+
+// NewGaussSouthwell returns a greedy largest-residual policy.
+func NewGaussSouthwell(n int) *GaussSouthwell {
+	mustPositive(n)
+	return &GaussSouthwell{N: n}
+}
+
+// SetResidualFunc implements ResidualAware.
+func (g *GaussSouthwell) SetResidualFunc(f func(i int) float64) { g.resid = f }
+
+func (g *GaussSouthwell) Select(j int) []int {
+	if g.resid == nil {
+		g.buf[0] = (j - 1) % g.N
+		return g.buf[:]
+	}
+	best, bestV := 0, -1.0
+	for i := 0; i < g.N; i++ {
+		v := g.resid(i)
+		if v < 0 {
+			v = -v
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	g.buf[0] = best
+	return g.buf[:]
+}
+
+func (g *GaussSouthwell) Name() string { return fmt.Sprintf("gaussSouthwell(n=%d)", g.N) }
+
+// Fair wraps any policy and enforces condition c) deterministically: if a
+// component has not been selected for MaxStarve consecutive iterations it is
+// force-appended to S_j. With MaxStarve = s, every component occurs at least
+// once in every window of s+1 iterations.
+type Fair struct {
+	Inner     Policy
+	N         int
+	MaxStarve int
+	lastSeen  []int
+	buf       []int
+}
+
+// NewFair wraps inner over n components with the given starvation bound.
+func NewFair(inner Policy, n, maxStarve int) *Fair {
+	mustPositive(n)
+	if maxStarve < 1 {
+		maxStarve = 1
+	}
+	ls := make([]int, n)
+	return &Fair{Inner: inner, N: n, MaxStarve: maxStarve, lastSeen: ls}
+}
+
+func (f *Fair) Select(j int) []int {
+	inner := f.Inner.Select(j)
+	f.buf = f.buf[:0]
+	f.buf = append(f.buf, inner...)
+	present := make(map[int]bool, len(inner))
+	for _, i := range inner {
+		present[i] = true
+	}
+	for i := 0; i < f.N; i++ {
+		if !present[i] && j-f.lastSeen[i] > f.MaxStarve {
+			f.buf = append(f.buf, i)
+			present[i] = true
+		}
+	}
+	for _, i := range f.buf {
+		f.lastSeen[i] = j
+	}
+	sort.Ints(f.buf)
+	return f.buf
+}
+
+func (f *Fair) Name() string { return fmt.Sprintf("fair(%s,s=%d)", f.Inner.Name(), f.MaxStarve) }
+
+// SetResidualFunc forwards to the inner policy when it is residual-aware.
+func (f *Fair) SetResidualFunc(fn func(i int) float64) {
+	if ra, ok := f.Inner.(ResidualAware); ok {
+		ra.SetResidualFunc(fn)
+	}
+}
+
+// CheckConditionC verifies, over a finite horizon, that every component of
+// {0..n-1} appears in every window of `window` consecutive iterations — the
+// finite proxy for condition c). It returns ok and the first starving
+// component/window start on failure.
+//
+// The policy is driven with increasing j, so stateful policies are exercised
+// exactly as an engine would.
+func CheckConditionC(p Policy, n, horizon, window int) (ok bool, comp, at int) {
+	lastSeen := make([]int, n)
+	for j := 1; j <= horizon; j++ {
+		for _, i := range p.Select(j) {
+			if i >= 0 && i < n {
+				lastSeen[i] = j
+			}
+		}
+		if j >= window {
+			for i := 0; i < n; i++ {
+				if j-lastSeen[i] >= window {
+					return false, i, j
+				}
+			}
+		}
+	}
+	return true, 0, 0
+}
+
+func mustPositive(n int) {
+	if n < 1 {
+		panic("steering: need at least one component")
+	}
+}

@@ -1,0 +1,218 @@
+package steering
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCyclic(t *testing.T) {
+	p := NewCyclic(3)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for j := 1; j <= 6; j++ {
+		s := p.Select(j)
+		if len(s) != 1 || s[0] != want[j-1] {
+			t.Fatalf("Select(%d) = %v, want [%d]", j, s, want[j-1])
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	p := NewAll(4)
+	s := p.Select(1)
+	if len(s) != 4 {
+		t.Fatalf("All returned %v", s)
+	}
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("All returned %v", s)
+		}
+	}
+}
+
+func TestBlockCyclic(t *testing.T) {
+	p := NewBlockCyclic(5, 2)
+	s1 := p.Select(1)
+	s2 := p.Select(2)
+	s3 := p.Select(3)
+	if len(s1)+len(s2) != 5 {
+		t.Fatalf("blocks don't cover: %v %v", s1, s2)
+	}
+	if !equalInts(s1, s3) {
+		t.Fatalf("cycle broken: %v vs %v", s1, s3)
+	}
+	union := append(append([]int{}, s1...), s2...)
+	sort.Ints(union)
+	for i, v := range union {
+		if v != i {
+			t.Fatalf("union not {0..4}: %v", union)
+		}
+	}
+}
+
+func TestBlockCyclicClamps(t *testing.T) {
+	p := NewBlockCyclic(2, 10)
+	seen := map[int]bool{}
+	for j := 1; j <= 4; j++ {
+		for _, i := range p.Select(j) {
+			seen[i] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected both components, saw %v", seen)
+	}
+}
+
+func TestRandomSubsetShape(t *testing.T) {
+	p := NewRandomSubset(10, 3, 42)
+	for j := 1; j <= 100; j++ {
+		s := p.Select(j)
+		if len(s) != 3 {
+			t.Fatalf("size %d, want 3", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 10 || seen[v] {
+				t.Fatalf("bad subset %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomSubsetDeterministicUnderSeed(t *testing.T) {
+	a := NewRandomSubset(10, 3, 7)
+	b := NewRandomSubset(10, 3, 7)
+	for j := 1; j <= 50; j++ {
+		if !equalInts(a.Select(j), b.Select(j)) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGaussSouthwellGreedy(t *testing.T) {
+	p := NewGaussSouthwell(4)
+	resid := []float64{0.1, -5, 2, 0}
+	p.SetResidualFunc(func(i int) float64 { return resid[i] })
+	s := p.Select(1)
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("GS picked %v, want [1]", s)
+	}
+	resid[1] = 0
+	s = p.Select(2)
+	if s[0] != 2 {
+		t.Fatalf("GS picked %v, want [2]", s)
+	}
+}
+
+func TestGaussSouthwellFallbackCyclic(t *testing.T) {
+	p := NewGaussSouthwell(3)
+	if s := p.Select(2); s[0] != 1 {
+		t.Fatalf("fallback not cyclic: %v", s)
+	}
+}
+
+func TestFairEnforcesConditionC(t *testing.T) {
+	// A pathological inner policy that always selects component 0.
+	inner := fixed{comp: 0}
+	p := NewFair(inner, 5, 3)
+	ok, comp, at := CheckConditionC(p, 5, 500, 5)
+	if !ok {
+		t.Fatalf("Fair failed condition c: component %d starving at %d", comp, at)
+	}
+}
+
+func TestUnfairPolicyDetected(t *testing.T) {
+	ok, comp, _ := CheckConditionC(fixed{comp: 0}, 3, 100, 10)
+	if ok {
+		t.Fatal("starvation not detected")
+	}
+	if comp == 0 {
+		t.Fatal("component 0 is the only one selected; it cannot starve")
+	}
+}
+
+func TestAllPoliciesSatisfyConditionC(t *testing.T) {
+	n := 6
+	policies := []Policy{
+		NewCyclic(n),
+		NewAll(n),
+		NewBlockCyclic(n, 3),
+		NewFair(NewRandomSubset(n, 2, 3), n, 8),
+		NewFair(NewGaussSouthwell(n), n, 8),
+	}
+	for _, p := range policies {
+		ok, comp, at := CheckConditionC(p, n, 1000, 3*n+10)
+		if !ok {
+			t.Errorf("%s: component %d starving at %d", p.Name(), comp, at)
+		}
+	}
+}
+
+func TestFairForwardsResiduals(t *testing.T) {
+	gs := NewGaussSouthwell(4)
+	p := NewFair(gs, 4, 100)
+	p.SetResidualFunc(func(i int) float64 {
+		if i == 3 {
+			return 10
+		}
+		return 0
+	})
+	s := p.Select(1)
+	found := false
+	for _, v := range s {
+		if v == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("residual func not forwarded; got %v", s)
+	}
+}
+
+func TestSelectionsNonEmptyAndInRange(t *testing.T) {
+	n := 7
+	policies := []Policy{
+		NewCyclic(n), NewAll(n), NewBlockCyclic(n, 2),
+		NewRandomSubset(n, 3, 1), NewGaussSouthwell(n),
+		NewFair(NewCyclic(n), n, 4),
+	}
+	for _, p := range policies {
+		for j := 1; j <= 200; j++ {
+			s := p.Select(j)
+			if len(s) == 0 {
+				t.Fatalf("%s: empty S_%d", p.Name(), j)
+			}
+			for _, v := range s {
+				if v < 0 || v >= n {
+					t.Fatalf("%s: out of range %d", p.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	for _, p := range []Policy{NewCyclic(1), NewAll(1), NewBlockCyclic(2, 2), NewRandomSubset(2, 1, 1), NewGaussSouthwell(1), NewFair(NewCyclic(1), 1, 1)} {
+		if p.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}
+
+// fixed always selects a single fixed component.
+type fixed struct{ comp int }
+
+func (f fixed) Select(j int) []int { return []int{f.comp} }
+func (f fixed) Name() string       { return "fixed" }
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

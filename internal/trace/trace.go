@@ -1,0 +1,225 @@
+// Package trace records and renders the execution of parallel or
+// distributed asynchronous iterations: updating phases (the labelled
+// rectangles of the paper's Fig. 1) and communications of complete or
+// partial updates (the plain and hatched arrows of Fig. 1 / Fig. 2). The
+// ASCII Gantt renderer regenerates both figures from simulated runs, and
+// the CSV writer exports the raw events for external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds.
+const (
+	// UpdatePhase is a completed updating phase [Start, End] on a worker.
+	UpdatePhase Kind = iota
+	// Send is the emission of a (complete) update's value.
+	Send
+	// PartialSend is the emission of a partial update (flexible
+	// communication, hatched arrows in Fig. 2).
+	PartialSend
+	// Deliver is the arrival of a previously sent value at its destination.
+	Deliver
+	// Drop marks a message lost in transit (fault injection).
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case UpdatePhase:
+		return "update"
+	case Send:
+		return "send"
+	case PartialSend:
+		return "partial"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind       Kind
+	Worker     int     // worker performing/emitting
+	Peer       int     // destination worker for messages (-1 if n/a)
+	Start, End float64 // virtual time span (Start == End for instants)
+	Iter       int     // iteration label of the update involved
+	Comp       int     // component or block id (-1 if n/a)
+	Frac       float64 // fraction for partial updates (1 for complete)
+}
+
+// Log accumulates events.
+type Log struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(e Event) { l.Events = append(l.Events, e) }
+
+// Phases returns the update phases of one worker sorted by start time.
+func (l *Log) Phases(worker int) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == UpdatePhase && e.Worker == worker {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Messages returns all send/partial/deliver/drop events sorted by time.
+func (l *Log) Messages() []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind != UpdatePhase {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Workers returns the sorted set of worker ids appearing in the log.
+func (l *Log) Workers() []int {
+	set := map[int]bool{}
+	for _, e := range l.Events {
+		set[e.Worker] = true
+	}
+	var out []int
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxTime returns the largest event end time.
+func (l *Log) MaxTime() float64 {
+	m := 0.0
+	for _, e := range l.Events {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// RenderGantt draws the run as ASCII lanes, one per worker, with updating
+// phases shown as numbered rectangles positioned on a shared time axis —
+// the textual equivalent of the paper's Fig. 1 — followed by the
+// communication events. Partial-update sends are flagged "~" (the hatched
+// arrows of Fig. 2). width is the number of character cells of the axis.
+func RenderGantt(l *Log, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	maxT := l.MaxTime()
+	if maxT <= 0 {
+		return "(empty trace)\n"
+	}
+	scale := float64(width) / maxT
+	var b strings.Builder
+
+	// Time axis.
+	b.WriteString("time  ")
+	step := maxT / 8
+	axis := make([]byte, width+1)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	for tn := 0; tn <= 8; tn++ {
+		tv := step * float64(tn)
+		pos := int(tv * scale)
+		lbl := fmt.Sprintf("%.0f", tv)
+		for k := 0; k < len(lbl) && pos+k < len(axis); k++ {
+			axis[pos+k] = lbl[k]
+		}
+	}
+	b.Write(axis)
+	b.WriteByte('\n')
+
+	for _, w := range l.Workers() {
+		phases := l.Phases(w)
+		if len(phases) == 0 {
+			continue
+		}
+		lane := make([]byte, width+2)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for _, p := range phases {
+			lo := int(p.Start * scale)
+			hi := int(p.End * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi >= len(lane) {
+				hi = len(lane) - 1
+			}
+			lane[lo] = '['
+			for k := lo + 1; k < hi; k++ {
+				lane[k] = '='
+			}
+			lane[hi] = ']'
+			lbl := fmt.Sprintf("%d", p.Iter)
+			mid := (lo + hi - len(lbl)/2) / 2
+			if mid <= lo {
+				mid = lo + 1
+			}
+			for k := 0; k < len(lbl) && mid+k < hi; k++ {
+				lane[mid+k] = lbl[k]
+			}
+		}
+		fmt.Fprintf(&b, "P%-4d ", w)
+		b.Write(lane)
+		b.WriteByte('\n')
+	}
+
+	msgs := l.Messages()
+	if len(msgs) > 0 {
+		b.WriteString("\ncommunications (── complete update, ~~ partial update):\n")
+		for _, m := range msgs {
+			switch m.Kind {
+			case Send:
+				fmt.Fprintf(&b, "  t=%8.2f  P%d ──> P%d   x(%d) [comp %d]\n",
+					m.Start, m.Worker, m.Peer, m.Iter, m.Comp)
+			case PartialSend:
+				fmt.Fprintf(&b, "  t=%8.2f  P%d ~~> P%d   x~(%d) [comp %d, frac %.2f]\n",
+					m.Start, m.Worker, m.Peer, m.Iter, m.Comp, m.Frac)
+			case Deliver:
+				fmt.Fprintf(&b, "  t=%8.2f  P%d <── P%d   x(%d) delivered [comp %d]\n",
+					m.Start, m.Worker, m.Peer, m.Iter, m.Comp)
+			case Drop:
+				fmt.Fprintf(&b, "  t=%8.2f  P%d -x-> P%d  x(%d) DROPPED [comp %d]\n",
+					m.Start, m.Worker, m.Peer, m.Iter, m.Comp)
+			}
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV exports the event log with a header row.
+func WriteCSV(w io.Writer, l *Log) error {
+	if _, err := fmt.Fprintln(w, "kind,worker,peer,start,end,iter,comp,frac"); err != nil {
+		return err
+	}
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%g,%d,%d,%g\n",
+			e.Kind, e.Worker, e.Peer, e.Start, e.End, e.Iter, e.Comp, e.Frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}

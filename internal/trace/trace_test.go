@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.Add(Event{Kind: UpdatePhase, Worker: 0, Start: 0, End: 1, Iter: 1, Comp: 0})
+	l.Add(Event{Kind: Send, Worker: 0, Peer: 1, Start: 1, End: 1, Iter: 1, Comp: 0, Frac: 1})
+	l.Add(Event{Kind: UpdatePhase, Worker: 1, Start: 0, End: 2, Iter: 2, Comp: 1})
+	l.Add(Event{Kind: PartialSend, Worker: 1, Peer: 0, Start: 1, End: 1, Iter: 2, Comp: 1, Frac: 0.5})
+	l.Add(Event{Kind: Deliver, Worker: 1, Peer: 0, Start: 1.4, End: 1.4, Iter: 1, Comp: 0})
+	l.Add(Event{Kind: UpdatePhase, Worker: 0, Start: 1, End: 2.2, Iter: 3, Comp: 0})
+	l.Add(Event{Kind: Drop, Worker: 1, Peer: 0, Start: 2, End: 2, Iter: 2, Comp: 1})
+	return l
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		UpdatePhase: "update", Send: "send", PartialSend: "partial",
+		Deliver: "deliver", Drop: "drop", Kind(42): "kind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestPhasesSortedPerWorker(t *testing.T) {
+	l := sampleLog()
+	p0 := l.Phases(0)
+	if len(p0) != 2 {
+		t.Fatalf("worker 0 phases = %d", len(p0))
+	}
+	if p0[0].Start > p0[1].Start {
+		t.Error("phases not sorted")
+	}
+	if len(l.Phases(1)) != 1 {
+		t.Error("worker 1 phases wrong")
+	}
+	if len(l.Phases(9)) != 0 {
+		t.Error("unknown worker should have no phases")
+	}
+}
+
+func TestMessagesExcludePhases(t *testing.T) {
+	l := sampleLog()
+	msgs := l.Messages()
+	if len(msgs) != 4 {
+		t.Fatalf("messages = %d, want 4", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Kind == UpdatePhase {
+			t.Error("phase leaked into Messages")
+		}
+	}
+}
+
+func TestWorkersAndMaxTime(t *testing.T) {
+	l := sampleLog()
+	ws := l.Workers()
+	if len(ws) != 2 || ws[0] != 0 || ws[1] != 1 {
+		t.Errorf("Workers = %v", ws)
+	}
+	if l.MaxTime() != 2.2 {
+		t.Errorf("MaxTime = %v", l.MaxTime())
+	}
+}
+
+func TestRenderGanttContainsLanesAndArrows(t *testing.T) {
+	out := RenderGantt(sampleLog(), 60)
+	for _, want := range []string{"P0", "P1", "──>", "~~>", "DROPPED", "time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderGanttEmpty(t *testing.T) {
+	out := RenderGantt(&Log{}, 60)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty log rendering = %q", out)
+	}
+}
+
+func TestRenderGanttNarrowWidthClamped(t *testing.T) {
+	out := RenderGantt(sampleLog(), 1)
+	if len(out) == 0 {
+		t.Error("clamped rendering empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 { // header + 7 events
+		t.Fatalf("CSV lines = %d, want 8:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "kind,worker,peer") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "update,0") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}

@@ -1,0 +1,75 @@
+package vec
+
+import "testing"
+
+func benchMatrix(n int) (*Dense, Vector) {
+	rng := NewRNG(1)
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.Normal()
+	}
+	return m, rng.NormalVector(n)
+}
+
+func BenchmarkDenseMulVec256(b *testing.B) {
+	m, x := benchMatrix(256)
+	y := New(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecTo(y, x)
+	}
+}
+
+func BenchmarkCSRMulVec(b *testing.B) {
+	// 5-point stencil pattern on a 64x64 grid (the obstacle problem's
+	// sparsity).
+	n := 64
+	dim := n * n
+	var entries []COOEntry
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := r*n + c
+			entries = append(entries, COOEntry{i, i, 4})
+			if r > 0 {
+				entries = append(entries, COOEntry{i, i - n, -1})
+			}
+			if r < n-1 {
+				entries = append(entries, COOEntry{i, i + n, -1})
+			}
+			if c > 0 {
+				entries = append(entries, COOEntry{i, i - 1, -1})
+			}
+			if c < n-1 {
+				entries = append(entries, COOEntry{i, i + 1, -1})
+			}
+		}
+	}
+	m := NewCSR(dim, dim, entries)
+	x := NewRNG(2).NormalVector(dim)
+	y := New(dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecTo(y, x)
+	}
+}
+
+func BenchmarkWeightedMaxNorm(b *testing.B) {
+	rng := NewRNG(3)
+	x := rng.NormalVector(1024)
+	u := rng.RandomVector(1024, 0.5, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WeightedMaxNorm(x, u)
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	rng := NewRNG(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rng.Normal()
+	}
+}

@@ -1,0 +1,300 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense returns a zero Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("vec: NewDense negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// DenseFromRows builds a Dense matrix from row slices (which are copied).
+func DenseFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("vec: DenseFromRows ragged input")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M x, allocating the result.
+func (m *Dense) MulVec(x Vector) Vector {
+	y := make(Vector, m.Rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = M x into the provided slice.
+func (m *Dense) MulVecTo(y, x Vector) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("vec: MulVecTo dimension mismatch (%dx%d)*%d -> %d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecTransTo computes y = M^T x into y (len Cols).
+func (m *Dense) MulVecTransTo(y, x Vector) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("vec: MulVecTransTo dimension mismatch")
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		for j, a := range row {
+			y[j] += a * xi
+		}
+	}
+}
+
+// RowDotAt returns the dot product of row i with x; used for componentwise
+// residual evaluation without touching other rows.
+func (m *Dense) RowDotAt(i int, x Vector) float64 {
+	row := m.Row(i)
+	s := 0.0
+	for j, a := range row {
+		s += a * x[j]
+	}
+	return s
+}
+
+// AtA computes the Gram matrix M^T M (Cols x Cols).
+func (m *Dense) AtA() *Dense {
+	g := NewDense(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			grow := g.Row(a)
+			for b := 0; b < m.Cols; b++ {
+				grow[b] += ra * row[b]
+			}
+		}
+	}
+	return g
+}
+
+// InfNorm returns the matrix norm induced by the max vector norm
+// (maximum absolute row sum).
+func (m *Dense) InfNorm() float64 {
+	worst := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, a := range m.Row(i) {
+			s += math.Abs(a)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// WeightedInfNorm returns the operator norm of M with respect to the
+// weighted max norm ||.||_u: max_i (1/u_i) * sum_j |M_ij| u_j. A value < 1
+// certifies that x -> Mx + b is a ||.||_u contraction.
+func (m *Dense) WeightedInfNorm(u Vector) float64 {
+	if len(u) != m.Cols || m.Rows != m.Cols {
+		panic("vec: WeightedInfNorm requires square matrix and matching weights")
+	}
+	worst := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j, a := range m.Row(i) {
+			s += math.Abs(a) * u[j]
+		}
+		s /= u[i]
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// IsDiagonallyDominant reports whether |M_ii| > sum_{j!=i} |M_ij| for every
+// row, with the strictness margin returned as the minimum row slack.
+func (m *Dense) IsDiagonallyDominant() (bool, float64) {
+	if m.Rows != m.Cols {
+		return false, 0
+	}
+	minSlack := math.Inf(1)
+	for i := 0; i < m.Rows; i++ {
+		off := 0.0
+		for j, a := range m.Row(i) {
+			if j != i {
+				off += math.Abs(a)
+			}
+		}
+		slack := math.Abs(m.At(i, i)) - off
+		if slack < minSlack {
+			minSlack = slack
+		}
+	}
+	return minSlack > 0, minSlack
+}
+
+// SymEigBounds returns cheap bounds [lo, hi] on the eigenvalues of a
+// symmetric matrix via Gershgorin discs. For Hessians this yields usable
+// (mu, L) estimates when the matrix is diagonally dominant.
+func (m *Dense) SymEigBounds() (lo, hi float64) {
+	if m.Rows != m.Cols {
+		panic("vec: SymEigBounds requires a square matrix")
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.Rows; i++ {
+		r := 0.0
+		for j, a := range m.Row(i) {
+			if j != i {
+				r += math.Abs(a)
+			}
+		}
+		d := m.At(i, i)
+		if d-r < lo {
+			lo = d - r
+		}
+		if d+r > hi {
+			hi = d + r
+		}
+	}
+	return lo, hi
+}
+
+// PowerIterationLmax estimates the largest eigenvalue of a symmetric
+// positive semidefinite matrix by power iteration (deterministic start).
+func (m *Dense) PowerIterationLmax(iters int) float64 {
+	if m.Rows != m.Cols || m.Rows == 0 {
+		return 0
+	}
+	n := m.Rows
+	x := Constant(n, 1/math.Sqrt(float64(n)))
+	// Slight asymmetry so we do not start orthogonal to the top eigenvector.
+	for i := range x {
+		x[i] *= 1 + 1e-3*float64(i%7)
+	}
+	y := New(n)
+	lambda := 0.0
+	for k := 0; k < iters; k++ {
+		m.MulVecTo(y, x)
+		nrm := Norm2(y)
+		if nrm == 0 {
+			return 0
+		}
+		for i := range x {
+			x[i] = y[i] / nrm
+		}
+		lambda = nrm
+	}
+	return lambda
+}
+
+// SolveGaussian solves M z = rhs by Gaussian elimination with partial
+// pivoting (used only to compute reference fixed points in tests and
+// experiment harnesses; the iterative methods never call it).
+func (m *Dense) SolveGaussian(rhs Vector) (Vector, error) {
+	n := m.Rows
+	if m.Cols != n || len(rhs) != n {
+		return nil, fmt.Errorf("vec: SolveGaussian needs square system, got %dx%d rhs %d", m.Rows, m.Cols, len(rhs))
+	}
+	a := m.Clone()
+	b := Clone(rhs)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("vec: SolveGaussian singular at column %d", col)
+		}
+		if p != col {
+			ra, rb := a.Row(p), a.Row(col)
+			for j := range ra {
+				ra[j], rb[j] = rb[j], ra[j]
+			}
+			b[p], b[col] = b[col], b[p]
+		}
+		piv := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			rowR, rowC := a.Row(r), a.Row(col)
+			for j := col; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := New(n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := a.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}

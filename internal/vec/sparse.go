@@ -1,0 +1,136 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. It is the storage format for the
+// large grid/graph operators (obstacle problem Laplacians, network
+// incidence structures) where dense storage would be wasteful.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len nnz
+	Val        []float64 // len nnz
+}
+
+// COOEntry is a coordinate-format triplet used to assemble CSR matrices.
+type COOEntry struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from coordinate entries. Duplicate (row,col)
+// entries are summed, matching standard sparse assembly semantics.
+func NewCSR(rows, cols int, entries []COOEntry) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("vec: NewCSR entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sorted := make([]COOEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for k := 0; k < len(sorted); {
+		e := sorted[k]
+		v := e.Val
+		k++
+		for k < len(sorted) && sorted[k].Row == e.Row && sorted[k].Col == e.Col {
+			v += sorted[k].Val
+			k++
+		}
+		m.ColIdx = append(m.ColIdx, e.Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[e.Row+1] = len(m.ColIdx)
+	}
+	for r := 1; r <= rows; r++ {
+		if m.RowPtr[r] < m.RowPtr[r-1] {
+			m.RowPtr[r] = m.RowPtr[r-1]
+		}
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVecTo computes y = M x.
+func (m *CSR) MulVecTo(y, x Vector) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("vec: CSR MulVecTo dimension mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// MulVec computes y = M x, allocating the result.
+func (m *CSR) MulVec(x Vector) Vector {
+	y := make(Vector, m.Rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// RowDotAt returns (M x)_i touching only row i; this is the per-component
+// evaluation the asynchronous engines call.
+func (m *CSR) RowDotAt(i int, x Vector) float64 {
+	s := 0.0
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		s += m.Val[k] * x[m.ColIdx[k]]
+	}
+	return s
+}
+
+// At returns element (i, j) (O(row nnz)).
+func (m *CSR) At(i, j int) float64 {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if m.ColIdx[k] == j {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// RowNNZ returns the column indices and values of row i as views.
+func (m *CSR) RowNNZ(i int) ([]int, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// InfNorm returns the max absolute row sum.
+func (m *CSR) InfNorm() float64 {
+	worst := 0.0
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += math.Abs(m.Val[k])
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Dense converts to a dense matrix (test/diagnostic use only).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			d.Set(r, m.ColIdx[k], d.At(r, m.ColIdx[k])+m.Val[k])
+		}
+	}
+	return d
+}

@@ -1,0 +1,282 @@
+// Package vec provides the small dense/sparse linear-algebra kernels used by
+// the asynchronous-iteration library: BLAS-1 style vector operations, dense
+// and compressed-sparse-row matrices, and the weighted maximum norms that the
+// asynchronous-iterations literature (and the reproduced paper) states its
+// contraction hypotheses in.
+//
+// Everything is deliberately simple, allocation-conscious and deterministic;
+// no external numeric libraries are used.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense vector of float64. The zero value is a usable empty
+// vector. Most functions treat Vectors as plain slices so callers may pass
+// []float64 directly.
+type Vector = []float64
+
+// New returns a zero vector of length n.
+func New(n int) Vector {
+	return make(Vector, n)
+}
+
+// Constant returns a vector of length n with every component equal to c.
+func Constant(n int, c float64) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x Vector) Vector {
+	y := make(Vector, len(x))
+	copy(y, x)
+	return y
+}
+
+// CopyInto copies src into dst; the lengths must match.
+func CopyInto(dst, src Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: CopyInto length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Add returns x + y as a new vector.
+func Add(x, y Vector) Vector {
+	checkLen(x, y)
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y Vector) Vector {
+	checkLen(x, y)
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// Scale returns a*x as a new vector.
+func Scale(a float64, x Vector) Vector {
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = a * x[i]
+	}
+	return z
+}
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y Vector) {
+	checkLen(x, y)
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y Vector) float64 {
+	checkLen(x, y)
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Lerp returns (1-t)*x + t*y, the linear interpolation between x and y.
+// Flexible communication publishes such interpolants as partial updates.
+func Lerp(x, y Vector, t float64) Vector {
+	checkLen(x, y)
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] + t*(y[i]-x[i])
+	}
+	return z
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x Vector) float64 {
+	// Scaled accumulation to avoid overflow on extreme inputs.
+	s, scale := 0.0, 0.0
+	for _, v := range x {
+		a := math.Abs(v)
+		if a == 0 {
+			continue
+		}
+		if a > scale {
+			r := scale / a
+			s = 1 + s*r*r
+			scale = a
+		} else {
+			r := a / scale
+			s += r * r
+		}
+	}
+	return scale * math.Sqrt(s)
+}
+
+// NormInf returns the maximum norm of x.
+func NormInf(x Vector) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the 1-norm of x.
+func Norm1(x Vector) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// DistInf returns ||x - y||_inf without allocating.
+func DistInf(x, y Vector) float64 {
+	checkLen(x, y)
+	m := 0.0
+	for i := range x {
+		if a := math.Abs(x[i] - y[i]); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist2 returns ||x - y||_2 without allocating.
+func Dist2(x, y Vector) float64 {
+	checkLen(x, y)
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// WeightedMaxNorm returns the weighted maximum norm
+//
+//	||x||_u = max_i |x_i| / u_i,
+//
+// the norm in which the asynchronous-iterations contraction theory is stated
+// (u must be componentwise positive).
+func WeightedMaxNorm(x, u Vector) float64 {
+	checkLen(x, u)
+	m := 0.0
+	for i := range x {
+		if u[i] <= 0 {
+			panic("vec: WeightedMaxNorm requires positive weights")
+		}
+		if a := math.Abs(x[i]) / u[i]; a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// WeightedMaxDist returns ||x - y||_u without allocating.
+func WeightedMaxDist(x, y, u Vector) float64 {
+	checkLen(x, y)
+	checkLen(x, u)
+	m := 0.0
+	for i := range x {
+		if u[i] <= 0 {
+			panic("vec: WeightedMaxDist requires positive weights")
+		}
+		if a := math.Abs(x[i]-y[i]) / u[i]; a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsComponentDist returns max_i |x_i - y_i|^2, the right-hand-side
+// quantity max_i ||x_i(0) - x*||^2 of inequality (5) in the paper for scalar
+// component spaces.
+func MaxAbsComponentDist(x, y Vector) float64 {
+	d := DistInf(x, y)
+	return d * d
+}
+
+// Equal reports whether x and y agree within absolute tolerance tol in every
+// component.
+func Equal(x, y Vector, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every component of x is finite (no NaN/Inf).
+func AllFinite(x Vector) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(x, y Vector) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: length mismatch %d != %d", len(x), len(y)))
+	}
+}
+
+// Blocks partitions {0,...,n-1} into m contiguous blocks of nearly equal
+// size. It returns a slice of m index ranges [lo,hi). Blocks are the unit of
+// work assigned to each simulated processor in the block-iterative methods.
+func Blocks(n, m int) [][2]int {
+	if m <= 0 || n < 0 {
+		panic("vec: Blocks requires n >= 0, m > 0")
+	}
+	if m > n && n > 0 {
+		m = n
+	}
+	out := make([][2]int, 0, m)
+	base, rem := 0, 0
+	if m > 0 {
+		base, rem = n/m, n%m
+	}
+	lo := 0
+	for b := 0; b < m; b++ {
+		sz := base
+		if b < rem {
+			sz++
+		}
+		out = append(out, [2]int{lo, lo + sz})
+		lo += sz
+	}
+	return out
+}
+
+// BlockOf returns the index of the block (as produced by Blocks(n, m))
+// containing component i.
+func BlockOf(blocks [][2]int, i int) int {
+	for b, r := range blocks {
+		if i >= r[0] && i < r[1] {
+			return b
+		}
+	}
+	return -1
+}
