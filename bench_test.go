@@ -86,17 +86,19 @@ func benchLinearOp(b *testing.B) (*repro.Linear, []float64) {
 }
 
 // BenchmarkModelEngineIteration measures the per-iteration cost of the
-// mathematical-model engine (Definition 1 execution with bookkeeping).
+// mathematical-model engine (Definition 1 execution with bookkeeping)
+// through the unified Solve path users actually call.
 func BenchmarkModelEngineIteration(b *testing.B) {
 	op, _ := benchLinearOp(b)
+	spec := repro.NewSpec(op,
+		repro.WithEngine(repro.EngineModel),
+		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 3}),
+		repro.WithMaxIter(1000),
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := repro.RunModel(repro.ModelConfig{
-			Op:      op,
-			Delay:   repro.BoundedRandomDelay{B: 8, Seed: 3},
-			MaxIter: 1000,
-		})
+		res, err := repro.Solve(spec)
 		if err != nil || res.Iterations != 1000 {
 			b.Fatal("run failed")
 		}
@@ -104,15 +106,19 @@ func BenchmarkModelEngineIteration(b *testing.B) {
 }
 
 // BenchmarkDESUpdatePhase measures the per-update cost of the
-// discrete-event simulator (event heap + messaging).
+// discrete-event simulator (event heap + messaging) through Solve.
 func BenchmarkDESUpdatePhase(b *testing.B) {
 	op, _ := benchLinearOp(b)
+	spec := repro.NewSpec(op,
+		repro.WithEngine(repro.EngineSim),
+		repro.WithWorkers(8),
+		repro.WithMaxUpdates(1000),
+		repro.WithSeed(4),
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := repro.RunSim(repro.SimConfig{
-			Op: op, Workers: 8, MaxUpdates: 1000, Seed: 4,
-		})
+		res, err := repro.Solve(spec)
 		if err != nil || res.Updates < 1000 {
 			b.Fatal("run failed")
 		}
@@ -120,15 +126,18 @@ func BenchmarkDESUpdatePhase(b *testing.B) {
 }
 
 // BenchmarkSharedMemoryGoroutines measures the real-concurrency transport
-// (atomic coordinate cells, 8 goroutines).
+// (atomic coordinate cells, 8 goroutines) through Solve.
 func BenchmarkSharedMemoryGoroutines(b *testing.B) {
 	op, _ := benchLinearOp(b)
+	spec := repro.NewSpec(op,
+		repro.WithEngine(repro.EngineShared),
+		repro.WithWorkers(8),
+		repro.WithMaxUpdatesPerWorker(200),
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := repro.RunShared(repro.ConcurrentConfig{
-			Op: op, Workers: 8, MaxUpdatesPerWorker: 200,
-		})
+		res, err := repro.Solve(spec)
 		if err != nil || len(res.UpdatesPerWorker) != 8 {
 			b.Fatal("run failed")
 		}
@@ -136,17 +145,37 @@ func BenchmarkSharedMemoryGoroutines(b *testing.B) {
 }
 
 // BenchmarkMessagePassingGoroutines measures the channel transport with
-// termination detection disabled (pure throughput).
+// termination detection disabled (pure throughput) through Solve.
 func BenchmarkMessagePassingGoroutines(b *testing.B) {
 	op, _ := benchLinearOp(b)
+	spec := repro.NewSpec(op,
+		repro.WithEngine(repro.EngineMessage),
+		repro.WithWorkers(8),
+		repro.WithMaxUpdatesPerWorker(200),
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := repro.RunMessage(repro.ConcurrentConfig{
-			Op: op, Workers: 8, MaxUpdatesPerWorker: 200,
-		})
+		res, err := repro.Solve(spec)
 		if err != nil || len(res.UpdatesPerWorker) != 8 {
 			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkScenarioSolve measures a registered scenario solved end to end
+// by name (registry lookup + build + model-engine solve).
+func BenchmarkScenarioSolve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inst, err := repro.BuildScenario("lasso", 32, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := repro.Solve(inst.Spec,
+			repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}))
+		if err != nil || !res.Converged {
+			b.Fatal("scenario solve failed")
 		}
 	}
 }

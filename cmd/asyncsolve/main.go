@@ -1,13 +1,16 @@
-// Command asyncsolve is a CLI for solving the library's workloads with a
-// chosen execution mode and delay model:
+// Command asyncsolve solves any registered scenario with a chosen engine
+// and delay model through the unified repro.Solve API:
 //
-//	asyncsolve -problem lasso      -mode async  -delay bounded -n 64
-//	asyncsolve -problem flow       -mode sync
-//	asyncsolve -problem obstacle   -mode flexible -theta 0.7
-//	asyncsolve -problem routing    -delay sqrt
+//	asyncsolve -scenario lasso    -engine sim    -delay bounded:8
+//	asyncsolve -scenario netflow  -engine simsync
+//	asyncsolve -scenario obstacle -engine model  -mode flexible -theta 0.7
+//	asyncsolve -scenario routing  -engine shared -workers 8
+//	asyncsolve -list
 //
-// It prints the solve summary: iterations, macro-iterations, epochs, final
-// residual and solution quality metrics specific to the problem.
+// It prints the unified solve summary (iterations, updates, macro-iterations,
+// epochs, residual) plus quality metrics specific to the scenario. The
+// legacy flags -problem (alias of -scenario) and -mode sync|async|flexible
+// are still accepted.
 package main
 
 import (
@@ -16,176 +19,154 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/delay"
-	"repro/internal/mldata"
-	"repro/internal/netflow"
-	"repro/internal/obstacle"
-	"repro/internal/operators"
-	"repro/internal/prox"
-	"repro/internal/sssp"
-	"repro/internal/steering"
+	"repro"
 )
 
 func main() {
-	problem := flag.String("problem", "lasso", "workload: lasso | ridge | flow | obstacle | routing")
-	mode := flag.String("mode", "async", "execution: sync | async | flexible")
-	delayName := flag.String("delay", "bounded", "delay model: fresh | bounded | sqrt | log | ooo")
-	n := flag.Int("n", 64, "problem size (features / nodes / grid side)")
-	theta := flag.Float64("theta", 0.5, "flexible blend fraction (mode=flexible)")
-	tol := flag.Float64("tol", 1e-9, "convergence tolerance")
-	maxIter := flag.Int("maxiter", 5000000, "iteration budget")
+	scenario := flag.String("scenario", "", "workload scenario (see -list)")
+	problem := flag.String("problem", "", "legacy alias of -scenario")
+	engineName := flag.String("engine", "model", "engine: model | sim | simsync | shared | message")
+	mode := flag.String("mode", "async", "model-engine mode: sync | async | flexible")
+	delayName := flag.String("delay", "bounded:8", "delay model: fresh | constant:D | bounded:B | sqrt | log | ooo:W")
+	n := flag.Int("n", 0, "problem size (features / nodes / grid side); 0 = scenario default")
+	workers := flag.Int("workers", 0, "worker count for the sim/goroutine engines; 0 = default")
+	theta := flag.Float64("theta", 0.5, "flexible blend fraction (model engine, mode=flexible)")
+	flexK := flag.Int("flex", 0, "publish k uniform partial updates per phase (sim/shared engines)")
+	tol := flag.Float64("tol", -1, "convergence tolerance; negative = scenario default, 0 = run to budget")
+	maxIter := flag.Int("maxiter", 0, "iteration budget; 0 = scenario default")
 	seed := flag.Uint64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
-	var dm delay.Model
-	switch *delayName {
-	case "fresh":
-		dm = delay.Fresh{}
-	case "bounded":
-		dm = delay.BoundedRandom{B: 8, Seed: *seed + 1}
-	case "sqrt":
-		dm = delay.SqrtGrowth{}
-	case "log":
-		dm = delay.LogGrowth{}
-	case "ooo":
-		dm = delay.OutOfOrder{W: 16, Seed: *seed + 2}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown delay model %q\n", *delayName)
-		os.Exit(2)
+	if *list {
+		for _, s := range repro.Scenarios() {
+			fmt.Printf("%-10s n=%-5d %s\n", s.Name, s.DefaultN, s.Summary)
+		}
+		return
 	}
 
-	var (
-		op     operators.Operator
-		x0     []float64
-		report func(x []float64)
-	)
-
-	switch *problem {
-	case "lasso", "ridge":
-		reg, err := mldata.NewRegression(mldata.RegressionConfig{
-			N: *n, Coupling: 0.3, Sparsity: 0.5, Noise: 0.01, Reg: 0.1, Seed: *seed,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		f := reg.Smooth()
-		gamma := operators.MaxStep(f)
-		if *problem == "lasso" {
-			bf := operators.NewProxGradBF(f, prox.L1{Lambda: 0.02}, gamma)
-			op = bf
-			report = func(x []float64) {
-				xp := bf.Primal(x)
-				fmt.Printf("lasso MSE: %.6f (truth %.6f)\n", reg.MSE(xp), reg.MSE(reg.XTrue))
-			}
+	name := *scenario
+	if name == "" {
+		name = *problem
+	}
+	if name == "" {
+		name = "lasso"
+	}
+	// Legacy -problem spellings and problem sizes from the pre-scenario
+	// CLI (its -n default was 64, clamped per problem).
+	if *problem != "" && *scenario == "" && *n == 0 {
+		if *problem == "flow" {
+			*n = 12
 		} else {
-			op = operators.NewGradOp(f, gamma)
-			report = func(x []float64) {
-				fmt.Printf("ridge MSE: %.6f (truth %.6f)\n", reg.MSE(x), reg.MSE(reg.XTrue))
-			}
+			*n = 64
 		}
-		x0 = make([]float64, f.Dim())
+	}
+	if name == "flow" {
+		name = "netflow"
+	}
 
-	case "flow":
-		side := 6
-		if *n >= 4 && *n <= 64 {
-			side = *n
-			if side > 12 {
-				side = 12
-			}
-		}
-		net, err := netflow.Grid(side, side, 4.0, 2.5, 0.2, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		op = netflow.NewRelaxOp(net)
-		x0 = make([]float64, net.NumNodes)
-		report = func(x []float64) {
-			rep := net.CheckKKT(x)
-			fmt.Printf("network flow: max imbalance %.2e, primal cost %.4f\n",
-				rep.MaxImbalance, rep.Cost)
-		}
-
-	case "obstacle":
-		side := 16
-		if *n >= 4 && *n <= 128 {
-			side = *n
-		}
-		p := obstacle.Membrane(side)
-		op = p
-		x0 = p.Supersolution()
-		report = func(x []float64) {
-			rep := p.CheckComplementarity(x)
-			fmt.Printf("obstacle: min gap %.2e, worst residual %.2e, slack %.2e, contact %d/%d\n",
-				rep.MinGap, rep.WorstResidual, rep.WorstSlackProduct,
-				len(p.ContactSet(x, 1e-8)), p.Dim())
-		}
-
-	case "routing":
-		g, err := sssp.RandomGraph(*n, 3**n, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		bf, err := sssp.NewBellmanFordOp(g, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		op = bf
-		x0 = bf.InitialDistances()
-		want := g.Dijkstra(0)
-		report = func(x []float64) {
-			dev := 0.0
-			for i := range want {
-				d := x[i] - want[i]
-				if d < 0 {
-					d = -d
-				}
-				if d > dev {
-					dev = d
-				}
-			}
-			fmt.Printf("routing: max deviation from Dijkstra %.2e\n", dev)
-		}
-
-	default:
-		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+	engine, err := repro.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dm, err := repro.ParseDelay(*delayName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cfg := core.Config{
-		Op:      op,
-		Delay:   dm,
-		X0:      x0,
-		Tol:     *tol,
-		MaxIter: *maxIter,
+	inst, err := repro.BuildScenario(name, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+
+	opts := []repro.Option{
+		repro.WithDelay(dm),
+		repro.WithSeed(*seed),
+	}
+	dim := inst.Spec.Op.Dim()
+	// The mode switch is engine-aware: each regime maps onto the knob the
+	// selected engine actually honours, and combinations the engine cannot
+	// express are rejected rather than silently ignored.
 	switch *mode {
 	case "sync":
-		cfg.Steering = steering.NewAll(op.Dim())
-		cfg.Delay = delay.Fresh{}
+		switch engine {
+		case repro.EngineModel:
+			dm = repro.FreshDelay{}
+			opts = append(opts, repro.WithSteering(repro.NewAllComponents(dim)),
+				repro.WithDelay(dm))
+		case repro.EngineSim, repro.EngineSimSync:
+			engine = repro.EngineSimSync
+		default:
+			fmt.Fprintf(os.Stderr, "mode sync is not available on engine %s (use -engine model or simsync)\n", engine.Name())
+			os.Exit(2)
+		}
 	case "async":
-		cfg.Steering = steering.NewCyclic(op.Dim())
+		// Scenario defaults (cyclic steering, free-running workers) apply.
 	case "flexible":
-		cfg.Steering = steering.NewCyclic(op.Dim())
-		cfg.Theta = *theta
+		switch engine {
+		case repro.EngineModel:
+			opts = append(opts, repro.WithTheta(*theta))
+		case repro.EngineSim, repro.EngineShared:
+			if *flexK <= 0 {
+				opts = append(opts, repro.WithFlexible(repro.UniformFlex(2)))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "mode flexible is not available on engine %s (use -engine model, sim or shared)\n", engine.Name())
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	opts = append(opts, repro.WithEngine(engine))
+	if *workers > 0 {
+		opts = append(opts, repro.WithWorkers(*workers))
+	}
+	if *flexK > 0 {
+		opts = append(opts, repro.WithFlexible(repro.UniformFlex(*flexK)))
+	}
+	if *tol >= 0 {
+		opts = append(opts, repro.WithTol(*tol)) // 0 disables the stop
+	}
+	if *maxIter > 0 {
+		opts = append(opts, repro.WithMaxIter(*maxIter), repro.WithMaxUpdates(*maxIter))
+	}
 
-	res, err := core.Run(cfg)
+	res, err := repro.Solve(inst.Spec, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("problem=%s mode=%s delay=%s n=%d\n", *problem, *mode, dm.Name(), op.Dim())
+
+	// The delay label function only drives the model engine; the other
+	// engines derive their delays from the execution schedule.
+	delayDesc := dm.Name()
+	if engine != repro.EngineModel {
+		delayDesc = "engine-schedule"
+	}
+	fmt.Printf("scenario=%s engine=%s mode=%s delay=%s n=%d\n",
+		name, res.Engine, *mode, delayDesc, dim)
 	fmt.Printf("converged=%v iterations=%d updates=%d residual=%.3e\n",
 		res.Converged, res.Iterations, res.Updates, res.FinalResidual)
-	fmt.Printf("macro-iterations=%d (def2) %d (strict), epochs=%d\n",
-		len(res.Boundaries), len(res.StrictBoundaries), len(res.Epochs))
-	if report != nil {
-		report(res.X)
+	if len(res.Boundaries) > 0 || len(res.Epochs) > 0 {
+		fmt.Printf("macro-iterations=%d (def2) %d (strict), epochs=%d\n",
+			len(res.Boundaries), len(res.StrictBoundaries), len(res.Epochs))
 	}
-	if !res.Converged {
+	if res.Time > 0 {
+		fmt.Printf("virtual time=%.3f messages sent=%d dropped=%d\n",
+			res.Time, res.MessagesSent, res.MessagesDropped)
+	}
+	if res.Elapsed > 0 {
+		fmt.Printf("elapsed=%v updates per worker=%v\n", res.Elapsed, res.UpdatesPerWorker)
+	}
+	if inst.Describe != nil {
+		fmt.Println(inst.Describe(res.X))
+	}
+	// A run with the stop deliberately disabled (-tol 0) completes by
+	// exhausting its budget; that is success, not a convergence failure.
+	if !res.Converged && *tol != 0 {
 		os.Exit(1)
 	}
 }

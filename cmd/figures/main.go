@@ -16,11 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/des"
-	"repro/internal/flexible"
-	"repro/internal/operators"
-	"repro/internal/trace"
-	"repro/internal/vec"
+	"repro"
 )
 
 func main() {
@@ -28,50 +24,51 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write fig1.csv / fig2.csv (optional)")
 	flag.Parse()
 
-	run := func(flex flexible.Schedule) *trace.Log {
-		a := vec.DenseFromRows([][]float64{
+	run := func(flex repro.FlexSchedule) *repro.TraceLog {
+		a := repro.DenseFromRows([][]float64{
 			{0, 0.5},
 			{0.5, 0},
 		})
-		op := operators.NewLinear(a, []float64{1, 1})
-		lg := &trace.Log{}
-		_, err := des.Run(des.Config{
-			Op: op, Workers: 2,
-			X0: []float64{10, 10}, XStar: []float64{2, 2},
-			MaxUpdates: 9,
-			Cost:       des.HeterogeneousCost([]float64{1.0, 1.6}),
-			Latency:    des.FixedLatency(0.25),
-			Flexible:   flex,
-			Seed:       1,
-			Trace:      lg,
-		})
+		op := repro.NewLinear(a, []float64{1, 1})
+		lg := &repro.TraceLog{}
+		_, err := repro.Solve(repro.NewSpec(op),
+			repro.WithEngine(repro.EngineSim),
+			repro.WithWorkers(2),
+			repro.WithX0([]float64{10, 10}), repro.WithXStar([]float64{2, 2}),
+			repro.WithMaxUpdates(9),
+			repro.WithCost(repro.HeterogeneousCost([]float64{1.0, 1.6})),
+			repro.WithLatency(repro.FixedLatency(0.25)),
+			repro.WithFlexible(flex),
+			repro.WithSeed(1),
+			repro.WithTrace(lg),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return lg
 	}
 
-	fig1 := run(flexible.None())
-	fig2 := run(flexible.Uniform(2))
+	fig1 := run(repro.NoFlex())
+	fig2 := run(repro.UniformFlex(2))
 
 	fmt.Println("Figure 1: parallel or distributed asynchronous iterative algorithm")
 	fmt.Println()
-	fmt.Print(trace.RenderGantt(fig1, *width))
+	fmt.Print(repro.RenderGantt(fig1, *width))
 	fmt.Println()
 	fmt.Println("Figure 2: asynchronous iterative algorithm with flexible communication")
 	fmt.Println()
-	fmt.Print(trace.RenderGantt(fig2, *width))
+	fmt.Print(repro.RenderGantt(fig2, *width))
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		for name, lg := range map[string]*trace.Log{"fig1.csv": fig1, "fig2.csv": fig2} {
+		for name, lg := range map[string]*repro.TraceLog{"fig1.csv": fig1, "fig2.csv": fig2} {
 			f, err := os.Create(filepath.Join(*csvDir, name))
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := trace.WriteCSV(f, lg); err != nil {
+			if err := repro.WriteTraceCSV(f, lg); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {

@@ -1,0 +1,126 @@
+package repro
+
+// Deprecated entry points, kept for one release as thin shims over Solve.
+// Each forwards to the engine that replaced it; new code should call Solve
+// with WithEngine (see the migration table at the top of repro.go).
+
+import "fmt"
+
+// RunModel executes the mathematical-model engine.
+//
+// Deprecated: use Solve with WithEngine(EngineModel). The shim forwards to
+// Solve; the only semantic change is that a Workers count without WorkerOf
+// now assigns contiguous component blocks to machines (previously it was
+// ignored).
+func RunModel(cfg ModelConfig) (*ModelResult, error) {
+	rep, err := Solve(Spec{
+		Problem: Problem{Op: cfg.Op, X0: cfg.X0, XStar: cfg.XStar, Weights: cfg.Weights},
+		Dynamics: Dynamics{
+			Delay: cfg.Delay, Steering: cfg.Steering,
+			Theta: cfg.Theta, ValidateConstraint3: cfg.CheckConstraint3,
+		},
+		Execution: Execution{Workers: cfg.Workers, WorkerOf: cfg.WorkerOf},
+		Stopping:  Stopping{Tol: cfg.Tol, MaxIter: cfg.MaxIter, ResidualEvery: cfg.ResidualEvery},
+		Engine:    EngineModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := rep.ModelDetail()
+	if !ok {
+		return nil, fmt.Errorf("repro: engine %q returned no model detail", rep.Engine)
+	}
+	return res, nil
+}
+
+// specFromSimConfig maps the legacy simulator config onto a Spec.
+func specFromSimConfig(cfg SimConfig) Spec {
+	return Spec{
+		Problem:  Problem{Op: cfg.Op, X0: cfg.X0, XStar: cfg.XStar},
+		Dynamics: Dynamics{Flexible: cfg.Flexible},
+		Execution: Execution{
+			Workers: cfg.Workers, Cost: cfg.Cost, Latency: cfg.Latency,
+			DropProb: cfg.DropProb, ApplyStale: cfg.ApplyStale,
+			Neighbors: cfg.Neighbors, Seed: cfg.Seed, Trace: cfg.Trace,
+		},
+		Stopping: Stopping{Tol: cfg.Tol, MaxUpdates: cfg.MaxUpdates, MaxTime: cfg.MaxTime},
+	}
+}
+
+// RunSim executes the asynchronous discrete-event simulator.
+//
+// Deprecated: use Solve with WithEngine(EngineSim). The shim forwards to
+// Solve; Tol without XStar now triggers a synchronous reference solve
+// instead of an error, and Workers defaults to 4 instead of being required.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	rep, err := Solve(specFromSimConfig(cfg), WithEngine(EngineSim))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := rep.SimDetail()
+	if !ok {
+		return nil, fmt.Errorf("repro: engine %q returned no sim detail", rep.Engine)
+	}
+	return res, nil
+}
+
+// RunSimSync executes the barrier-synchronous simulated baseline.
+//
+// Deprecated: use Solve with WithEngine(EngineSimSync). See RunSim for the
+// shim's semantic differences.
+func RunSimSync(cfg SimConfig) (*SimSyncResult, error) {
+	rep, err := Solve(specFromSimConfig(cfg), WithEngine(EngineSimSync))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := rep.SimSyncDetail()
+	if !ok {
+		return nil, fmt.Errorf("repro: engine %q returned no simsync detail", rep.Engine)
+	}
+	return res, nil
+}
+
+// specFromConcurrentConfig maps the legacy goroutine config onto a Spec.
+func specFromConcurrentConfig(cfg ConcurrentConfig) Spec {
+	return Spec{
+		Problem:   Problem{Op: cfg.Op, X0: cfg.X0},
+		Dynamics:  Dynamics{Flexible: cfg.Flexible},
+		Execution: Execution{Workers: cfg.Workers},
+		Stopping: Stopping{
+			Tol: cfg.Tol, SweepsBelowTol: cfg.SweepsBelowTol,
+			MaxUpdatesPerWorker: cfg.MaxUpdatesPerWorker,
+		},
+	}
+}
+
+// RunShared executes the goroutine shared-memory transport.
+//
+// Deprecated: use Solve with WithEngine(EngineShared). The shim forwards to
+// Solve; Workers defaults to 4 instead of being required.
+func RunShared(cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	rep, err := Solve(specFromConcurrentConfig(cfg), WithEngine(EngineShared))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := rep.ConcurrentDetail()
+	if !ok {
+		return nil, fmt.Errorf("repro: engine %q returned no concurrent detail", rep.Engine)
+	}
+	return res, nil
+}
+
+// RunMessage executes the goroutine message-passing transport.
+//
+// Deprecated: use Solve with WithEngine(EngineMessage). The shim forwards
+// to Solve; Workers defaults to 4 instead of being required.
+func RunMessage(cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	rep, err := Solve(specFromConcurrentConfig(cfg), WithEngine(EngineMessage))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := rep.ConcurrentDetail()
+	if !ok {
+		return nil, fmt.Errorf("repro: engine %q returned no concurrent detail", rep.Engine)
+	}
+	return res, nil
+}

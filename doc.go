@@ -6,27 +6,65 @@
 // Possible Out of Order Messages or Flexible Communication for Convex
 // Optimization Problems and Machine Learning" (IPDPS Workshops 2022).
 //
-// The package is a facade over the internal engine and substrate packages;
-// it exposes everything a user needs to
+// The paper's point is that ONE asynchronous iterative scheme (Definitions
+// 1-3) subsumes many execution regimes. The API mirrors that: a single
+// Solve entry point runs one Spec — problem, asynchrony dynamics,
+// execution model, stopping rule — on any of five interchangeable engines:
 //
-//   - define fixed-point operators (affine contractions, gradient and
-//     proximal-gradient operators for composite problems min f+g, network
-//     flow dual relaxations, obstacle problems, Bellman–Ford routing),
-//   - run them under three execution models: the mathematical model of the
-//     paper's Definitions 1 and 3 (explicit steering sets S_j and label
-//     functions l_i(j)), a deterministic discrete-event simulation of
-//     heterogeneous workers and lossy/reordering links, and real goroutine
-//     concurrency over shared-memory or message-passing transports,
-//   - track macro-iteration sequences (Definition 2), epoch sequences
-//     (Mishchenko et al.), and verify the paper's Theorem 1 convergence
-//     bound (5) against measured errors.
+//   - EngineModel   — the mathematical model of Definitions 1 and 3
+//     (explicit steering sets S_j and delay labels l_i(j), deterministic);
+//   - EngineSim     — a deterministic discrete-event simulation of
+//     heterogeneous workers and lossy/reordering links (virtual time);
+//   - EngineSimSync — the barrier-synchronous simulated baseline;
+//   - EngineShared  — real goroutines over per-coordinate atomic shared
+//     memory;
+//   - EngineMessage — real goroutines over lossy buffered channels with
+//     quiescence-based termination detection.
 //
 // Quick start (asynchronous proximal-gradient for lasso):
 //
 //	reg, _ := repro.NewRegression(repro.RegressionConfig{N: 32, Sparsity: 0.5, Reg: 0.1, Seed: 1})
 //	f := reg.Smooth()
 //	op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.05}, repro.MaxStep(f))
-//	res, _ := repro.RunModel(repro.ModelConfig{Op: op, Delay: repro.BoundedRandomDelay{B: 8, Seed: 2}, Tol: 1e-9})
+//	res, _ := repro.Solve(repro.NewSpec(op),
+//		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+//		repro.WithTol(1e-9))
+//	fmt.Println(res.Converged, res.Iterations, res.FinalResidual)
+//
+// The same spec runs unchanged on any other engine:
+//
+//	res, _ = repro.Solve(repro.NewSpec(op),
+//		repro.WithEngine(repro.EngineSim),
+//		repro.WithWorkers(8),
+//		repro.WithCost(repro.HeterogeneousCost([]float64{1, 1, 1, 5})),
+//		repro.WithTol(1e-9))
+//
+// Every engine returns the unified *Report (final iterate, convergence,
+// update counts, residual and error series, macro-iteration and epoch
+// sequences); engine-specific detail stays reachable through
+// Report.ModelDetail, SimDetail, SimSyncDetail and ConcurrentDetail.
+//
+// Named workloads (lasso, ridge, logistic, netflow, obstacle, routing,
+// multigrid) are registered in a scenario registry, so any workload x
+// delay x steering x flexible x engine combination is composable by name:
+//
+//	inst, _ := repro.BuildScenario("lasso", 64, 1)
+//	res, _ := repro.Solve(inst.Spec,
+//		repro.WithEngine(repro.EngineSim),
+//		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}))
+//	fmt.Println(inst.Describe(res.X))
+//
+// or from the CLI: asyncsolve -scenario lasso -engine sim -delay bounded:8.
+// Custom workloads join the registry via RegisterScenario.
+//
+// Beyond solving, the package exposes the paper's analysis apparatus:
+// macro-iteration sequences (Definition 2), epoch sequences (Mishchenko et
+// al.), Theorem 1 bound checking (inequality (5)), delay-condition and
+// constraint (3) validation, and execution tracing.
+//
+// The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
+// RunMessage remain as deprecated shims over Solve for one release; see
+// the migration note at the top of repro.go.
 //
 // See the examples/ directory for complete programs and EXPERIMENTS.md for
 // the reproduction of the paper's figures and claims.

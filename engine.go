@@ -1,0 +1,347 @@
+package repro
+
+// Engines: the interchangeable execution backends behind Solve. Each one
+// adapts an internal engine package to the common Spec/Report contract.
+//
+// Per-engine contract (which Spec knobs are honoured):
+//
+//   - EngineModel   — the mathematical model of Definitions 1 and 3
+//     (internal/core): Problem, Delay, Steering, Theta,
+//     ValidateConstraint3, Workers/WorkerOf (epoch bookkeeping), Tol,
+//     MaxIter, ResidualEvery.
+//   - EngineSim     — the free-running asynchronous discrete-event
+//     simulator (internal/des): Problem, Flexible, Workers, Cost, Latency,
+//     DropProb, ApplyStale, Neighbors, Seed, Trace, Tol, MaxUpdates,
+//     MaxTime.
+//   - EngineSimSync — the barrier-synchronous simulated baseline
+//     (internal/des): Problem, Workers, Cost, Latency, Seed, Tol,
+//     MaxUpdates, MaxTime.
+//   - EngineShared  — goroutines over per-coordinate atomic shared memory
+//     (internal/runtime): Problem (Op, X0), Flexible, Workers, Tol,
+//     SweepsBelowTol, MaxUpdates/MaxUpdatesPerWorker.
+//   - EngineMessage — goroutines over lossy buffered channels
+//     (internal/runtime): Problem (Op, X0), Workers, Tol, SweepsBelowTol,
+//     MaxUpdates/MaxUpdatesPerWorker.
+//
+// Knobs outside an engine's list are ignored, so one Spec can be re-run
+// across engines unchanged. The simulated engines stop on the max-norm
+// error to XStar; when Tol is set and XStar is omitted they first compute a
+// synchronous reference solution (see ensureReference).
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/operators"
+	"repro/internal/runtime"
+	"repro/internal/vec"
+)
+
+// Engine executes a Spec under one regime of the paper's asynchronous
+// iteration scheme.
+type Engine interface {
+	// Name is the stable identifier used by EngineByName and CLI flags.
+	Name() string
+	// Solve runs the iteration and assembles the unified Report.
+	Solve(spec Spec) (*Report, error)
+}
+
+// The built-in engines.
+var (
+	// EngineModel executes the paper's mathematical model (Definitions 1
+	// and 3) deterministically with explicit steering and delay labels.
+	EngineModel Engine = modelEngine{}
+	// EngineSim executes the free-running asynchronous discrete-event
+	// simulation of heterogeneous workers and lossy/reordering links.
+	EngineSim Engine = simEngine{}
+	// EngineSimSync executes the barrier-synchronous simulated baseline.
+	EngineSimSync Engine = simSyncEngine{}
+	// EngineShared executes real goroutines over atomic shared memory.
+	EngineShared Engine = sharedEngine{}
+	// EngineMessage executes real goroutines over lossy message channels.
+	EngineMessage Engine = messageEngine{}
+)
+
+// Engines returns the built-in engines in presentation order.
+func Engines() []Engine {
+	return []Engine{EngineModel, EngineSim, EngineSimSync, EngineShared, EngineMessage}
+}
+
+// EngineByName resolves an engine identifier ("model", "sim", "simsync",
+// "shared", "message"); a few aliases are accepted.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "model", "math":
+		return EngineModel, nil
+	case "sim", "des", "async":
+		return EngineSim, nil
+	case "simsync", "sim-sync", "sync":
+		return EngineSimSync, nil
+	case "shared", "shm":
+		return EngineShared, nil
+	case "message", "msg", "channel":
+		return EngineMessage, nil
+	}
+	return nil, fmt.Errorf("repro: unknown engine %q (want model | sim | simsync | shared | message)", name)
+}
+
+// defaultWorkers is the processor count used by the worker-based engines
+// when Spec.Workers is zero.
+const defaultWorkers = 4
+
+func (s Spec) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return defaultWorkers
+}
+
+// ensureReference fills in spec.XStar with a synchronous reference solution
+// when an engine needs it for error-based stopping. The reference is solved
+// an order of magnitude tighter than the requested tolerance.
+func ensureReference(spec *Spec) error {
+	if spec.Tol <= 0 || spec.XStar != nil {
+		return nil
+	}
+	refTol := spec.Tol / 10
+	if refTol < 1e-14 {
+		refTol = 1e-14
+	}
+	x0 := spec.X0
+	if x0 == nil {
+		x0 = make([]float64, spec.Op.Dim())
+	}
+	xstar, ok := operators.FixedPoint(spec.Op, x0, refTol, 4000000)
+	if !ok {
+		return errors.New("repro: engine stops on the error to XStar and the synchronous reference solve did not converge; provide Spec.Problem.XStar")
+	}
+	spec.XStar = xstar
+	return nil
+}
+
+// blockOwner maps components to contiguous block owners, the partition the
+// worker-based engines use.
+func blockOwner(n, workers int) (func(i int) int, int) {
+	blocks := vec.Blocks(n, workers)
+	owner := make([]int, n)
+	for w, b := range blocks {
+		for i := b[0]; i < b[1]; i++ {
+			owner[i] = w
+		}
+	}
+	return func(i int) int { return owner[i] }, len(blocks)
+}
+
+// ---------------------------------------------------------------------------
+// Model engine.
+
+type modelEngine struct{}
+
+func (modelEngine) Name() string { return "model" }
+
+func (modelEngine) Solve(spec Spec) (*Report, error) {
+	cfg := core.Config{
+		Op:               spec.Op,
+		Steering:         spec.Steering,
+		Delay:            spec.Delay,
+		X0:               spec.X0,
+		Theta:            spec.Theta,
+		MaxIter:          spec.MaxIter,
+		Tol:              spec.Tol,
+		XStar:            spec.XStar,
+		Weights:          spec.Weights,
+		WorkerOf:         spec.WorkerOf,
+		Workers:          spec.Workers,
+		ResidualEvery:    spec.ResidualEvery,
+		CheckConstraint3: spec.ValidateConstraint3,
+	}
+	// Unified Workers semantics: a machine count without an explicit
+	// component-to-machine map means the same contiguous block partition
+	// the other engines use.
+	if cfg.WorkerOf == nil && spec.Workers > 0 {
+		cfg.WorkerOf, cfg.Workers = blockOwner(spec.Op.Dim(), spec.Workers)
+	}
+	r, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Engine:           "model",
+		X:                r.X,
+		Converged:        r.Converged,
+		Iterations:       r.Iterations,
+		Updates:          r.Updates,
+		FinalResidual:    r.FinalResidual,
+		Errors:           r.Errors,
+		Boundaries:       r.Boundaries,
+		StrictBoundaries: r.StrictBoundaries,
+		Epochs:           r.Epochs,
+		Records:          r.Records,
+		model:            r,
+	}
+	rep.finish(spec)
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous discrete-event simulator.
+
+type simEngine struct{}
+
+func (simEngine) Name() string { return "sim" }
+
+func (s Spec) desConfig() des.Config {
+	return des.Config{
+		Op:         s.Op,
+		Workers:    s.workers(),
+		X0:         s.X0,
+		XStar:      s.XStar,
+		Tol:        s.Tol,
+		MaxUpdates: s.MaxUpdates,
+		MaxTime:    s.MaxTime,
+		Cost:       s.Cost,
+		Latency:    s.Latency,
+		DropProb:   s.DropProb,
+		Flexible:   s.Flexible,
+		ApplyStale: s.ApplyStale,
+		Neighbors:  s.Neighbors,
+		Seed:       s.Seed,
+		Trace:      s.Trace,
+	}
+}
+
+func (simEngine) Solve(spec Spec) (*Report, error) {
+	if err := ensureReference(&spec); err != nil {
+		return nil, err
+	}
+	r, err := des.Run(spec.desConfig())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Engine:           "sim",
+		X:                r.X,
+		Converged:        r.Converged,
+		Iterations:       r.Updates,
+		Updates:          r.Updates,
+		FinalError:       r.FinalError,
+		ErrorTrace:       r.ErrorTrace,
+		Boundaries:       r.Boundaries,
+		StrictBoundaries: r.StrictBoundaries,
+		Epochs:           r.Epochs,
+		Records:          r.Records,
+		UpdatesPerWorker: r.UpdatesPerWorker,
+		MessagesSent:     int64(r.MessagesSent),
+		MessagesDropped:  int64(r.MessagesDropped),
+		MessagesStale:    int64(r.MessagesStale),
+		Time:             r.Time,
+		sim:              r,
+	}
+	rep.finish(spec)
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Barrier-synchronous simulated baseline.
+
+type simSyncEngine struct{}
+
+func (simSyncEngine) Name() string { return "simsync" }
+
+func (simSyncEngine) Solve(spec Spec) (*Report, error) {
+	if err := ensureReference(&spec); err != nil {
+		return nil, err
+	}
+	r, err := des.RunSync(spec.desConfig())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Engine:     "simsync",
+		X:          r.X,
+		Converged:  r.Converged,
+		Iterations: r.Rounds,
+		Updates:    r.Rounds * len(r.ComputeTime),
+		FinalError: r.FinalError,
+		ErrorTrace: r.ErrorTrace,
+		Records:    r.Records,
+		Time:       r.Time,
+		simSync:    r,
+	}
+	rep.finish(spec)
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Goroutine engines.
+
+func (s Spec) runtimeConfig() runtime.Config {
+	maxPerWorker := s.MaxUpdatesPerWorker
+	if maxPerWorker <= 0 && s.MaxUpdates > 0 {
+		// Divide by the worker count the runtime will actually use (it
+		// clamps to the dimension), so the total budget stays MaxUpdates.
+		w := s.workers()
+		if n := s.Op.Dim(); w > n {
+			w = n
+		}
+		maxPerWorker = s.MaxUpdates / w
+		if maxPerWorker < 1 {
+			maxPerWorker = 1
+		}
+	}
+	return runtime.Config{
+		Op:                  s.Op,
+		Workers:             s.workers(),
+		X0:                  s.X0,
+		Tol:                 s.Tol,
+		SweepsBelowTol:      s.SweepsBelowTol,
+		MaxUpdatesPerWorker: maxPerWorker,
+		Flexible:            s.Flexible,
+	}
+}
+
+func concurrentReport(engine string, r *runtime.Result, spec Spec) *Report {
+	updates := 0
+	for _, u := range r.UpdatesPerWorker {
+		updates += u
+	}
+	rep := &Report{
+		Engine:           engine,
+		X:                r.X,
+		Converged:        r.Converged,
+		Updates:          updates,
+		UpdatesPerWorker: r.UpdatesPerWorker,
+		MessagesSent:     r.MessagesSent,
+		MessagesDropped:  r.MessagesDropped,
+		Elapsed:          r.Elapsed,
+		concurrent:       r,
+	}
+	rep.finish(spec)
+	return rep
+}
+
+type sharedEngine struct{}
+
+func (sharedEngine) Name() string { return "shared" }
+
+func (sharedEngine) Solve(spec Spec) (*Report, error) {
+	r, err := runtime.RunShared(spec.runtimeConfig())
+	if err != nil {
+		return nil, err
+	}
+	return concurrentReport("shared", r, spec), nil
+}
+
+type messageEngine struct{}
+
+func (messageEngine) Name() string { return "message" }
+
+func (messageEngine) Solve(spec Spec) (*Report, error) {
+	r, err := runtime.RunMessage(spec.runtimeConfig())
+	if err != nil {
+		return nil, err
+	}
+	return concurrentReport("message", r, spec), nil
+}

@@ -9,8 +9,50 @@ import (
 	"repro"
 )
 
-// ExampleRunModel shows the mathematical-model engine executing the paper's
-// Definition 1 on a two-dimensional affine contraction with fresh labels.
+// ExampleSolve shows the unified entry point: one spec, any engine. Here
+// the paper's Definition 1 runs on a two-dimensional affine contraction
+// with fresh labels under the mathematical-model engine.
+func ExampleSolve() {
+	a := repro.DenseFromRows([][]float64{
+		{0, 0.5},
+		{0.5, 0},
+	})
+	op := repro.NewLinear(a, []float64{1, 1}) // fixed point (2, 2)
+	res, err := repro.Solve(repro.NewSpec(op),
+		repro.WithEngine(repro.EngineModel),
+		repro.WithXStar([]float64{2, 2}),
+		repro.WithTol(1e-10),
+		repro.WithMaxIter(10000),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged=%v x=(%.3f, %.3f)\n", res.Converged, res.X[0], res.X[1])
+	// Output: converged=true x=(2.000, 2.000)
+}
+
+// ExampleSolve_scenario composes a registered workload with a delay model
+// and engine by name — the combination the CLI exposes as
+// "asyncsolve -scenario routing -delay ooo:8".
+func ExampleSolve_scenario() {
+	inst, err := repro.BuildScenario("routing", 16, 3)
+	if err != nil {
+		panic(err)
+	}
+	dm, err := repro.ParseDelay("ooo:8", 3)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Solve(inst.Spec, repro.WithDelay(dm))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged=%v error=%.1e\n", res.Converged, res.FinalError)
+	// Output: converged=true error=0.0e+00
+}
+
+// ExampleRunModel shows the deprecated config-struct entry point, kept as a
+// shim over Solve (see the migration note in repro.go).
 func ExampleRunModel() {
 	a := repro.DenseFromRows([][]float64{
 		{0, 0.5},

@@ -32,9 +32,12 @@ func main() {
 
 	// Distributed asynchronous training: goroutine workers over channels,
 	// lossy non-blocking sends, quiescence detection.
-	res, err := repro.RunMessage(repro.ConcurrentConfig{
-		Op: op, Workers: 4, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 20,
-	})
+	res, err := repro.Solve(repro.NewSpec(op),
+		repro.WithEngine(repro.EngineMessage),
+		repro.WithWorkers(4),
+		repro.WithTol(1e-9),
+		repro.WithMaxUpdatesPerWorker(1<<20),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

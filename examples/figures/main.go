@@ -28,16 +28,17 @@ func main() {
 
 	run := func(flex repro.FlexSchedule) *repro.TraceLog {
 		lg := &repro.TraceLog{}
-		_, err := repro.RunSim(repro.SimConfig{
-			Op: op, Workers: 2,
-			X0: []float64{10, 10}, XStar: xstar,
-			MaxUpdates: 9,
-			Cost:       repro.HeterogeneousCost([]float64{1.0, 1.6}),
-			Latency:    repro.FixedLatency(0.25),
-			Flexible:   flex,
-			Seed:       1,
-			Trace:      lg,
-		})
+		_, err := repro.Solve(repro.NewSpec(op),
+			repro.WithEngine(repro.EngineSim),
+			repro.WithWorkers(2),
+			repro.WithX0([]float64{10, 10}), repro.WithXStar(xstar),
+			repro.WithMaxUpdates(9),
+			repro.WithCost(repro.HeterogeneousCost([]float64{1.0, 1.6})),
+			repro.WithLatency(repro.FixedLatency(0.25)),
+			repro.WithFlexible(flex),
+			repro.WithSeed(1),
+			repro.WithTrace(lg),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

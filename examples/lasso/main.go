@@ -44,34 +44,37 @@ func main() {
 	costs := []float64{1, 1, 1, 5}
 	tol := 1e-8
 
-	base := repro.SimConfig{
-		Op: op, Workers: workers, X0: x0, XStar: xstar, Tol: tol,
-		MaxUpdates: 5000000,
-		Cost:       repro.HeterogeneousCost(costs),
-		Latency:    repro.FixedLatency(0.3),
-		Seed:       11,
-	}
+	// One spec, three engines: the barrier-synchronous baseline, the
+	// free-running asynchronous simulator, and the same with flexible
+	// communication — switched by Solve options.
+	base := repro.NewSpec(op,
+		repro.WithX0(x0), repro.WithXStar(xstar), repro.WithTol(tol),
+		repro.WithMaxUpdates(5000000),
+		repro.WithWorkers(workers),
+		repro.WithCost(repro.HeterogeneousCost(costs)),
+		repro.WithLatency(repro.FixedLatency(0.3)),
+		repro.WithSeed(11),
+	)
 
 	table := repro.NewTable(
 		"lasso training on a 4-worker cluster with a 5x straggler (virtual time)",
 		"mode", "virtual time", "updates", "speedup vs sync")
 
-	syncRes, err := repro.RunSimSync(base)
+	syncRes, err := repro.Solve(base, repro.WithEngine(repro.EngineSimSync))
 	if err != nil {
 		log.Fatal(err)
 	}
-	table.AddRow("synchronous (barrier)", syncRes.Time, syncRes.Rounds*workers, 1.0)
+	table.AddRow("synchronous (barrier)", syncRes.Time, syncRes.Updates, 1.0)
 
-	asyncRes, err := repro.RunSim(base)
+	asyncRes, err := repro.Solve(base, repro.WithEngine(repro.EngineSim))
 	if err != nil {
 		log.Fatal(err)
 	}
 	table.AddRow("asynchronous", asyncRes.Time, asyncRes.Updates,
 		repro.Speedup(syncRes.Time, asyncRes.Time))
 
-	flexCfg := base
-	flexCfg.Flexible = repro.UniformFlex(4)
-	flexRes, err := repro.RunSim(flexCfg)
+	flexRes, err := repro.Solve(base, repro.WithEngine(repro.EngineSim),
+		repro.WithFlexible(repro.UniformFlex(4)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,15 +82,16 @@ func main() {
 		repro.Speedup(syncRes.Time, flexRes.Time))
 
 	fmt.Print(table)
+	syncDetail, _ := syncRes.SimSyncDetail()
 	fmt.Printf("\nsync idle time per worker: %.1f (fast) vs %.1f (straggler)\n",
-		syncRes.IdleTime[0], syncRes.IdleTime[3])
+		syncDetail.IdleTime[0], syncDetail.IdleTime[3])
 
-	// Real concurrency: goroutines over atomic shared memory.
-	conc, err := repro.RunShared(repro.ConcurrentConfig{
-		Op: op, Workers: workers, X0: x0, Tol: 1e-10,
-		MaxUpdatesPerWorker: 1 << 20,
-		Flexible:            repro.UniformFlex(2),
-	})
+	// Real concurrency: goroutines over atomic shared memory — the same
+	// spec again, on the shared-memory engine.
+	conc, err := repro.Solve(base, repro.WithEngine(repro.EngineShared),
+		repro.WithTol(1e-10),
+		repro.WithMaxUpdatesPerWorker(1<<20),
+		repro.WithFlexible(repro.UniformFlex(2)))
 	if err != nil {
 		log.Fatal(err)
 	}

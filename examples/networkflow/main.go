@@ -32,14 +32,13 @@ func main() {
 	repSync := net.CheckKKT(pstar)
 
 	// Totally asynchronous run: out-of-order label reads with window 16.
-	res, err := repro.RunModel(repro.ModelConfig{
-		Op:       op,
-		Steering: repro.NewCyclic(net.NumNodes),
-		Delay:    repro.OutOfOrderDelay{W: 16, Seed: 5},
-		XStar:    pstar,
-		Tol:      1e-9,
-		MaxIter:  5000000,
-	})
+	res, err := repro.Solve(repro.NewSpec(op),
+		repro.WithSteering(repro.NewCyclic(net.NumNodes)),
+		repro.WithDelay(repro.OutOfOrderDelay{W: 16, Seed: 5}),
+		repro.WithXStar(pstar),
+		repro.WithTol(1e-9),
+		repro.WithMaxIter(5000000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

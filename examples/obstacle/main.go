@@ -35,21 +35,20 @@ func main() {
 		"data-exchange frequency study (async projected relaxation, 4 workers, virtual time)",
 		"exchange period q", "plain async time", "flexible async time")
 	for _, q := range []int{1, 2, 4, 8, 16} {
-		base := repro.SimConfig{
-			Op: p, Workers: 4,
-			X0: p.Supersolution(), XStar: ustar, Tol: 1e-6,
-			MaxUpdates: 10000000,
-			Cost:       repro.UniformCost(1),
-			Latency:    repro.FixedLatency(0.4 * float64(q)),
-			Seed:       uint64(100 + q),
-		}
-		plain, err := repro.RunSim(base)
+		base := repro.NewSpec(p,
+			repro.WithEngine(repro.EngineSim),
+			repro.WithWorkers(4),
+			repro.WithX0(p.Supersolution()), repro.WithXStar(ustar),
+			repro.WithTol(1e-6), repro.WithMaxUpdates(10000000),
+			repro.WithCost(repro.UniformCost(1)),
+			repro.WithLatency(repro.FixedLatency(0.4*float64(q))),
+			repro.WithSeed(uint64(100+q)),
+		)
+		plain, err := repro.Solve(base)
 		if err != nil {
 			log.Fatal(err)
 		}
-		flexCfg := base
-		flexCfg.Flexible = repro.UniformFlex(2)
-		flex, err := repro.RunSim(flexCfg)
+		flex, err := repro.Solve(base, repro.WithFlexible(repro.UniformFlex(2)))
 		if err != nil {
 			log.Fatal(err)
 		}

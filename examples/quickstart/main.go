@@ -42,24 +42,27 @@ func main() {
 
 	// 4. Asynchronous iteration with flexible communication: bounded random
 	//    delays (chaotic relaxation regime) and reads blended 50% toward
-	//    the freshest partial state.
-	res, err := repro.RunModel(repro.ModelConfig{
-		Op:      op,
-		Delay:   repro.BoundedRandomDelay{B: 8, Seed: 2},
-		Theta:   0.5,
-		XStar:   ystar,
-		Tol:     1e-10,
-		MaxIter: 500000,
-	})
+	//    the freshest partial state. One Solve call; the engine option
+	//    switches the execution regime without touching the spec.
+	res, err := repro.Solve(repro.NewSpec(op),
+		repro.WithEngine(repro.EngineModel),
+		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+		repro.WithTheta(0.5),
+		repro.WithXStar(ystar),
+		repro.WithTol(1e-10),
+		repro.WithMaxIter(500000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("async run: converged=%v iterations=%d macro-iterations=%d epochs=%d\n",
 		res.Converged, res.Iterations, len(res.Boundaries), len(res.Epochs))
 
-	// 5. Check the paper's inequality (5) against the measured errors.
+	// 5. Check the paper's inequality (5) against the measured errors via
+	//    the model engine's typed detail.
+	detail, _ := res.ModelDetail()
 	rho := repro.TheoreticalRho(f, gamma)
-	rep, err := repro.CheckTheorem1(res, rho)
+	rep, err := repro.CheckTheorem1(detail, rho)
 	if err != nil {
 		log.Fatal(err)
 	}

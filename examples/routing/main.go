@@ -25,15 +25,14 @@ func main() {
 		g.N, g.NumEdges())
 
 	want := g.Dijkstra(0)
-	res, err := repro.RunModel(repro.ModelConfig{
-		Op:       op,
-		Steering: repro.NewRandomSubset(g.N, 4, 9),
-		Delay:    repro.SqrtGrowthDelay{}, // Baudet's unbounded-delay regime
-		X0:       op.InitialDistances(),
-		XStar:    want,
-		Tol:      1e-12,
-		MaxIter:  5000000,
-	})
+	res, err := repro.Solve(repro.NewSpec(op),
+		repro.WithSteering(repro.NewRandomSubset(g.N, 4, 9)),
+		repro.WithDelay(repro.SqrtGrowthDelay{}), // Baudet's unbounded-delay regime
+		repro.WithX0(op.InitialDistances()),
+		repro.WithXStar(want),
+		repro.WithTol(1e-12),
+		repro.WithMaxIter(5000000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,15 +44,14 @@ func main() {
 	g.SetWeight(0, 1, 0.1)
 	g.SetWeight(1, 0, 0.1)
 	want2 := g.Dijkstra(0)
-	res2, err := repro.RunModel(repro.ModelConfig{
-		Op:       op,
-		Steering: repro.NewCyclic(g.N),
-		Delay:    repro.OutOfOrderDelay{W: 12, Seed: 10},
-		X0:       d,
-		XStar:    want2,
-		Tol:      1e-12,
-		MaxIter:  5000000,
-	})
+	res2, err := repro.Solve(repro.NewSpec(op),
+		repro.WithSteering(repro.NewCyclic(g.N)),
+		repro.WithDelay(repro.OutOfOrderDelay{W: 12, Seed: 10}),
+		repro.WithX0(d),
+		repro.WithXStar(want2),
+		repro.WithTol(1e-12),
+		repro.WithMaxIter(5000000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,7 +3,7 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/delay"
 	"repro/internal/des"
 	"repro/internal/macroiter"
@@ -40,17 +40,21 @@ func E1() *Report {
 	sys, rhs := diagDominantSystem(2, 3)
 	op := operators.JacobiFromSystem(sys, rhs)
 	xstar, _ := sys.SolveGaussian(rhs)
-	res, err := des.Run(des.Config{
-		Op: op, Workers: 2, X0: offsetStart(xstar), XStar: xstar,
-		MaxUpdates: 4000,
-		Cost: func(w, k int) float64 {
-			if w == 0 {
-				return 1
-			}
-			return float64(k)
+	res, err := repro.Solve(repro.Spec{
+		Problem: repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+		Execution: repro.Execution{
+			Workers: 2,
+			Cost: func(w, k int) float64 {
+				if w == 0 {
+					return 1
+				}
+				return float64(k)
+			},
+			Latency: des.FixedLatency(0.01),
+			Seed:    4,
 		},
-		Latency: des.FixedLatency(0.01),
-		Seed:    4,
+		Stopping: repro.Stopping{MaxUpdates: 4000},
+		Engine:   repro.EngineSim,
 	})
 	if err != nil {
 		rep.Note("DES error: %v", err)
@@ -91,21 +95,18 @@ func E2() *Report {
 		rep.Note("reference solve failed")
 		return rep
 	}
-	res, err := core.Run(core.Config{
-		Op:      op,
-		Delay:   delay.BoundedRandom{B: 8, Seed: 22},
-		Theta:   0.5,
-		X0:      offsetStart(ystar),
-		XStar:   ystar,
-		Tol:     1e-11,
-		MaxIter: 2000000,
+	res, err := repro.Solve(repro.Spec{
+		Problem:  repro.Problem{Op: op, X0: offsetStart(ystar), XStar: ystar},
+		Dynamics: repro.Dynamics{Delay: delay.BoundedRandom{B: 8, Seed: 22}, Theta: 0.5},
+		Stopping: repro.Stopping{Tol: 1e-11, MaxIter: 2000000},
 	})
 	if err != nil || !res.Converged {
 		rep.Note("run failed: err=%v", err)
 		return rep
 	}
+	mres, _ := res.ModelDetail()
 	rho := operators.TheoreticalRho(f, gamma)
-	t1, err := core.CheckTheorem1(res, rho)
+	t1, err := repro.CheckTheorem1(mres, rho)
 	if err != nil {
 		rep.Note("check error: %v", err)
 		return rep
@@ -148,22 +149,26 @@ func E3() *Report {
 	var spFirst, spLast float64
 	for _, imb := range []float64{1, 2, 4, 8} {
 		costs := []float64{1, 1, 1, imb}
-		base := des.Config{
-			Op: op, Workers: 4, X0: x0, XStar: xstar, Tol: 1e-8,
-			MaxUpdates: 4000000,
-			Cost:       des.HeterogeneousCost(costs),
-			Latency:    des.FixedLatency(0.2),
-			Seed:       32,
+		base := repro.Spec{
+			Problem: repro.Problem{Op: op, X0: x0, XStar: xstar},
+			Execution: repro.Execution{
+				Workers: 4,
+				Cost:    des.HeterogeneousCost(costs),
+				Latency: des.FixedLatency(0.2),
+				Seed:    32,
+			},
+			Stopping: repro.Stopping{Tol: 1e-8, MaxUpdates: 4000000},
 		}
-		syncRes, err1 := des.RunSync(base)
-		asyncRes, err2 := des.Run(base)
+		syncRes, err1 := repro.Solve(base, repro.WithEngine(repro.EngineSimSync))
+		asyncRes, err2 := repro.Solve(base, repro.WithEngine(repro.EngineSim))
 		if err1 != nil || err2 != nil || !syncRes.Converged || !asyncRes.Converged {
 			rep.Note("imbalance %v: run failed", imb)
 			pass = false
 			continue
 		}
+		syncDetail, _ := syncRes.SimSyncDetail()
 		sp := metrics.Speedup(syncRes.Time, asyncRes.Time)
-		tb.AddRow(imb, syncRes.Time, asyncRes.Time, sp, syncRes.IdleTime[0])
+		tb.AddRow(imb, syncRes.Time, asyncRes.Time, sp, syncDetail.IdleTime[0])
 		if imb == 1 {
 			spFirst = sp
 		}
@@ -197,23 +202,25 @@ func E4() *Report {
 	}
 	tb := metrics.NewTable("6x6 grid, 4 workers, long phases (cost 4) over fast links (latency 0.05)",
 		"mode", "virtual time", "updates", "partial sends")
-	base := des.Config{
-		Op: op, Workers: 4, X0: offsetStart(pstar), XStar: pstar, Tol: 1e-7,
-		MaxUpdates: 4000000,
-		Cost:       des.UniformCost(4),
-		Latency:    des.FixedLatency(0.05),
-		Seed:       41,
+	base := repro.Spec{
+		Problem: repro.Problem{Op: op, X0: offsetStart(pstar), XStar: pstar},
+		Execution: repro.Execution{
+			Workers: 4,
+			Cost:    des.UniformCost(4),
+			Latency: des.FixedLatency(0.05),
+			Seed:    41,
+		},
+		Stopping: repro.Stopping{Tol: 1e-7, MaxUpdates: 4000000},
+		Engine:   repro.EngineSim,
 	}
-	plain, err := des.Run(base)
+	plain, err := repro.Solve(base)
 	if err != nil || !plain.Converged {
 		rep.Note("plain run failed: %v", err)
 		return rep
 	}
 	tb.AddRow("plain async", plain.Time, plain.Updates, 0)
 
-	flexCfg := base
-	flexCfg.Flexible = flexSchedule4()
-	flex, err := des.Run(flexCfg)
+	flex, err := repro.Solve(base, repro.WithFlexible(flexSchedule4()))
 	if err != nil || !flex.Converged {
 		rep.Note("flexible run failed: %v", err)
 		return rep
@@ -249,13 +256,10 @@ func E5() *Report {
 		} else {
 			dm = delay.OutOfOrder{W: w, Seed: uint64(50 + w)}
 		}
-		res, err := core.Run(core.Config{
-			Op:       op,
-			Steering: steering.NewCyclic(8),
-			Delay:    dm,
-			X0:       offsetStart(xstar),
-			XStar:    xstar,
-			MaxIter:  20000,
+		res, err := repro.Solve(repro.Spec{
+			Problem:  repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+			Dynamics: repro.Dynamics{Steering: steering.NewCyclic(8), Delay: dm},
+			Stopping: repro.Stopping{MaxIter: 20000},
 		})
 		if err != nil {
 			rep.Note("window %d: %v", w, err)

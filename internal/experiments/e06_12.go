@@ -3,7 +3,7 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/delay"
 	"repro/internal/des"
 	"repro/internal/flexible"
@@ -42,18 +42,19 @@ func E6() *Report {
 	pass := true
 	var first, last float64
 	for _, q := range []int{1, 2, 4, 8, 16} {
-		base := des.Config{
-			Op: p, Workers: 4,
-			X0: p.Supersolution(), XStar: ustar, Tol: 1e-6,
-			MaxUpdates: 10000000,
-			Cost:       des.UniformCost(1),
-			Latency:    des.FixedLatency(0.4 * float64(q)),
-			Seed:       uint64(60 + q),
+		base := repro.Spec{
+			Problem: repro.Problem{Op: p, X0: p.Supersolution(), XStar: ustar},
+			Execution: repro.Execution{
+				Workers: 4,
+				Cost:    des.UniformCost(1),
+				Latency: des.FixedLatency(0.4 * float64(q)),
+				Seed:    uint64(60 + q),
+			},
+			Stopping: repro.Stopping{Tol: 1e-6, MaxUpdates: 10000000},
+			Engine:   repro.EngineSim,
 		}
-		plain, err1 := des.Run(base)
-		flexCfg := base
-		flexCfg.Flexible = flexible.Uniform(2)
-		flex, err2 := des.Run(flexCfg)
+		plain, err1 := repro.Solve(base)
+		flex, err2 := repro.Solve(base, repro.WithFlexible(flexible.Uniform(2)))
 		if err1 != nil || err2 != nil || !plain.Converged || !flex.Converged {
 			rep.Note("q=%d: run failed", q)
 			pass = false
@@ -108,14 +109,10 @@ func E7() *Report {
 			delay.SqrtGrowth{},
 			delay.OutOfOrder{W: 16, Seed: c.seed + 2},
 		} {
-			res, err := core.Run(core.Config{
-				Op:       op,
-				Steering: steering.NewCyclic(g.N),
-				Delay:    dm,
-				X0:       op.InitialDistances(),
-				XStar:    want,
-				Tol:      1e-12,
-				MaxIter:  8000000,
+			res, err := repro.Solve(repro.Spec{
+				Problem:  repro.Problem{Op: op, X0: op.InitialDistances(), XStar: want},
+				Dynamics: repro.Dynamics{Steering: steering.NewCyclic(g.N), Delay: dm},
+				Stopping: repro.Stopping{Tol: 1e-12, MaxIter: 8000000},
 			})
 			if err != nil || !res.Converged {
 				rep.Note("%s/%s failed", c.name, dm.Name())
@@ -153,11 +150,11 @@ func E8() *Report {
 	pass := true
 	var t0 float64
 	for _, dp := range []float64{0, 0.1, 0.3, 0.5} {
-		res, err := des.Run(des.Config{
-			Op: op, Workers: 4, X0: offsetStart(xstar), XStar: xstar, Tol: 1e-8,
-			MaxUpdates: 4000000,
-			DropProb:   dp,
-			Seed:       82,
+		res, err := repro.Solve(repro.Spec{
+			Problem:   repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+			Execution: repro.Execution{Workers: 4, DropProb: dp, Seed: 82},
+			Stopping:  repro.Stopping{Tol: 1e-8, MaxUpdates: 4000000},
+			Engine:    repro.EngineSim,
 		})
 		if err != nil || !res.Converged {
 			rep.Note("drop %v: failed", dp)
@@ -207,22 +204,19 @@ func E9() *Report {
 			pass = false
 			continue
 		}
-		res, err := core.Run(core.Config{
-			Op:      op,
-			Delay:   delay.BoundedRandom{B: 6, Seed: 92},
-			Theta:   0.5,
-			X0:      offsetStart(ystar),
-			XStar:   ystar,
-			Tol:     1e-11,
-			MaxIter: 4000000,
+		res, err := repro.Solve(repro.Spec{
+			Problem:  repro.Problem{Op: op, X0: offsetStart(ystar), XStar: ystar},
+			Dynamics: repro.Dynamics{Delay: delay.BoundedRandom{B: 6, Seed: 92}, Theta: 0.5},
+			Stopping: repro.Stopping{Tol: 1e-11, MaxIter: 4000000},
 		})
 		if err != nil || !res.Converged {
 			rep.Note("gamma frac %v: run failed", fr)
 			pass = false
 			continue
 		}
+		mres, _ := res.ModelDetail()
 		rho := operators.TheoreticalRho(f, gamma)
-		t1, err := core.CheckTheorem1(res, rho)
+		t1, err := repro.CheckTheorem1(mres, rho)
 		if err != nil {
 			rep.Note("gamma frac %v: %v", fr, err)
 			pass = false
@@ -270,15 +264,18 @@ func E10() *Report {
 	var syncBase, asyncBase float64
 	pass := true
 	for _, p := range []int{1, 2, 4, 8, 16} {
-		cfg := des.Config{
-			Op: op, Workers: p, X0: x0, XStar: xstar, Tol: 1e-8,
-			MaxUpdates: 8000000,
-			Cost:       costFor(p),
-			Latency:    des.JitterLatency(0.2, 3.0),
-			Seed:       uint64(102 + p),
+		cfg := repro.Spec{
+			Problem: repro.Problem{Op: op, X0: x0, XStar: xstar},
+			Execution: repro.Execution{
+				Workers: p,
+				Cost:    costFor(p),
+				Latency: des.JitterLatency(0.2, 3.0),
+				Seed:    uint64(102 + p),
+			},
+			Stopping: repro.Stopping{Tol: 1e-8, MaxUpdates: 8000000},
 		}
-		syncRes, err1 := des.RunSync(cfg)
-		asyncRes, err2 := des.Run(cfg)
+		syncRes, err1 := repro.Solve(cfg, repro.WithEngine(repro.EngineSimSync))
+		asyncRes, err2 := repro.Solve(cfg, repro.WithEngine(repro.EngineSim))
 		if err1 != nil || err2 != nil || !syncRes.Converged || !asyncRes.Converged {
 			rep.Note("p=%d: failed", p)
 			pass = false
@@ -322,14 +319,10 @@ func E11() *Report {
 	pass := true
 	var freshIters, worstBoundedIters int
 	for _, m := range models {
-		res, err := core.Run(core.Config{
-			Op:       op,
-			Steering: steering.NewCyclic(16),
-			Delay:    m,
-			X0:       offsetStart(xstar),
-			XStar:    xstar,
-			Tol:      1e-9,
-			MaxIter:  8000000,
+		res, err := repro.Solve(repro.Spec{
+			Problem:  repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+			Dynamics: repro.Dynamics{Steering: steering.NewCyclic(16), Delay: m},
+			Stopping: repro.Stopping{Tol: 1e-9, MaxIter: 8000000},
 		})
 		if err != nil || !res.Converged {
 			rep.Note("%s: failed", m.Name())
@@ -397,24 +390,24 @@ func E12() *Report {
 	pass := true
 	var itersAt0, itersAt1 int
 	for _, theta := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		res, err := core.Run(core.Config{
-			Op:               op,
-			Steering:         steering.NewCyclic(n),
-			Delay:            delay.BoundedRandom{B: 16, Seed: 122},
-			Theta:            theta,
-			X0:               x0,
-			XStar:            xstar,
-			Tol:              1e-10,
-			MaxIter:          8000000,
-			CheckConstraint3: true,
+		res, err := repro.Solve(repro.Spec{
+			Problem: repro.Problem{Op: op, X0: x0, XStar: xstar},
+			Dynamics: repro.Dynamics{
+				Steering:            steering.NewCyclic(n),
+				Delay:               delay.BoundedRandom{B: 16, Seed: 122},
+				Theta:               theta,
+				ValidateConstraint3: true,
+			},
+			Stopping: repro.Stopping{Tol: 1e-10, MaxIter: 8000000},
 		})
 		if err != nil || !res.Converged {
 			rep.Note("theta %v: failed", theta)
 			pass = false
 			continue
 		}
-		tb.AddRow(theta, res.Iterations, res.Constraint3Violations, res.Converged)
-		if res.Constraint3Violations != 0 {
+		mres, _ := res.ModelDetail()
+		tb.AddRow(theta, res.Iterations, mres.Constraint3Violations, res.Converged)
+		if mres.Constraint3Violations != 0 {
 			pass = false
 		}
 		if theta == 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro"
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/macroiter"
@@ -63,14 +64,13 @@ func E13() *Report {
 	pass := true
 	iters := map[string]int{}
 	for _, op := range ops {
-		res, err := core.Run(core.Config{
-			Op:       op,
-			Steering: steering.NewCyclic(n),
-			Delay:    delay.BoundedRandom{B: 8, Seed: 132},
-			X0:       offsetStart(xstar),
-			XStar:    xstar,
-			Tol:      1e-10,
-			MaxIter:  4000000,
+		res, err := repro.Solve(repro.Spec{
+			Problem: repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+			Dynamics: repro.Dynamics{
+				Steering: steering.NewCyclic(n),
+				Delay:    delay.BoundedRandom{B: 8, Seed: 132},
+			},
+			Stopping: repro.Stopping{Tol: 1e-10, MaxIter: 4000000},
 		})
 		if err != nil || !res.Converged {
 			rep.Note("%s failed", op.Name())

@@ -3,7 +3,7 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/delay"
 	"repro/internal/metrics"
 	"repro/internal/operators"
@@ -57,7 +57,7 @@ func E17() *Report {
 		g := r * math.Sin(theta) / (1 - r*math.Cos(theta))
 		gain := g * g
 
-		outcome := func(res *core.Result, err error) string {
+		outcome := func(res *repro.Report, err error) string {
 			if err != nil {
 				return "error"
 			}
@@ -72,20 +72,15 @@ func E17() *Report {
 			}
 		}
 
-		sync := outcome(core.Run(core.Config{
-			Op: op, Delay: delay.Fresh{},
-			X0: offsetStart(xstar), XStar: xstar, Tol: 1e-9, MaxIter: 100000,
-		}))
-		random := outcome(core.Run(core.Config{
-			Op: op, Delay: delay.BoundedRandom{B: 16, Seed: 171},
-			X0: offsetStart(xstar), XStar: xstar, Tol: 1e-9, MaxIter: 100000,
-		}))
-		adversarial := outcome(core.Run(core.Config{
-			Op:       op,
-			Steering: newExhaustivePhases(2, 40),
-			Delay:    delay.Fresh{},
-			X0:       offsetStart(xstar), XStar: xstar, Tol: 1e-9, MaxIter: 100000,
-		}))
+		base := repro.Spec{
+			Problem:  repro.Problem{Op: op, X0: offsetStart(xstar), XStar: xstar},
+			Stopping: repro.Stopping{Tol: 1e-9, MaxIter: 100000},
+		}
+		sync := outcome(repro.Solve(base, repro.WithDelay(delay.Fresh{})))
+		random := outcome(repro.Solve(base, repro.WithDelay(delay.BoundedRandom{B: 16, Seed: 171})))
+		adversarial := outcome(repro.Solve(base,
+			repro.WithDelay(delay.Fresh{}),
+			repro.WithSteering(newExhaustivePhases(2, 40))))
 		tb.AddRow(r, r, r*math.Sqrt2, gain, sync, random, adversarial)
 
 		if sync != "conv" || random != "conv" {

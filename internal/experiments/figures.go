@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro"
 	"repro/internal/des"
 	"repro/internal/flexible"
 	"repro/internal/metrics"
@@ -11,22 +12,25 @@ import (
 
 // figureRun executes the schematic two-processor run of the paper's
 // figures and returns its trace.
-func figureRun(flex flexible.Schedule) (*trace.Log, *des.Result, error) {
+func figureRun(flex flexible.Schedule) (*trace.Log, *repro.Report, error) {
 	a := vec.DenseFromRows([][]float64{
 		{0, 0.5},
 		{0.5, 0},
 	})
 	op := operators.NewLinear(a, []float64{1, 1}) // fixed point (2, 2)
 	lg := &trace.Log{}
-	res, err := des.Run(des.Config{
-		Op: op, Workers: 2,
-		X0: []float64{10, 10}, XStar: []float64{2, 2},
-		MaxUpdates: 9,
-		Cost:       des.HeterogeneousCost([]float64{1.0, 1.6}),
-		Latency:    des.FixedLatency(0.25),
-		Flexible:   flex,
-		Seed:       1,
-		Trace:      lg,
+	res, err := repro.Solve(repro.Spec{
+		Problem:  repro.Problem{Op: op, X0: []float64{10, 10}, XStar: []float64{2, 2}},
+		Dynamics: repro.Dynamics{Flexible: flex},
+		Execution: repro.Execution{
+			Workers: 2,
+			Cost:    des.HeterogeneousCost([]float64{1.0, 1.6}),
+			Latency: des.FixedLatency(0.25),
+			Seed:    1,
+			Trace:   lg,
+		},
+		Stopping: repro.Stopping{MaxUpdates: 9},
+		Engine:   repro.EngineSim,
 	})
 	return lg, res, err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	gort "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,6 +137,12 @@ func RunShared(cfg Config) (*Result, error) {
 				if cfg.Tol > 0 {
 					if delta <= cfg.Tol {
 						streaks[w].Add(1)
+						// Locally converged: yield the processor so peers can
+						// advance. Without this, an oversubscribed or
+						// single-CPU schedule lets one worker burn its entire
+						// update budget re-relaxing an already-converged block
+						// while its peers are descheduled with stale blocks.
+						gort.Gosched()
 					} else {
 						streaks[w].Store(0)
 					}

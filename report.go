@@ -1,0 +1,105 @@
+package repro
+
+// The unified Report: every engine reports the shared outcome (final
+// iterate, convergence, counts, error/residual series, macro-iteration
+// sequences) in the same shape, so metrics and trace tooling consume any
+// engine's run uniformly. Engine-specific detail stays reachable through
+// the typed accessors.
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/operators"
+	"repro/internal/runtime"
+	"repro/internal/vec"
+)
+
+// TimedError is a (virtual time, max-norm error) sample of the simulated
+// engines' error trajectories.
+type TimedError = des.TimedError
+
+// Report is the outcome of one Solve call, uniform across engines. Fields
+// an engine does not produce are zero; see the Engine docs in engine.go for
+// the per-engine contract.
+type Report struct {
+	// Engine is the name of the engine that produced this report.
+	Engine string
+	// X is the final iterate.
+	X []float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// Iterations counts global iterations (model), updating phases (sim),
+	// or barrier rounds (simsync); zero on the goroutine engines, whose
+	// per-worker counts are in UpdatesPerWorker.
+	Iterations int
+	// Updates is the total number of component/block relaxations.
+	Updates int
+	// FinalResidual is the fixed-point residual ||F(x) - x||_inf at X.
+	FinalResidual float64
+	// FinalError is ||X - XStar||_inf (when XStar is known).
+	FinalError float64
+	// Errors[j] is the per-iteration max-norm error series (model engine
+	// with XStar).
+	Errors []float64
+	// ErrorTrace samples (virtual time, error) (simulated engines with
+	// XStar).
+	ErrorTrace []TimedError
+	// Boundaries is the Definition 2 macro-iteration sequence.
+	Boundaries []int
+	// StrictBoundaries is the suffix-guaranteed macro-iteration sequence
+	// used for Theorem 1 validation.
+	StrictBoundaries []int
+	// Epochs is the epoch sequence of Mishchenko et al. [30].
+	Epochs []int
+	// Records is the per-iteration log (S_j, labels, worker) for offline
+	// macro-iteration and epoch analysis.
+	Records []IterationRecord
+	// UpdatesPerWorker counts completed phases per worker (worker-based
+	// engines).
+	UpdatesPerWorker []int
+	// MessagesSent / MessagesDropped / MessagesStale count transport
+	// events (simulated and message engines).
+	MessagesSent, MessagesDropped, MessagesStale int64
+	// Time is the virtual clock at stop (simulated engines).
+	Time float64
+	// Elapsed is the wall-clock duration (goroutine engines).
+	Elapsed time.Duration
+
+	model      *core.Result
+	sim        *des.Result
+	simSync    *des.SyncResult
+	concurrent *runtime.Result
+}
+
+// finish fills in the outcome fields every engine can provide uniformly:
+// the fixed-point residual at X and, when XStar is known, the exact error.
+func (r *Report) finish(spec Spec) {
+	if r.FinalResidual == 0 && r.X != nil {
+		r.FinalResidual = operators.Residual(spec.Op, r.X)
+	}
+	if spec.XStar != nil && r.X != nil {
+		r.FinalError = vec.DistInf(r.X, spec.XStar)
+	}
+}
+
+// ModelDetail returns the mathematical-model engine's full result (for
+// Theorem 1 checking and constraint (3) accounting) when this report came
+// from EngineModel.
+func (r *Report) ModelDetail() (*ModelResult, bool) { return r.model, r.model != nil }
+
+// SimDetail returns the asynchronous simulator's full result when this
+// report came from EngineSim.
+func (r *Report) SimDetail() (*SimResult, bool) { return r.sim, r.sim != nil }
+
+// SimSyncDetail returns the barrier-synchronous simulator's full result
+// (idle and compute time per worker) when this report came from
+// EngineSimSync.
+func (r *Report) SimSyncDetail() (*SimSyncResult, bool) { return r.simSync, r.simSync != nil }
+
+// ConcurrentDetail returns the goroutine runtime's full result when this
+// report came from EngineShared or EngineMessage.
+func (r *Report) ConcurrentDetail() (*ConcurrentResult, bool) {
+	return r.concurrent, r.concurrent != nil
+}

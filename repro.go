@@ -1,5 +1,30 @@
 package repro
 
+// Migration note (old entry points -> unified Solve API)
+//
+// The three historical entry-point families are deprecated shims over the
+// single Solve entry point (see solve.go / engine.go / report.go):
+//
+//	RunModel(ModelConfig{Op, Delay, Theta, Tol, ...})
+//	  -> Solve(NewSpec(op), WithEngine(EngineModel), WithDelay(...),
+//	           WithTheta(...), WithTol(...), WithMaxIter(...))
+//	RunSim(SimConfig{Op, Workers, Cost, Latency, ...})
+//	  -> Solve(NewSpec(op), WithEngine(EngineSim), WithWorkers(...),
+//	           WithCost(...), WithLatency(...), WithMaxUpdates(...))
+//	RunSimSync(SimConfig{...})
+//	  -> Solve(..., WithEngine(EngineSimSync))
+//	RunShared(ConcurrentConfig{Op, Workers, Tol, MaxUpdatesPerWorker})
+//	  -> Solve(NewSpec(op), WithEngine(EngineShared), WithWorkers(...),
+//	           WithTol(...), WithMaxUpdatesPerWorker(...))
+//	RunMessage(ConcurrentConfig{...})
+//	  -> Solve(..., WithEngine(EngineMessage))
+//
+// Every engine now returns the unified *Report; per-engine detail remains
+// reachable via Report.ModelDetail / SimDetail / SimSyncDetail /
+// ConcurrentDetail. Named workload x delay x engine combinations are
+// composable through the scenario registry (RegisterScenario, Scenarios,
+// BuildScenario).
+
 import (
 	"repro/internal/core"
 	"repro/internal/delay"
@@ -210,16 +235,12 @@ type (
 // General Convergence Theorem structure (Section III).
 type BoxReport = core.BoxReport
 
-// Engine entry points.
+// Engine helpers. (The Run* entry points are deprecated shims over Solve;
+// see deprecated.go.)
 var (
-	RunModel               = core.Run
 	CheckTheorem1          = core.CheckTheorem1
 	RunWithComponentErrors = core.RunWithComponentErrors
 	CheckBoxes             = core.CheckBoxes
-	RunSim                 = des.Run
-	RunSimSync             = des.RunSync
-	RunShared              = runtime.RunShared
-	RunMessage             = runtime.RunMessage
 
 	UniformCost       = des.UniformCost
 	HeterogeneousCost = des.HeterogeneousCost

@@ -1,0 +1,279 @@
+package repro_test
+
+// Tests of the unified Solve API: the cross-engine parity guarantee (one
+// spec, five engines, one fixed point), the scenario registry, and the
+// option/report plumbing.
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// lassoSpec builds the parity workload: a 16-feature lasso problem whose
+// backward-forward operator contracts in the max norm, plus its reference
+// fixed point.
+func lassoSpec(t testing.TB) (repro.Spec, []float64) {
+	t.Helper()
+	reg, err := repro.NewRegression(repro.RegressionConfig{
+		N: 16, Coupling: 0.3, Sparsity: 0.5, Noise: 0.01, Reg: 0.1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := reg.Smooth()
+	op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f))
+	xstar, ok := repro.FixedPoint(op, make([]float64, f.Dim()), 1e-13, 500000)
+	if !ok {
+		t.Fatal("reference solve failed")
+	}
+	return repro.NewSpec(op, repro.WithXStar(xstar)), xstar
+}
+
+// TestSolveEngineParity is the acceptance test of the unified API: the same
+// lasso spec solved on all five backends reaches the same fixed point.
+func TestSolveEngineParity(t *testing.T) {
+	spec, xstar := lassoSpec(t)
+	for _, engine := range repro.Engines() {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			res, err := repro.Solve(spec,
+				repro.WithEngine(engine),
+				repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+				repro.WithWorkers(4),
+				repro.WithSeed(3),
+				repro.WithTol(1e-9),
+				repro.WithMaxIter(2000000),
+				repro.WithMaxUpdates(2000000),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Engine != engine.Name() {
+				t.Errorf("Report.Engine = %q, want %q", res.Engine, engine.Name())
+			}
+			if !res.Converged {
+				t.Fatalf("engine %s did not converge", engine.Name())
+			}
+			if e := repro.DistInf(res.X, xstar); e > 1e-6 {
+				t.Errorf("engine %s fixed point off by %v", engine.Name(), e)
+			}
+			if res.FinalError > 1e-6 {
+				t.Errorf("engine %s FinalError = %v", engine.Name(), res.FinalError)
+			}
+			if res.Updates == 0 {
+				t.Errorf("engine %s reported no updates", engine.Name())
+			}
+		})
+	}
+}
+
+// TestSolveEngineDetail checks the typed per-engine accessors are populated
+// exactly for the engine that ran.
+func TestSolveEngineDetail(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	res, err := repro.Solve(spec, repro.WithTol(1e-9), repro.WithMaxIter(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.ModelDetail(); !ok {
+		t.Error("model run lacks ModelDetail")
+	}
+	if _, ok := res.SimDetail(); ok {
+		t.Error("model run unexpectedly has SimDetail")
+	}
+
+	res, err = repro.Solve(spec, repro.WithEngine(repro.EngineSim),
+		repro.WithTol(1e-9), repro.WithMaxUpdates(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, ok := res.SimDetail()
+	if !ok || sim.Updates != res.Updates {
+		t.Error("sim detail missing or inconsistent")
+	}
+
+	res, err = repro.Solve(spec, repro.WithEngine(repro.EngineSimSync),
+		repro.WithTol(1e-9), repro.WithMaxUpdates(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, ok := res.SimSyncDetail()
+	if !ok || len(sync.IdleTime) == 0 {
+		t.Error("simsync detail missing idle-time accounting")
+	}
+
+	res, err = repro.Solve(spec, repro.WithEngine(repro.EngineShared),
+		repro.WithTol(1e-9), repro.WithMaxUpdatesPerWorker(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.ConcurrentDetail(); !ok {
+		t.Error("shared run lacks ConcurrentDetail")
+	}
+}
+
+// TestSolveValidation covers the entry-point error paths.
+func TestSolveValidation(t *testing.T) {
+	if _, err := repro.Solve(repro.Spec{}); err == nil {
+		t.Error("expected error for missing operator")
+	}
+	if _, err := repro.EngineByName("quantum"); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+	for _, name := range []string{"model", "sim", "simsync", "shared", "message"} {
+		e, err := repro.EngineByName(name)
+		if err != nil {
+			t.Errorf("EngineByName(%q): %v", name, err)
+		} else if e.Name() != name {
+			t.Errorf("EngineByName(%q).Name() = %q", name, e.Name())
+		}
+	}
+}
+
+// TestScenariosBuildAndSolve is the registry acceptance test: every
+// registered scenario builds at a small size and solves to convergence
+// through the unified entry point.
+func TestScenariosBuildAndSolve(t *testing.T) {
+	sizes := map[string]int{
+		"lasso":     16,
+		"ridge":     16,
+		"logistic":  8,
+		"netflow":   4,
+		"obstacle":  8,
+		"routing":   32,
+		"multigrid": 7,
+	}
+	scenarios := repro.Scenarios()
+	if len(scenarios) < 7 {
+		t.Fatalf("expected at least 7 built-in scenarios, got %d", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			n, ok := sizes[sc.Name]
+			if !ok {
+				n = sc.DefaultN
+			}
+			inst, err := repro.BuildScenario(sc.Name, n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := repro.Solve(inst.Spec,
+				repro.WithDelay(repro.BoundedRandomDelay{B: 4, Seed: 8}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("scenario %s did not converge (%d iterations, residual %.3g)",
+					sc.Name, res.Iterations, res.FinalResidual)
+			}
+			if inst.Describe != nil && inst.Describe(res.X) == "" {
+				t.Errorf("scenario %s Describe returned nothing", sc.Name)
+			}
+		})
+	}
+}
+
+// TestScenarioRegistryValidation covers registration and lookup errors.
+func TestScenarioRegistryValidation(t *testing.T) {
+	if err := repro.RegisterScenario(repro.Scenario{}); err == nil {
+		t.Error("expected error for unnamed scenario")
+	}
+	if err := repro.RegisterScenario(repro.Scenario{Name: "lasso"}); err == nil {
+		t.Error("expected error for nil builder")
+	}
+	if err := repro.RegisterScenario(repro.Scenario{
+		Name:  "lasso",
+		Build: func(n int, seed uint64) (*repro.ScenarioInstance, error) { return nil, nil },
+	}); err == nil {
+		t.Error("expected error for duplicate scenario")
+	}
+	if _, err := repro.BuildScenario("no-such-scenario", 8, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("expected unknown-scenario error, got %v", err)
+	}
+}
+
+// TestParseDelay covers the CLI delay-model syntax.
+func TestParseDelay(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+	}{
+		{"fresh", "fresh"},
+		{"constant:3", "constant(3)"},
+		{"bounded", "boundedRandom(B=8)"},
+		{"bounded:4", "boundedRandom(B=4)"},
+		{"sqrt", "sqrtGrowth"},
+		{"log", "logGrowth"},
+		{"ooo:32", "outOfOrder(W=32)"},
+	}
+	for _, c := range cases {
+		m, err := repro.ParseDelay(c.in, 1)
+		if err != nil {
+			t.Errorf("ParseDelay(%q): %v", c.in, err)
+			continue
+		}
+		if m.Name() != c.name {
+			t.Errorf("ParseDelay(%q).Name() = %q, want %q", c.in, m.Name(), c.name)
+		}
+	}
+	for _, bad := range []string{"", "warp", "bounded:x", "bounded:-1"} {
+		if _, err := repro.ParseDelay(bad, 1); err == nil {
+			t.Errorf("ParseDelay(%q) should fail", bad)
+		}
+	}
+}
+
+// TestSolveAutoReference checks that the simulated engines compute a
+// synchronous reference when Tol is set without XStar.
+func TestSolveAutoReference(t *testing.T) {
+	spec, xstar := lassoSpec(t)
+	spec.XStar = nil
+	res, err := repro.Solve(spec, repro.WithEngine(repro.EngineSim),
+		repro.WithTol(1e-9), repro.WithMaxUpdates(500000), repro.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("auto-reference sim run did not converge")
+	}
+	if e := repro.DistInf(res.X, xstar); e > 1e-6 {
+		t.Errorf("auto-reference solution off by %v", e)
+	}
+}
+
+// TestDeprecatedShims checks the legacy entry points still work and agree
+// with Solve.
+func TestDeprecatedShims(t *testing.T) {
+	spec, xstar := lassoSpec(t)
+	op := spec.Op
+
+	model, err := repro.RunModel(repro.ModelConfig{
+		Op: op, XStar: xstar, Tol: 1e-9, MaxIter: 500000,
+	})
+	if err != nil || !model.Converged {
+		t.Fatalf("RunModel shim failed: %v", err)
+	}
+	sim, err := repro.RunSim(repro.SimConfig{
+		Op: op, Workers: 4, XStar: xstar, Tol: 1e-9, MaxUpdates: 500000, Seed: 5,
+	})
+	if err != nil || !sim.Converged {
+		t.Fatalf("RunSim shim failed: %v", err)
+	}
+	shared, err := repro.RunShared(repro.ConcurrentConfig{
+		Op: op, Workers: 2, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil || !shared.Converged {
+		t.Fatalf("RunShared shim failed: %v", err)
+	}
+	for name, x := range map[string][]float64{
+		"model": model.X, "sim": sim.X, "shared": shared.X,
+	} {
+		if e := repro.DistInf(x, xstar); e > 1e-6 {
+			t.Errorf("shim %s deviates by %v", name, e)
+		}
+	}
+}
