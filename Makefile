@@ -1,0 +1,43 @@
+# Mirrors the CI jobs (.github/workflows/ci.yml) so contributors run
+# exactly what CI runs. `make check` is the full pre-push gate.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-json lint fmt check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job covers the goroutine engines, the parallel experiment
+# harness and the facade that drives them.
+race:
+	$(GO) test -race . ./internal/runtime/... ./internal/experiments/...
+
+# Benchmark smoke: every benchmark compiles and runs once, with allocation
+# reporting (what the CI benchmark job runs before capturing BENCH json).
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# Full machine-readable capture (BENCH_<rev>.json in the repo root).
+bench-json:
+	$(GO) run ./cmd/asyncsolve bench
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+check: lint build test race bench
+
+clean:
+	rm -f asyncsolve BENCH_*.json

@@ -7,6 +7,12 @@ package repro_test
 //
 //	go test -bench=. -benchmem
 //
+// The micro-benchmarks delegate to internal/benchsuite — the same cases
+// `asyncsolve bench` measures and captures as BENCH_<rev>.json — so test
+// benchmarks and the CI benchmark artifact always agree on what is
+// measured. Workload generation happens in each case's setup, outside the
+// timed region.
+//
 // Each experiment benchmark executes the complete experiment (workload
 // generation, runs of every mode, table assembly), so ns/op is the cost of
 // regenerating the corresponding table/figure.
@@ -15,6 +21,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
 )
 
@@ -24,6 +31,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := run()
 		if !rep.Pass {
@@ -53,134 +61,54 @@ func BenchmarkE16_NestedBoxes(b *testing.B)          { benchExperiment(b, "E16")
 func BenchmarkE17_ContractionNecessity(b *testing.B) { benchExperiment(b, "E17") }
 
 // ---------------------------------------------------------------------------
-// Micro-benchmarks of the engine hot paths.
-
-// benchLinearOp builds a 64-dim diagonally dominant Jacobi operator.
-func benchLinearOp(b *testing.B) (*repro.Linear, []float64) {
-	b.Helper()
-	rng := repro.NewRNG(7)
-	n := 64
-	m := repro.NewDense(n, n)
-	for i := 0; i < n; i++ {
-		off := 0.0
-		for j := 0; j < n; j++ {
-			if i != j {
-				v := 0.3 * rng.Normal()
-				m.Set(i, j, v)
-				if v < 0 {
-					off -= v
-				} else {
-					off += v
-				}
-			}
-		}
-		m.Set(i, i, 1.7*off+1)
-	}
-	rhs := rng.NormalVector(n)
-	op := repro.JacobiFromSystem(m, rhs)
-	xstar, err := m.SolveGaussian(rhs)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return op, xstar
-}
+// Micro-benchmarks of the engine hot paths (shared with `asyncsolve bench`).
 
 // BenchmarkModelEngineIteration measures the per-iteration cost of the
 // mathematical-model engine (Definition 1 execution with bookkeeping)
 // through the unified Solve path users actually call.
 func BenchmarkModelEngineIteration(b *testing.B) {
-	op, _ := benchLinearOp(b)
-	spec := repro.NewSpec(op,
-		repro.WithEngine(repro.EngineModel),
-		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 3}),
-		repro.WithMaxIter(1000),
-	)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := repro.Solve(spec)
-		if err != nil || res.Iterations != 1000 {
-			b.Fatal("run failed")
-		}
-	}
+	benchsuite.RunNamed(b, "ModelEngineIteration")
+}
+
+// BenchmarkModelEngineIterationScratch is the same solve with a reused
+// repro.Scratch attached (WithScratch), the repeated-solve fast path.
+func BenchmarkModelEngineIterationScratch(b *testing.B) {
+	benchsuite.RunNamed(b, "ModelEngineIterationScratch")
 }
 
 // BenchmarkDESUpdatePhase measures the per-update cost of the
 // discrete-event simulator (event heap + messaging) through Solve.
 func BenchmarkDESUpdatePhase(b *testing.B) {
-	op, _ := benchLinearOp(b)
-	spec := repro.NewSpec(op,
-		repro.WithEngine(repro.EngineSim),
-		repro.WithWorkers(8),
-		repro.WithMaxUpdates(1000),
-		repro.WithSeed(4),
-	)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := repro.Solve(spec)
-		if err != nil || res.Updates < 1000 {
-			b.Fatal("run failed")
-		}
-	}
+	benchsuite.RunNamed(b, "DESUpdatePhase")
 }
 
 // BenchmarkSharedMemoryGoroutines measures the real-concurrency transport
 // (atomic coordinate cells, 8 goroutines) through Solve.
 func BenchmarkSharedMemoryGoroutines(b *testing.B) {
-	op, _ := benchLinearOp(b)
-	spec := repro.NewSpec(op,
-		repro.WithEngine(repro.EngineShared),
-		repro.WithWorkers(8),
-		repro.WithMaxUpdatesPerWorker(200),
-	)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := repro.Solve(spec)
-		if err != nil || len(res.UpdatesPerWorker) != 8 {
-			b.Fatal("run failed")
-		}
-	}
+	benchsuite.RunNamed(b, "SharedMemoryGoroutines")
 }
 
 // BenchmarkMessagePassingGoroutines measures the channel transport with
 // termination detection disabled (pure throughput) through Solve.
 func BenchmarkMessagePassingGoroutines(b *testing.B) {
-	op, _ := benchLinearOp(b)
-	spec := repro.NewSpec(op,
-		repro.WithEngine(repro.EngineMessage),
-		repro.WithWorkers(8),
-		repro.WithMaxUpdatesPerWorker(200),
-	)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := repro.Solve(spec)
-		if err != nil || len(res.UpdatesPerWorker) != 8 {
-			b.Fatal("run failed")
-		}
-	}
+	benchsuite.RunNamed(b, "MessagePassingGoroutines")
 }
 
 // BenchmarkScenarioSolve measures a registered scenario solved end to end
-// by name (registry lookup + build + model-engine solve).
+// (model-engine solve; the registry lookup and build are setup, not
+// measured).
 func BenchmarkScenarioSolve(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		inst, err := repro.BuildScenario("lasso", 32, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := repro.Solve(inst.Spec,
-			repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}))
-		if err != nil || !res.Converged {
-			b.Fatal("scenario solve failed")
-		}
-	}
+	benchsuite.RunNamed(b, "ScenarioSolveLasso")
 }
 
-// BenchmarkMacroTracker measures Definition 2 bookkeeping throughput.
+// BenchmarkProxGradBFApply measures one application of the Definition 4
+// operator on a 64-dim lasso problem through the scratch fast path.
+func BenchmarkProxGradBFApply(b *testing.B) {
+	benchsuite.RunNamed(b, "ProxGradBFApply")
+}
+
+// BenchmarkMacroTracker measures Definition 2 bookkeeping throughput (the
+// tracker construction is the measured object, so nothing is hoisted).
 func BenchmarkMacroTracker(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -191,26 +119,6 @@ func BenchmarkMacroTracker(b *testing.B) {
 		if tr.K() == 0 {
 			b.Fatal("no boundaries")
 		}
-	}
-}
-
-// BenchmarkProxGradBFApply measures one application of the Definition 4
-// operator on a 64-dim lasso problem.
-func BenchmarkProxGradBFApply(b *testing.B) {
-	reg, err := repro.NewRegression(repro.RegressionConfig{
-		N: 64, Coupling: 0.3, Sparsity: 0.5, Reg: 0.1, Seed: 5,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	f := reg.Smooth()
-	op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f))
-	x := make([]float64, 64)
-	dst := make([]float64, 64)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		op.Apply(dst, x)
 	}
 }
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// runBench implements `asyncsolve bench`: it executes the shared benchmark
+// suite (engine/kernel micro-benchmarks and, optionally, the full
+// experiment suite timed once each) and writes a machine-readable
+// BENCH_<rev>.json capture — the artifact the CI benchmark job uploads so
+// every revision leaves a performance record.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "output path; default BENCH_<rev>.json in the working directory")
+	rev := fs.String("rev", "", "revision label; default: short git revision, else \"dev\"")
+	benchtime := fs.Duration("benchtime", time.Second, "minimum measuring time per micro-benchmark")
+	quick := fs.Bool("quick", false, "single repetition per case (CI smoke mode)")
+	withExperiments := fs.Bool("experiments", true, "also time the full F1-E17 experiment suite (once each)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: asyncsolve bench [flags]
+
+Runs the engine micro-benchmarks (and, by default, the complete experiment
+suite once each) and writes BENCH_<rev>.json with ns/op, allocs/op,
+bytes/op and solve rate per case. See "Measuring performance" in the
+package documentation for the JSON schema.
+
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *rev == "" {
+		*rev = benchsuite.Revision()
+	}
+	benchtimeSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "benchtime" {
+			benchtimeSet = true
+		}
+	})
+	if *quick && benchtimeSet {
+		fmt.Fprintln(os.Stderr, "asyncsolve bench: -quick and -benchtime are mutually exclusive")
+		os.Exit(2)
+	}
+	bt := *benchtime
+	if *quick {
+		bt = 0 // Measure always performs at least one repetition
+	}
+
+	cases := benchsuite.MicroCases()
+	if *withExperiments {
+		cases = append(cases, benchsuite.ExperimentCases()...)
+	}
+
+	results := make([]benchsuite.Result, 0, len(cases))
+	failed := 0
+	for _, c := range cases {
+		r := benchsuite.Measure(c, bt)
+		results = append(results, r)
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "%-28s FAILED: %s\n", c.Name, r.Err)
+			continue
+		}
+		line := fmt.Sprintf("%-28s %12.0f ns/op %10.1f allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SolveRate > 0 {
+			line += fmt.Sprintf(" %14.0f units/s", r.SolveRate)
+		}
+		fmt.Println(line)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	capture := benchsuite.NewFile(*rev, bt, results)
+	capture.Quick = *quick
+	if err := capture.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases, revision %s)\n", path, len(results), *rev)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d case(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

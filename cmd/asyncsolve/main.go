@@ -11,6 +11,14 @@
 // epochs, residual) plus quality metrics specific to the scenario. The
 // legacy flags -problem (alias of -scenario) and -mode sync|async|flexible
 // are still accepted.
+//
+// The bench subcommand runs the repository's benchmark suite and captures
+// it as machine-readable JSON (the file CI uploads as an artifact):
+//
+//	asyncsolve bench                       # micro + experiment suite, ~1s per micro case
+//	asyncsolve bench -quick                # single repetition per case (CI smoke)
+//	asyncsolve bench -experiments=false    # micro-benchmarks only
+//	asyncsolve bench -out BENCH_local.json # explicit output path
 package main
 
 import (
@@ -23,6 +31,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	scenario := flag.String("scenario", "", "workload scenario (see -list)")
 	problem := flag.String("problem", "", "legacy alias of -scenario")
 	engineName := flag.String("engine", "model", "engine: model | sim | simsync | shared | message")

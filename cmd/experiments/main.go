@@ -1,18 +1,25 @@
-// Command experiments runs the reproduction suite (F1-F2, E1-E12 of
+// Command experiments runs the reproduction suite (F1-F2, E1-E17 of
 // DESIGN.md) and prints each experiment's tables and findings — the rows
 // recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run E2    # run one experiment
-//	experiments -list      # list experiment ids and titles
+//	experiments             # run everything in parallel (GOMAXPROCS workers)
+//	experiments -parallel 1 # serial execution
+//	experiments -run E2     # run one experiment
+//	experiments -list       # list experiment ids and exit
+//
+// Experiments are independent, so the suite executes on a worker pool
+// (experiments.RunAll); output order is always the registry order
+// regardless of completion order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -21,6 +28,7 @@ import (
 
 func main() {
 	runID := flag.String("run", "", "run a single experiment id (e.g. E2); empty = all")
+	parallel := flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS, 1 = serial")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -41,15 +49,21 @@ func main() {
 		ids = []string{*runID}
 	}
 
-	failed := 0
-	for _, id := range ids {
-		run := experiments.Lookup(id)
-		start := time.Now()
-		rep := run()
-		elapsed := time.Since(start)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
+	outcomes, ctxErr := experiments.RunSelected(ctx, *parallel, ids)
+
+	failed := 0
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", oc.ID, oc.Err)
+			failed++
+			continue
+		}
+		rep := oc.Report
 		fmt.Printf("%s\n", strings.Repeat("=", 78))
-		fmt.Printf("%s — %s   [%v]\n", rep.ID, rep.Title, elapsed.Round(time.Millisecond))
+		fmt.Printf("%s — %s   [%v]\n", rep.ID, rep.Title, oc.Elapsed.Round(time.Millisecond))
 		fmt.Printf("%s\n\n", strings.Repeat("=", 78))
 		for _, tb := range rep.Tables {
 			fmt.Println(tb)
@@ -64,8 +78,14 @@ func main() {
 		}
 		fmt.Printf("\n[%s] %s\n\n", status, rep.ID)
 	}
+	if ctxErr != nil {
+		fmt.Fprintf(os.Stderr, "suite interrupted: %v\n", ctxErr)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed acceptance criteria\n", failed)
+		os.Exit(1)
+	}
+	if ctxErr != nil {
 		os.Exit(1)
 	}
 }

@@ -62,6 +62,54 @@
 // al.), Theorem 1 bound checking (inequality (5)), delay-condition and
 // constraint (3) validation, and execution tracing.
 //
+// # Performance
+//
+// The engine hot paths are allocation-free in steady state: the vec
+// kernels have explicit ...Into variants, operators whose evaluation needs
+// temporaries (ProxGradBF, InnerIterated) expose a scratch fast path
+// (NewOperatorScratch, EvalComponent, ApplyOperator) that every engine
+// threads one per-worker scratch through, the discrete-event simulator
+// pools its events and messages, and the message-passing transport pools
+// its payload buffers. Repeated Solves of the same shape can additionally
+// share buffers across runs:
+//
+//	scr := repro.NewScratch()
+//	for _, seed := range seeds {
+//		res, _ := repro.Solve(spec, repro.WithSeed(seed), repro.WithScratch(scr))
+//	}
+//
+// A Scratch must not be shared by concurrent Solve calls.
+//
+// # Measuring performance
+//
+// The benchmark suite is defined once in internal/benchsuite and runs two
+// ways: `go test -bench=. -benchmem` (the root bench_test.go delegates to
+// it), and the CLI capture
+//
+//	asyncsolve bench            # ~1s per micro case + experiment suite
+//	asyncsolve bench -quick     # single repetition per case (CI smoke)
+//
+// which writes BENCH_<rev>.json, the machine-readable performance record
+// the CI benchmark job uploads for every revision. The JSON schema
+// (schema_version 1) is an envelope
+//
+//	{"schema_version": 1, "revision": "<git short rev>",
+//	 "go_version": "...", "goos": "...", "goarch": "...", "num_cpu": N,
+//	 "timestamp": "RFC3339", "benchtime_ns": N, "results": [...]}
+//
+// with one result per case:
+//
+//	{"name": "DESUpdatePhase", "kind": "micro" | "experiment",
+//	 "iterations": N, "ns_per_op": N, "allocs_per_op": N,
+//	 "bytes_per_op": N, "solve_rate_per_sec": N}
+//
+// where solve_rate_per_sec is solver iterations/updates per wall-clock
+// second (0 when the case has no meaningful unit count). Experiment cases
+// time one complete experiment (workload generation included); micro cases
+// hoist workload generation into untimed setup, so ns/op measures solving.
+// The full reproduction suite itself runs in parallel via
+// experiments.RunAll (CLI: cmd/experiments -parallel N).
+//
 // The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
 // RunMessage remain as deprecated shims over Solve for one release; see
 // the migration note at the top of repro.go.

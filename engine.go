@@ -156,6 +156,7 @@ func (modelEngine) Solve(spec Spec) (*Report, error) {
 		Workers:          spec.Workers,
 		ResidualEvery:    spec.ResidualEvery,
 		CheckConstraint3: spec.ValidateConstraint3,
+		Scratch:          spec.Scratch.modelScratch(),
 	}
 	// Unified Workers semantics: a machine count without an explicit
 	// component-to-machine map means the same contiguous block partition
@@ -209,6 +210,7 @@ func (s Spec) desConfig() des.Config {
 		Neighbors:  s.Neighbors,
 		Seed:       s.Seed,
 		Trace:      s.Trace,
+		Scratches:  s.Scratch.workerScratches(s.workers()),
 	}
 }
 
@@ -299,6 +301,7 @@ func (s Spec) runtimeConfig() runtime.Config {
 		SweepsBelowTol:      s.SweepsBelowTol,
 		MaxUpdatesPerWorker: maxPerWorker,
 		Flexible:            s.Flexible,
+		Scratches:           s.Scratch.workerScratches(s.workers()),
 	}
 }
 

@@ -1,0 +1,305 @@
+// Package benchsuite defines the repository's performance suite once, so
+// the same workloads are measured everywhere: `go test -bench` (via the
+// root bench_test.go, which delegates here) and `asyncsolve bench` (which
+// runs the suite standalone and emits a machine-readable BENCH_<rev>.json
+// consumed by CI). ns/op measures solving only — workload generation happens
+// in each case's Setup, outside the timed region.
+package benchsuite
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// Case is one benchmark: Setup builds the workload (untimed) and returns
+// the op to measure. UnitsPerOp is how many solver iterations/updates one
+// op performs, so throughput ("solve rate") can be derived from ns/op.
+// Once marks heavyweight cases (full experiments) that are timed over a
+// single run instead of auto-scaled repetitions.
+type Case struct {
+	Name       string
+	Kind       string // "micro" | "experiment"
+	UnitsPerOp float64
+	Once       bool
+	Setup      func() (op func() error, err error)
+}
+
+// Result is one measured case in the BENCH JSON schema.
+type Result struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// SolveRate is solver iterations/updates per wall-clock second (0 when
+	// the case has no meaningful unit count).
+	SolveRate float64 `json:"solve_rate_per_sec"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// benchLinearOp builds the 64-dim diagonally dominant Jacobi operator the
+// engine micro-benchmarks share, plus its exact solution.
+func benchLinearOp() (*repro.Linear, []float64, error) {
+	rng := repro.NewRNG(7)
+	n := 64
+	m := repro.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := 0.3 * rng.Normal()
+				m.Set(i, j, v)
+				if v < 0 {
+					off -= v
+				} else {
+					off += v
+				}
+			}
+		}
+		m.Set(i, i, 1.7*off+1)
+	}
+	rhs := rng.NormalVector(n)
+	op := repro.JacobiFromSystem(m, rhs)
+	xstar, err := m.SolveGaussian(rhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, xstar, nil
+}
+
+func solveCase(spec repro.Spec, check func(*repro.Report) error) func() error {
+	return func() error {
+		res, err := repro.Solve(spec)
+		if err != nil {
+			return err
+		}
+		return check(res)
+	}
+}
+
+// MicroCases returns the engine and kernel micro-benchmarks.
+func MicroCases() []Case {
+	return []Case{
+		{
+			Name: "ModelEngineIteration", Kind: "micro", UnitsPerOp: 1000,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineModel),
+					repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 3}),
+					repro.WithMaxIter(1000),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if r.Iterations != 1000 {
+						return fmt.Errorf("ran %d iterations", r.Iterations)
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
+			Name: "ModelEngineIterationScratch", Kind: "micro", UnitsPerOp: 1000,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				scr := repro.NewScratch()
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineModel),
+					repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 3}),
+					repro.WithMaxIter(1000),
+					repro.WithScratch(scr),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if r.Iterations != 1000 {
+						return fmt.Errorf("ran %d iterations", r.Iterations)
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
+			Name: "DESUpdatePhase", Kind: "micro", UnitsPerOp: 1000,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineSim),
+					repro.WithWorkers(8),
+					repro.WithMaxUpdates(1000),
+					repro.WithSeed(4),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if r.Updates < 1000 {
+						return fmt.Errorf("ran %d updates", r.Updates)
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
+			Name: "SharedMemoryGoroutines", Kind: "micro", UnitsPerOp: 1600,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineShared),
+					repro.WithWorkers(8),
+					repro.WithMaxUpdatesPerWorker(200),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if len(r.UpdatesPerWorker) != 8 {
+						return fmt.Errorf("%d workers", len(r.UpdatesPerWorker))
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
+			Name: "MessagePassingGoroutines", Kind: "micro", UnitsPerOp: 1600,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineMessage),
+					repro.WithWorkers(8),
+					repro.WithMaxUpdatesPerWorker(200),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if len(r.UpdatesPerWorker) != 8 {
+						return fmt.Errorf("%d workers", len(r.UpdatesPerWorker))
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
+			Name: "ScenarioSolveLasso", Kind: "micro", UnitsPerOp: 0,
+			Setup: func() (func() error, error) {
+				inst, err := repro.BuildScenario("lasso", 32, 1)
+				if err != nil {
+					return nil, err
+				}
+				return func() error {
+					res, err := repro.Solve(inst.Spec,
+						repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}))
+					if err != nil {
+						return err
+					}
+					if !res.Converged {
+						return fmt.Errorf("did not converge")
+					}
+					return nil
+				}, nil
+			},
+		},
+		{
+			Name: "ProxGradBFApply", Kind: "micro", UnitsPerOp: 1,
+			Setup: func() (func() error, error) {
+				reg, err := repro.NewRegression(repro.RegressionConfig{
+					N: 64, Coupling: 0.3, Sparsity: 0.5, Reg: 0.1, Seed: 5,
+				})
+				if err != nil {
+					return nil, err
+				}
+				f := reg.Smooth()
+				op := repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f))
+				scr := repro.NewOperatorScratch()
+				x := make([]float64, 64)
+				dst := make([]float64, 64)
+				return func() error {
+					repro.ApplyOperator(op, scr, dst, x)
+					return nil
+				}, nil
+			},
+		},
+	}
+}
+
+// ExperimentCases returns one heavyweight case per registered experiment;
+// each op runs the complete experiment (workload generation included, as
+// that is the cost of regenerating the table).
+func ExperimentCases() []Case {
+	var cases []Case
+	for _, e := range experiments.Registry() {
+		id := e.ID
+		run := e.Run
+		cases = append(cases, Case{
+			Name: "Experiment" + id, Kind: "experiment", UnitsPerOp: 1, Once: true,
+			Setup: func() (func() error, error) {
+				return func() error {
+					rep := run()
+					if !rep.Pass {
+						return fmt.Errorf("%s failed acceptance criteria", id)
+					}
+					return nil
+				}, nil
+			},
+		})
+	}
+	return cases
+}
+
+// Measure runs one case: Setup untimed, then the op repeated until at least
+// benchtime has elapsed (or exactly once for Once cases / quick mode via a
+// tiny benchtime), reporting per-op time and allocation figures.
+func Measure(c Case, benchtime time.Duration) Result {
+	res := Result{Name: c.Name, Kind: c.Kind}
+	op, err := c.Setup()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	// Warm up once so lazily grown buffers, pools and scheduler state do
+	// not count against the steady-state numbers; Once cases skip this
+	// (one warm-up would double their cost for no extra signal).
+	if !c.Once {
+		if err := op(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
+	var before, after runtime.MemStats
+	iters := 0
+	var elapsed time.Duration
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for elapsed < benchtime || iters == 0 {
+		if err := op(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		iters++
+		elapsed = time.Since(start)
+		if c.Once {
+			break
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	res.Iterations = iters
+	res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+	if c.UnitsPerOp > 0 && res.NsPerOp > 0 {
+		res.SolveRate = c.UnitsPerOp / res.NsPerOp * 1e9
+	}
+	return res
+}

@@ -1,0 +1,81 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_<rev>.json layout. Bump on breaking
+// changes so downstream tooling can dispatch.
+const SchemaVersion = 1
+
+// File is the machine-readable benchmark capture emitted by
+// `asyncsolve bench` and uploaded by the CI benchmark job.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	Revision      string `json:"revision"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	Timestamp     string `json:"timestamp"`
+	BenchtimeNs   int64  `json:"benchtime_ns"`
+	// Quick marks single-repetition smoke captures; downstream consumers
+	// must not compare their ns/op against full captures.
+	Quick   bool     `json:"quick"`
+	Results []Result `json:"results"`
+}
+
+// NewFile assembles the capture envelope around measured results.
+func NewFile(revision string, benchtime time.Duration, results []Result) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		Revision:      revision,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		BenchtimeNs:   benchtime.Nanoseconds(),
+		Results:       results,
+	}
+}
+
+// WriteJSON writes the capture as indented JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadFile parses a BENCH JSON capture, verifying the schema version.
+func ReadFile(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, err
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchsuite: schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Revision returns the short git revision of the working tree, or "dev"
+// when git (or the repository) is unavailable — the CLI never fails just
+// because it runs outside a checkout.
+func Revision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "dev"
+	}
+	return rev
+}

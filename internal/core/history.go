@@ -90,10 +90,16 @@ func (h *History) Snapshot(l int) []float64 {
 // LatestSnapshot materializes the freshest iterate vector.
 func (h *History) LatestSnapshot() []float64 {
 	x := make([]float64, h.n)
-	for i := range x {
-		x[i] = h.Latest(i)
-	}
+	h.LatestSnapshotInto(x)
 	return x
+}
+
+// LatestSnapshotInto writes the freshest iterate vector into dst (length n)
+// without allocating.
+func (h *History) LatestSnapshotInto(dst []float64) {
+	for i := range dst {
+		dst[i] = h.Latest(i)
+	}
 }
 
 // Updates returns the total number of recorded updates (excluding the

@@ -55,6 +55,67 @@ type Config struct {
 	// CheckConstraint3 validates inequality (3) at every read when XStar is
 	// known, recording violations.
 	CheckConstraint3 bool
+	// Scratch, when non-nil, supplies reusable hot-path buffers so repeated
+	// runs of the same shape do not re-allocate them. The model engine is
+	// single-threaded, so one RunScratch serves a whole run; it must not be
+	// shared by concurrent Runs.
+	Scratch *RunScratch
+}
+
+// RunScratch bundles the model engine's reusable buffers: the operator
+// evaluation scratch and the read vectors assembled every iteration.
+type RunScratch struct {
+	// Op is the operator-evaluation scratch threaded through every
+	// component relaxation.
+	Op            *operators.Scratch
+	xread, xlabel []float64
+	gsSnap        []float64 // residual-aware steering's snapshot buffer
+	seenWorkers   []bool
+}
+
+// NewRunScratch returns an empty RunScratch; buffers grow on first use.
+func NewRunScratch() *RunScratch { return &RunScratch{Op: operators.NewScratch()} }
+
+// vecs returns the read buffers resized to n.
+func (s *RunScratch) vecs(n int) (xread, xlabel []float64) {
+	if cap(s.xread) < n {
+		s.xread = make([]float64, n)
+	}
+	if cap(s.xlabel) < n {
+		s.xlabel = make([]float64, n)
+	}
+	return s.xread[:n], s.xlabel[:n]
+}
+
+// workersSeen returns a cleared bool slice of length w.
+func (s *RunScratch) workersSeen(w int) []bool {
+	if cap(s.seenWorkers) < w {
+		s.seenWorkers = make([]bool, w)
+	}
+	seen := s.seenWorkers[:w]
+	for i := range seen {
+		seen[i] = false
+	}
+	return seen
+}
+
+// recordArena hands out stable []int copies from chunked backing storage so
+// per-iteration steering-set records cost amortized one allocation per chunk
+// instead of one per iteration. Saved slices stay valid for the life of the
+// Result that references them.
+type recordArena struct{ buf []int }
+
+func (a *recordArena) save(s []int) []int {
+	if cap(a.buf)-len(a.buf) < len(s) {
+		size := 4096
+		if len(s) > size {
+			size = len(s)
+		}
+		a.buf = make([]int, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return a.buf[start:len(a.buf):len(a.buf)]
 }
 
 // Result reports an asynchronous iteration run.
@@ -151,12 +212,25 @@ func Run(cfg Config) (*Result, error) {
 	tracker := macroiter.NewTracker(n)
 	epochs := macroiter.NewEpochTracker(workers)
 	res := &Result{}
+	scratch := cfg.Scratch
+	if scratch == nil {
+		scratch = NewRunScratch()
+	}
+	if scratch.Op == nil {
+		scratch.Op = operators.NewScratch()
+	}
 
-	// Wire residual-aware steering (Gauss–Southwell) to live residuals.
+	// Wire residual-aware steering (Gauss–Southwell) to live residuals. The
+	// closure runs once per candidate component per Select, so it reuses a
+	// dedicated snapshot buffer instead of materializing one per call.
 	if ra, ok := cfg.Steering.(steering.ResidualAware); ok {
+		if cap(scratch.gsSnap) < n {
+			scratch.gsSnap = make([]float64, n)
+		}
+		gsSnap := scratch.gsSnap[:n]
 		ra.SetResidualFunc(func(i int) float64 {
-			x := hist.LatestSnapshot()
-			return cfg.Op.Component(i, x) - x[i]
+			hist.LatestSnapshotInto(gsSnap)
+			return operators.EvalComponent(cfg.Op, scratch.Op, i, gsSnap) - gsSnap[i]
 		})
 	}
 
@@ -164,8 +238,8 @@ func Run(cfg Config) (*Result, error) {
 		res.Errors = append(res.Errors, vec.DistInf(x0, cfg.XStar))
 	}
 
-	xread := make([]float64, n)
-	xlabel := make([]float64, n)
+	xread, xlabel := scratch.vecs(n)
+	var arena recordArena
 	converged := false
 
 	for j := 1; j <= cfg.MaxIter; j++ {
@@ -196,21 +270,23 @@ func Run(cfg Config) (*Result, error) {
 
 		// Relax the selected components; others keep x_i(j-1) implicitly.
 		for _, i := range S {
-			hist.Set(i, j, cfg.Op.Component(i, xread))
+			hist.Set(i, j, operators.EvalComponent(cfg.Op, scratch.Op, i, xread))
 		}
 
 		// Bookkeeping: macro-iterations (Definition 2), epochs, records.
 		tracker.Observe(j, S, minLabel)
-		seen := map[int]bool{}
+		seen := scratch.workersSeen(workers)
 		for _, i := range S {
 			w := workerOf(i)
-			if !seen[w] {
+			if w >= 0 && w < len(seen) && !seen[w] {
 				epochs.Observe(j, w)
 				seen[w] = true
 			}
 		}
+		// Steering policies may reuse their S buffer, so the record needs a
+		// copy; the arena amortizes those copies into chunked allocations.
 		res.Records = append(res.Records, macroiter.Record{
-			J: j, S: append([]int(nil), S...), MinLabel: minLabel, Worker: workerOf(S[0]),
+			J: j, S: arena.save(S), MinLabel: minLabel, Worker: workerOf(S[0]),
 		})
 
 		if cfg.XStar != nil {
@@ -225,7 +301,10 @@ func Run(cfg Config) (*Result, error) {
 					break
 				}
 			} else if j%residEvery == 0 {
-				r := operators.Residual(cfg.Op, hist.LatestSnapshot())
+				// xlabel is dead until the next iteration re-fills it, so it
+				// doubles as the snapshot buffer for the residual check.
+				hist.LatestSnapshotInto(xlabel)
+				r := operators.ResidualWith(cfg.Op, scratch.Op, xlabel)
 				res.Residuals = append(res.Residuals, ResidualSample{Iter: j, Residual: r})
 				if r <= cfg.Tol {
 					converged, res.Iterations = true, j

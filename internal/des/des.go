@@ -114,6 +114,11 @@ type Config struct {
 	Seed uint64
 	// Trace, when non-nil, records update phases and messages.
 	Trace *trace.Log
+	// Scratches, when non-nil, supplies one reusable operator scratch per
+	// worker (index = worker id) so repeated runs of the same shape share
+	// hot-path buffers. Missing or short slices fall back to fresh
+	// per-worker scratches.
+	Scratches []*operators.Scratch
 }
 
 // Result reports a simulated run.
@@ -188,21 +193,66 @@ func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	old[n-1] = nil
 	*h = old[:n-1]
 	return e
 }
 
+// pool recycles events and messages. A simulated run schedules one event
+// per update phase, per partial publication and per message delivery —
+// pooling turns that steady stream of small heap objects into free-list
+// pops. The simulator is single-threaded, so no locking is needed.
+type pool struct {
+	events []*event
+	msgs   []*message
+}
+
+func (p *pool) getEvent() *event {
+	if n := len(p.events); n > 0 {
+		e := p.events[n-1]
+		p.events = p.events[:n-1]
+		*e = event{}
+		return e
+	}
+	return &event{}
+}
+
+// putEvent recycles e and any message it carries.
+func (p *pool) putEvent(e *event) {
+	if e.msg != nil {
+		p.putMsg(e.msg)
+		e.msg = nil
+	}
+	p.events = append(p.events, e)
+}
+
+func (p *pool) getMsg() *message {
+	if n := len(p.msgs); n > 0 {
+		m := p.msgs[n-1]
+		p.msgs = p.msgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+func (p *pool) putMsg(m *message) {
+	*m = message{vals: m.vals[:0]} // keep vals capacity; comps is shared, not owned
+	p.msgs = append(p.msgs, m)
+}
+
 type worker struct {
 	id      int
-	comps   []int
+	comps   []int     // owned components; never mutated after init (shared with Records and messages)
 	view    []float64 // local copy of the full iterate vector
 	version []int     // label (producer seq) of each view component
-	// In-progress phase:
+	scr     *operators.Scratch
+	// In-progress phase (buffers preallocated once per worker):
 	phaseK        int // per-worker phase counter
 	phaseStart    float64
 	phaseMinLabel int
 	phaseOld      []float64 // own values at phase start
 	phaseOut      []float64 // computed results (applied at completion)
+	partialVals   []float64 // interpolation buffer for flexible publications
 }
 
 // Run executes the asynchronous discrete-event simulation.
@@ -245,6 +295,7 @@ func Run(cfg Config) (*Result, error) {
 
 	var h eventHeap
 	tick := 0
+	pl := &pool{}
 	push := func(e *event) {
 		e.tick = tick
 		tick++
@@ -257,14 +308,22 @@ func Run(cfg Config) (*Result, error) {
 		for c := b[0]; c < b[1]; c++ {
 			comps = append(comps, c)
 		}
+		scr := operators.NewScratch()
+		if w < len(cfg.Scratches) && cfg.Scratches[w] != nil {
+			scr = cfg.Scratches[w]
+		}
 		wk := &worker{
-			id:      w,
-			comps:   comps,
-			view:    vec.Clone(x0),
-			version: make([]int, n),
+			id:          w,
+			comps:       comps,
+			view:        vec.Clone(x0),
+			version:     make([]int, n),
+			scr:         scr,
+			phaseOld:    make([]float64, len(comps)),
+			phaseOut:    make([]float64, len(comps)),
+			partialVals: make([]float64, len(comps)),
 		}
 		workers[w] = wk
-		startPhase(wk, cfg, rng, 0, push)
+		startPhase(wk, cfg, rng, 0, push, pl)
 	}
 
 	seq := 0
@@ -288,8 +347,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 			res.Updates++
 			res.UpdatesPerWorker[wk.id]++
+			// wk.comps is immutable after init, so Records can share it
+			// instead of copying it once per update.
 			res.Records = append(res.Records, macroiter.Record{
-				J: j, S: append([]int(nil), wk.comps...),
+				J: j, S: wk.comps,
 				MinLabel: wk.phaseMinLabel, Worker: wk.id,
 			})
 			if cfg.Trace != nil {
@@ -299,7 +360,7 @@ func Run(cfg Config) (*Result, error) {
 				})
 			}
 			// Broadcast the completed block.
-			sendBlock(cfg, rng, push, workers, wk, e.time, j, wk.phaseOut, false, 1, res)
+			sendBlock(cfg, rng, push, pl, workers, wk, e.time, j, wk.phaseOut, false, 1, res)
 			// Track error / stopping.
 			if cfg.XStar != nil {
 				err := vec.DistInf(globalX, cfg.XStar)
@@ -317,7 +378,7 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 			// Next phase begins immediately (no idle time: Section II).
-			startPhase(wk, cfg, rng, e.time, push)
+			startPhase(wk, cfg, rng, e.time, push, pl)
 			res.Time = e.time
 
 		case evDeliver:
@@ -351,15 +412,16 @@ func Run(cfg Config) (*Result, error) {
 			wk := workers[e.w]
 			m := e.msg // carries frac in frac field; comps/vals filled here
 			frac := m.frac
-			vals := make([]float64, len(wk.comps))
+			vals := wk.partialVals
 			for bi := range wk.comps {
 				vals[bi] = flexible.Interpolate(wk.phaseOld[bi], wk.phaseOut[bi], frac)
 			}
 			// Partial updates carry the label of the last *completed*
 			// update of this block (conservative for macro-iterations).
 			label := wk.version[wk.comps[0]]
-			sendVals(cfg, rng, push, workers, wk, e.time, label, wk.comps, vals, true, frac, seq+1, res)
+			sendVals(cfg, rng, push, pl, workers, wk, e.time, label, wk.comps, vals, true, frac, seq+1, res)
 		}
+		pl.putEvent(e)
 	}
 
 	res.X = globalX
@@ -373,8 +435,11 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // startPhase snapshots the worker's view, computes its next block values and
-// schedules the completion (and any flexible partial publications).
-func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*event)) {
+// schedules the completion (and any flexible partial publications). The
+// computation reads wk.view directly: the event loop is single-threaded and
+// the results are committed via phaseOut only at completion, so no defensive
+// copy is needed and a phase allocates nothing in steady state.
+func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*event), pl *pool) {
 	wk.phaseK++
 	wk.phaseStart = now
 	minLabel := int(^uint(0) >> 1)
@@ -384,15 +449,11 @@ func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*ev
 		}
 	}
 	wk.phaseMinLabel = minLabel
-	// Snapshot own old values and compute the block update from the view.
-	wk.phaseOld = make([]float64, len(wk.comps))
-	wk.phaseOut = make([]float64, len(wk.comps))
 	for bi, c := range wk.comps {
 		wk.phaseOld[bi] = wk.view[c]
 	}
-	snapshot := vec.Clone(wk.view)
 	for bi, c := range wk.comps {
-		wk.phaseOut[bi] = cfg.Op.Component(c, snapshot)
+		wk.phaseOut[bi] = operators.EvalComponent(cfg.Op, wk.scr, c, wk.view)
 	}
 	d := cfg.Cost(wk.id, wk.phaseK)
 	if d <= 0 {
@@ -401,31 +462,44 @@ func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*ev
 	// Flexible: publish partials mid-phase.
 	for _, f := range cfg.Flexible.Fracs {
 		if f < 1 { // the completed value is broadcast at phase end anyway
-			push(&event{time: now + f*d, kind: evPartial, w: wk.id, msg: &message{frac: f}})
+			m := pl.getMsg()
+			m.frac = f
+			e := pl.getEvent()
+			e.time, e.kind, e.w, e.msg = now+f*d, evPartial, wk.id, m
+			push(e)
 		}
 	}
-	push(&event{time: now + d, kind: evComplete, w: wk.id})
+	e := pl.getEvent()
+	e.time, e.kind, e.w = now+d, evComplete, wk.id
+	push(e)
 }
 
 // sendBlock broadcasts completed block values to every other worker.
-func sendBlock(cfg Config, rng *vec.RNG, push func(*event), workers []*worker,
+func sendBlock(cfg Config, rng *vec.RNG, push func(*event), pl *pool, workers []*worker,
 	wk *worker, now float64, label int, vals []float64, partial bool, frac float64, res *Result) {
-	sendVals(cfg, rng, push, workers, wk, now, label, wk.comps, vals, partial, frac, label, res)
+	sendVals(cfg, rng, push, pl, workers, wk, now, label, wk.comps, vals, partial, frac, label, res)
 }
 
-func sendVals(cfg Config, rng *vec.RNG, push func(*event), workers []*worker,
+func sendVals(cfg Config, rng *vec.RNG, push func(*event), pl *pool, workers []*worker,
 	wk *worker, now float64, label int, comps []int, vals []float64,
 	partial bool, frac float64, iter int, res *Result) {
-	recipients := workers
-	if cfg.Neighbors != nil && wk.id < len(cfg.Neighbors) {
-		recipients = recipients[:0:0]
-		for _, q := range cfg.Neighbors[wk.id] {
-			if q >= 0 && q < len(workers) && q != wk.id {
-				recipients = append(recipients, workers[q])
+	// Iterate recipients without materializing a slice (a broadcast happens
+	// once per update phase; building a recipients slice here would be a
+	// per-update allocation under restricted topologies).
+	nRecip := len(workers)
+	topo := cfg.Neighbors != nil && wk.id < len(cfg.Neighbors)
+	if topo {
+		nRecip = len(cfg.Neighbors[wk.id])
+	}
+	for r := 0; r < nRecip; r++ {
+		q := r
+		if topo {
+			q = cfg.Neighbors[wk.id][r]
+			if q < 0 || q >= len(workers) {
+				continue
 			}
 		}
-	}
-	for _, peer := range recipients {
+		peer := workers[q]
 		if peer.id == wk.id {
 			continue
 		}
@@ -444,12 +518,11 @@ func sendVals(cfg Config, rng *vec.RNG, push func(*event), workers []*worker,
 		if lat < 0 {
 			lat = 0
 		}
-		m := &message{
-			from: wk.id, to: peer.id,
-			comps: append([]int(nil), comps...),
-			vals:  append([]float64(nil), vals...),
-			label: label, partial: partial, frac: frac, iter: iter,
-		}
+		m := pl.getMsg()
+		m.from, m.to = wk.id, peer.id
+		m.comps = comps // owner's comps slice is immutable; share, don't copy
+		m.vals = append(m.vals[:0], vals...)
+		m.label, m.partial, m.frac, m.iter = label, partial, frac, iter
 		if cfg.Trace != nil {
 			kind := trace.Send
 			if partial {
@@ -460,6 +533,8 @@ func sendVals(cfg Config, rng *vec.RNG, push func(*event), workers []*worker,
 				Start: now, End: now, Iter: iter, Comp: comps[0], Frac: frac,
 			})
 		}
-		push(&event{time: now + lat, kind: evDeliver, msg: m})
+		ev := pl.getEvent()
+		ev.time, ev.kind, ev.msg = now+lat, evDeliver, m
+		push(ev)
 	}
 }

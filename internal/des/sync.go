@@ -81,6 +81,18 @@ func RunSync(cfg Config) (*SyncResult, error) {
 	for i := range allComps {
 		allComps[i] = i
 	}
+	// Per-worker scratches, as in the asynchronous engine (the barrier
+	// baseline must not carry an allocation tax the async side has shed, or
+	// every sync-vs-async comparison would be skewed).
+	scrs := make([]*operators.Scratch, p)
+	for w := range scrs {
+		if w < len(cfg.Scratches) && cfg.Scratches[w] != nil {
+			scrs[w] = cfg.Scratches[w]
+		} else {
+			scrs[w] = operators.NewScratch()
+		}
+	}
+	costs := make([]float64, p)
 
 	maxRounds := cfg.MaxUpdates / p
 	if maxRounds < 1 {
@@ -89,7 +101,6 @@ func RunSync(cfg Config) (*SyncResult, error) {
 	for r := 1; r <= maxRounds; r++ {
 		// Compute phase: every worker relaxes its block from x(r-1).
 		maxCost := 0.0
-		costs := make([]float64, p)
 		for w, b := range blocks {
 			c := cfg.Cost(w, r)
 			if c <= 0 {
@@ -100,7 +111,7 @@ func RunSync(cfg Config) (*SyncResult, error) {
 				maxCost = c
 			}
 			for i := b[0]; i < b[1]; i++ {
-				next[i] = cfg.Op.Component(i, x)
+				next[i] = operators.EvalComponent(cfg.Op, scrs[w], i, x)
 			}
 		}
 		// Exchange phase: all-to-all; the barrier completes when the

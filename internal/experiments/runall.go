@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Outcome is the result of one experiment executed by RunAll: the report,
+// how long the run took, and any failure to launch (context cancellation).
+type Outcome struct {
+	ID      string
+	Report  *Report // nil when Err is non-nil
+	Elapsed time.Duration
+	Err     error
+}
+
+// RunAll executes the whole registry on a worker pool of the given
+// parallelism and returns outcomes in registry order. Experiments are
+// independent (each builds its own workloads and seeds), so they
+// parallelize perfectly; parallelism <= 0 defaults to GOMAXPROCS.
+//
+// Cancelling ctx stops launching new experiments; in-flight ones complete.
+// Outcomes for experiments never launched carry ctx's error. RunAll itself
+// returns ctx's error if any experiment was skipped, nil otherwise.
+func RunAll(ctx context.Context, parallelism int) ([]Outcome, error) {
+	return RunSelected(ctx, parallelism, IDs())
+}
+
+// RunSelected is RunAll restricted to the given experiment ids (unknown ids
+// yield an error Outcome, not a panic).
+func RunSelected(ctx context.Context, parallelism int, ids []string) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(ids) {
+		parallelism = len(ids)
+	}
+	outcomes := make([]Outcome, len(ids))
+	next := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				id := ids[idx]
+				run := Lookup(id)
+				if run == nil {
+					outcomes[idx] = Outcome{ID: id, Err: fmt.Errorf("experiments: unknown id %q", id)}
+					continue
+				}
+				start := time.Now()
+				rep := run()
+				outcomes[idx] = Outcome{ID: id, Report: rep, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+
+	var ctxErr error
+feed:
+	for i := range ids {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			// Indices >= i were never dispatched, so no worker touches them.
+			for j := i; j < len(ids); j++ {
+				outcomes[j] = Outcome{ID: ids[j], Err: ctxErr}
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return outcomes, ctxErr
+}

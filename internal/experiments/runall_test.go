@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunSelectedParallel exercises the worker pool with parallelism > 1 on
+// a fast subset; under `go test -race` this doubles as the data-race check
+// for the harness (and for concurrent engine runs inside experiments).
+func TestRunSelectedParallel(t *testing.T) {
+	ids := []string{"F1", "F2", "E1", "E2"}
+	outcomes, err := RunSelected(context.Background(), 4, ids)
+	if err != nil {
+		t.Fatalf("RunSelected: %v", err)
+	}
+	if len(outcomes) != len(ids) {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), len(ids))
+	}
+	for i, oc := range outcomes {
+		if oc.ID != ids[i] {
+			t.Errorf("outcome %d id %s, want %s (order must be registry order)", i, oc.ID, ids[i])
+		}
+		if oc.Err != nil {
+			t.Errorf("%s: %v", oc.ID, oc.Err)
+			continue
+		}
+		if oc.Report == nil || !oc.Report.Pass {
+			t.Errorf("%s: missing or failing report", oc.ID)
+		}
+		if oc.Elapsed <= 0 {
+			t.Errorf("%s: elapsed not recorded", oc.ID)
+		}
+	}
+}
+
+// TestRunAllMatchesSerial checks the parallel harness returns the same
+// pass/fail verdicts as serial execution (experiments are deterministic).
+func TestRunAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite comparison skipped in -short mode")
+	}
+	outcomes, err := RunAll(context.Background(), 8)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(outcomes) != len(IDs()) {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), len(IDs()))
+	}
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			t.Errorf("%s: %v", oc.ID, oc.Err)
+			continue
+		}
+		serial := Lookup(oc.ID)()
+		if serial.Pass != oc.Report.Pass {
+			t.Errorf("%s: parallel pass=%v, serial pass=%v", oc.ID, oc.Report.Pass, serial.Pass)
+		}
+	}
+}
+
+func TestRunSelectedUnknownID(t *testing.T) {
+	outcomes, err := RunSelected(context.Background(), 2, []string{"F1", "E99"})
+	if err != nil {
+		t.Fatalf("RunSelected: %v", err)
+	}
+	if outcomes[0].Err != nil || outcomes[0].Report == nil {
+		t.Errorf("F1 should succeed: %+v", outcomes[0])
+	}
+	if outcomes[1].Err == nil {
+		t.Error("E99 should report an error")
+	}
+}
+
+func TestRunSelectedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outcomes, err := RunSelected(ctx, 2, IDs())
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	skipped := 0
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation before launch should skip experiments")
+	}
+}

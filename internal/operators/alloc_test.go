@@ -1,0 +1,136 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prox"
+	"repro/internal/vec"
+)
+
+func allocTestLinear(n int) *Linear {
+	rng := vec.NewRNG(11)
+	m := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := 0.2 * rng.Normal()
+				m.Set(i, j, v)
+				off += math.Abs(v)
+			}
+		}
+		m.Set(i, i, 1.5*off+1)
+	}
+	return JacobiFromSystem(m, rng.NormalVector(n))
+}
+
+func allocTestProxGrad(n int) (*ProxGradBF, *InnerIterated) {
+	rng := vec.NewRNG(12)
+	q := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1+rng.Float64())
+	}
+	f := NewQuadratic(q, rng.NormalVector(n), 0)
+	gamma := MaxStep(f)
+	return NewProxGradBF(f, prox.L1{Lambda: 0.05}, gamma),
+		NewInnerIterated(f, prox.L1{Lambda: 0.05}, gamma, 3)
+}
+
+// The scratch fast paths must be allocation-free after warm-up: engines
+// call them once per component relaxation.
+func TestScratchEvaluationAllocationFree(t *testing.T) {
+	const n = 48
+	lin := allocTestLinear(n)
+	bf, inner := allocTestProxGrad(n)
+	x := vec.NewRNG(13).NormalVector(n)
+	dst := make([]float64, n)
+
+	cases := []struct {
+		name string
+		op   Operator
+	}{
+		{"Linear", lin},
+		{"ProxGradBF", bf},
+		{"InnerIterated", inner},
+		{"Relaxed(ProxGradBF)", &Relaxed{Inner: bf, Omega: 0.7}},
+	}
+	for _, tc := range cases {
+		scr := NewScratch()
+		// Warm up so lazily created scratch buffers exist.
+		_ = EvalComponent(tc.op, scr, 0, x)
+		ApplyInto(tc.op, scr, dst, x)
+
+		if avg := testing.AllocsPerRun(100, func() {
+			_ = EvalComponent(tc.op, scr, 1, x)
+		}); avg != 0 {
+			t.Errorf("%s: EvalComponent allocated %.1f/run, want 0", tc.name, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			ApplyInto(tc.op, scr, dst, x)
+		}); avg != 0 {
+			t.Errorf("%s: ApplyInto allocated %.1f/run, want 0", tc.name, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			_ = ResidualWith(tc.op, scr, x)
+		}); avg != 0 {
+			t.Errorf("%s: ResidualWith allocated %.1f/run, want 0", tc.name, avg)
+		}
+	}
+}
+
+// The scratch fast paths must agree exactly with the plain evaluations.
+func TestScratchEvaluationMatchesPlain(t *testing.T) {
+	const n = 32
+	bf, inner := allocTestProxGrad(n)
+	x := vec.NewRNG(14).NormalVector(n)
+
+	for _, tc := range []struct {
+		name string
+		op   Operator
+	}{
+		{"ProxGradBF", bf},
+		{"InnerIterated", inner},
+		{"Relaxed", &Relaxed{Inner: bf, Omega: 0.5}},
+	} {
+		scr := NewScratch()
+		for i := 0; i < n; i++ {
+			plain := tc.op.Component(i, x)
+			fast := EvalComponent(tc.op, scr, i, x)
+			if plain != fast {
+				t.Errorf("%s: component %d: scratch %v != plain %v", tc.name, i, fast, plain)
+			}
+		}
+		plain := make([]float64, n)
+		fast := make([]float64, n)
+		Apply(tc.op, plain, x)
+		ApplyInto(tc.op, scr, fast, x)
+		for i := range plain {
+			if plain[i] != fast[i] {
+				t.Errorf("%s: apply %d: scratch %v != plain %v", tc.name, i, fast[i], plain[i])
+			}
+		}
+	}
+}
+
+func TestScratchVecGrowsAndReuses(t *testing.T) {
+	scr := NewScratch()
+	a := scr.Vec(0, 8)
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	b := scr.Vec(0, 4)
+	if len(b) != 4 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Error("shrinking request should reuse the same backing buffer")
+	}
+	c := scr.Vec(1, 16)
+	if len(c) != 16 {
+		t.Fatalf("len = %d", len(c))
+	}
+	if &c[0] == &a[0] {
+		t.Error("distinct slots must be distinct buffers")
+	}
+}

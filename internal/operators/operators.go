@@ -49,14 +49,16 @@ func Apply(op Operator, dst, x []float64) {
 
 // FixedPoint iterates F synchronously until ||F(x)-x||_inf <= tol or
 // maxIter sweeps, returning the final iterate and whether it converged. It
-// is the reference solver used to compute x* for experiments.
+// is the reference solver used to compute x* for experiments. All sweeps
+// after the first are allocation-free (one internal Scratch is reused).
 func FixedPoint(op Operator, x0 []float64, tol float64, maxIter int) ([]float64, bool) {
 	n := op.Dim()
 	x := make([]float64, n)
 	copy(x, x0)
 	y := make([]float64, n)
+	scr := NewScratch()
 	for it := 0; it < maxIter; it++ {
-		Apply(op, y, x)
+		ApplyInto(op, scr, y, x)
 		if vec.DistInf(x, y) <= tol {
 			copy(x, y)
 			return x, true
@@ -195,6 +197,20 @@ func (r *Relaxed) Dim() int { return r.Inner.Dim() }
 
 func (r *Relaxed) Component(i int, x []float64) float64 {
 	return (1-r.Omega)*x[i] + r.Omega*r.Inner.Component(i, x)
+}
+
+// ComponentScratch implements ScratchOperator by delegating the scratch to
+// the inner operator (same slot space: Relaxed consumes no slots itself).
+func (r *Relaxed) ComponentScratch(scr *Scratch, i int, x []float64) float64 {
+	return (1-r.Omega)*x[i] + r.Omega*EvalComponent(r.Inner, scr, i, x)
+}
+
+// ApplyScratch implements ScratchOperator.
+func (r *Relaxed) ApplyScratch(scr *Scratch, dst, x []float64) {
+	ApplyInto(r.Inner, scr, dst, x)
+	for i := range dst {
+		dst[i] = (1-r.Omega)*x[i] + r.Omega*dst[i]
+	}
 }
 
 func (r *Relaxed) Name() string {

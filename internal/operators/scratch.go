@@ -1,0 +1,84 @@
+package operators
+
+// Scratch is a bundle of reusable work vectors. The asynchronous engines
+// evaluate operators like ProxGradBF millions of times on their hot paths;
+// without scratch every evaluation that needs a temporary (the prox point,
+// a gradient) would allocate. Each worker owns one Scratch and threads it
+// through EvalComponent / ApplyInto, making steady-state evaluation
+// allocation-free.
+//
+// A Scratch is NOT safe for concurrent use: it embodies exactly the
+// "per-worker buffer" idea, so give each goroutine its own instance (the
+// engines do). The zero value is ready to use; buffers are created lazily
+// on first request and reused afterwards, so a warmed-up Scratch never
+// allocates again for the same shape.
+type Scratch struct {
+	bufs [][]float64
+}
+
+// NewScratch returns an empty Scratch. Buffers grow on demand, so one
+// Scratch can be reused across operators and solves of any shape (repeated
+// solves of the same shape allocate only on the first).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Vec returns the scratch vector registered under slot, resized to length n.
+// Contents are unspecified on entry (callers overwrite). Distinct slots are
+// distinct buffers; an operator's documentation states how many slots it
+// consumes so composed operators can partition the slot space.
+func (s *Scratch) Vec(slot, n int) []float64 {
+	for len(s.bufs) <= slot {
+		s.bufs = append(s.bufs, nil)
+	}
+	if cap(s.bufs[slot]) < n {
+		s.bufs[slot] = make([]float64, n)
+	}
+	return s.bufs[slot][:n]
+}
+
+// ScratchOperator is an optional fast path: operators whose evaluation needs
+// temporary vectors implement it so a caller-supplied Scratch replaces
+// per-call allocation. Implementations must remain read-only on x and on any
+// shared operator state (the scratch is the only mutable memory).
+type ScratchOperator interface {
+	Operator
+	// ComponentScratch is Component(i, x) using scr for temporaries.
+	ComponentScratch(scr *Scratch, i int, x []float64) float64
+	// ApplyScratch is Apply(dst, x) using scr for temporaries.
+	ApplyScratch(scr *Scratch, dst, x []float64)
+}
+
+// EvalComponent evaluates F_i(x), routing through the operator's scratch
+// fast path when both the operator supports it and scr is non-nil. It is
+// the evaluation call every engine hot loop uses.
+func EvalComponent(op Operator, scr *Scratch, i int, x []float64) float64 {
+	if so, ok := op.(ScratchOperator); ok && scr != nil {
+		return so.ComponentScratch(scr, i, x)
+	}
+	return op.Component(i, x)
+}
+
+// ApplyInto evaluates F(x) into dst, preferring the scratch fast path, then
+// the FullApplier fast path, then componentwise evaluation.
+func ApplyInto(op Operator, scr *Scratch, dst, x []float64) {
+	if so, ok := op.(ScratchOperator); ok && scr != nil {
+		so.ApplyScratch(scr, dst, x)
+		return
+	}
+	Apply(op, dst, x)
+}
+
+// ResidualWith returns ||F(x) - x||_inf like Residual, threading scr through
+// the componentwise evaluations.
+func ResidualWith(op Operator, scr *Scratch, x []float64) float64 {
+	m := 0.0
+	for i := 0; i < op.Dim(); i++ {
+		d := EvalComponent(op, scr, i, x) - x[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -6,14 +6,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/operators"
 	"repro/internal/vec"
 )
 
-// blockMsg carries one worker's freshly computed block to a peer.
+// blockMsg carries one worker's freshly computed block to a peer. The
+// payload is a pooled buffer: receivers copy it into their view and return
+// it to the pool, so the steady-state broadcast traffic allocates nothing.
 type blockMsg struct {
 	from int
 	lo   int
-	vals []float64
+	vals *[]float64
 }
 
 // RunMessage executes the message-passing transport: each worker owns its
@@ -47,6 +50,20 @@ func RunMessage(cfg Config) (*Result, error) {
 		inboxes[w] = make(chan blockMsg, 16*p)
 	}
 
+	// Message payload pool, sized to the largest block. Senders Get, fill
+	// and ship; receivers copy out and Put back (drops Put immediately).
+	// Payloads abandoned in inboxes when the run stops are reclaimed by GC.
+	maxBlock := 0
+	for _, b := range blocks {
+		if sz := b[1] - b[0]; sz > maxBlock {
+			maxBlock = sz
+		}
+	}
+	valPool := sync.Pool{New: func() interface{} {
+		buf := make([]float64, maxBlock)
+		return &buf
+	}}
+
 	var stop atomic.Bool
 	var sent, delivered, dropped atomic.Int64
 	var doneWorkers atomic.Int64
@@ -67,14 +84,25 @@ func RunMessage(cfg Config) (*Result, error) {
 			view := make([]float64, n)
 			copy(view, x0)
 			out := make([]float64, hi-lo)
+			scr := cfg.workerScratch(w)
 
+			receive := func(m blockMsg) {
+				copy(view[m.lo:m.lo+len(*m.vals)], *m.vals)
+				valPool.Put(m.vals)
+				delivered.Add(1)
+			}
+			newPayload := func(src []float64) *[]float64 {
+				vp := valPool.Get().(*[]float64)
+				*vp = (*vp)[:len(src)]
+				copy(*vp, src)
+				return vp
+			}
 			drain := func() bool {
 				got := false
 				for {
 					select {
 					case m := <-inboxes[w]:
-						copy(view[m.lo:m.lo+len(m.vals)], m.vals)
-						delivered.Add(1)
+						receive(m)
 						got = true
 					default:
 						return got
@@ -84,7 +112,7 @@ func RunMessage(cfg Config) (*Result, error) {
 			blockDelta := func() float64 {
 				d := 0.0
 				for c := lo; c < hi; c++ {
-					v := cfg.Op.Component(c, view) - view[c]
+					v := operators.EvalComponent(cfg.Op, scr, c, view) - view[c]
 					if v < 0 {
 						v = -v
 					}
@@ -113,6 +141,7 @@ func RunMessage(cfg Config) (*Result, error) {
 						runtime.Gosched()
 					}
 					if stop.Load() || exited[q].Load() {
+						valPool.Put(m.vals)
 						dropped.Add(1)
 						return
 					}
@@ -131,8 +160,7 @@ func RunMessage(cfg Config) (*Result, error) {
 					got := false
 					select {
 					case m := <-inboxes[w]:
-						copy(view[m.lo:m.lo+len(m.vals)], m.vals)
-						delivered.Add(1)
+						receive(m)
 						got = true
 					case <-time.After(50 * time.Microsecond):
 					}
@@ -148,7 +176,7 @@ func RunMessage(cfg Config) (*Result, error) {
 				drain()
 				delta := 0.0
 				for c := lo; c < hi; c++ {
-					out[c-lo] = cfg.Op.Component(c, view)
+					out[c-lo] = operators.EvalComponent(cfg.Op, scr, c, view)
 					if d := out[c-lo] - view[c]; d > delta {
 						delta = d
 					} else if -d > delta {
@@ -162,11 +190,12 @@ func RunMessage(cfg Config) (*Result, error) {
 					if q == w {
 						continue
 					}
-					m := blockMsg{from: w, lo: lo, vals: append([]float64(nil), out...)}
+					m := blockMsg{from: w, lo: lo, vals: newPayload(out)}
 					sent.Add(1)
 					select {
 					case inboxes[q] <- m:
 					default:
+						valPool.Put(m.vals)
 						dropped.Add(1)
 					}
 				}
@@ -182,7 +211,7 @@ func RunMessage(cfg Config) (*Result, error) {
 							if q == w {
 								continue
 							}
-							sendReliable(q, blockMsg{from: w, lo: lo, vals: append([]float64(nil), view[lo:hi]...)})
+							sendReliable(q, blockMsg{from: w, lo: lo, vals: newPayload(view[lo:hi])})
 						}
 						if blockDelta() > cfg.Tol {
 							streak = 0 // drained data broke convergence

@@ -37,6 +37,19 @@ type Config struct {
 	// Flexible publishes partial coordinate values mid-phase (shared-memory
 	// transport only).
 	Flexible flexible.Schedule
+	// Scratches, when non-nil, supplies one reusable operator scratch per
+	// worker (index = worker id) so repeated runs of the same shape share
+	// hot-path buffers. Missing entries fall back to fresh scratches.
+	Scratches []*operators.Scratch
+}
+
+// workerScratch returns the caller-supplied scratch for worker w or a fresh
+// one. Each worker owns its scratch exclusively for the duration of the run.
+func (c *Config) workerScratch(w int) *operators.Scratch {
+	if w < len(c.Scratches) && c.Scratches[w] != nil {
+		return c.Scratches[w]
+	}
+	return operators.NewScratch()
 }
 
 // Result reports a concurrent run.
@@ -106,6 +119,7 @@ func RunShared(cfg Config) (*Result, error) {
 			snap := make([]float64, n)
 			out := make([]float64, hi-lo)
 			old := make([]float64, hi-lo)
+			scr := cfg.workerScratch(w)
 			for k := 0; k < cfg.MaxUpdatesPerWorker; k++ {
 				if stop.Load() {
 					return
@@ -114,7 +128,7 @@ func RunShared(cfg Config) (*Result, error) {
 				delta := 0.0
 				for c := lo; c < hi; c++ {
 					old[c-lo] = snap[c]
-					out[c-lo] = cfg.Op.Component(c, snap)
+					out[c-lo] = operators.EvalComponent(cfg.Op, scr, c, snap)
 					if d := math.Abs(out[c-lo] - snap[c]); d > delta {
 						delta = d
 					}
@@ -164,7 +178,7 @@ func RunShared(cfg Config) (*Result, error) {
 							sv.Snapshot(snap)
 							resid := 0.0
 							for c := 0; c < n && resid <= cfg.Tol; c++ {
-								if d := math.Abs(cfg.Op.Component(c, snap) - snap[c]); d > resid {
+								if d := math.Abs(operators.EvalComponent(cfg.Op, scr, c, snap) - snap[c]); d > resid {
 									resid = d
 								}
 							}

@@ -49,31 +49,49 @@ func CopyInto(dst, src Vector) {
 
 // Add returns x + y as a new vector.
 func Add(x, y Vector) Vector {
-	checkLen(x, y)
 	z := make(Vector, len(x))
-	for i := range x {
-		z[i] = x[i] + y[i]
-	}
+	AddInto(z, x, y)
 	return z
+}
+
+// AddInto computes dst = x + y without allocating; dst may alias x or y.
+func AddInto(dst, x, y Vector) {
+	checkLen(x, y)
+	checkLen(dst, x)
+	for i := range x {
+		dst[i] = x[i] + y[i]
+	}
 }
 
 // Sub returns x - y as a new vector.
 func Sub(x, y Vector) Vector {
-	checkLen(x, y)
 	z := make(Vector, len(x))
-	for i := range x {
-		z[i] = x[i] - y[i]
-	}
+	SubInto(z, x, y)
 	return z
+}
+
+// SubInto computes dst = x - y without allocating; dst may alias x or y.
+func SubInto(dst, x, y Vector) {
+	checkLen(x, y)
+	checkLen(dst, x)
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
 }
 
 // Scale returns a*x as a new vector.
 func Scale(a float64, x Vector) Vector {
 	z := make(Vector, len(x))
-	for i := range x {
-		z[i] = a * x[i]
-	}
+	ScaleInto(z, a, x)
 	return z
+}
+
+// ScaleInto computes dst = a*x without allocating; dst may alias x.
+func ScaleInto(dst Vector, a float64, x Vector) {
+	checkLen(dst, x)
+	for i := range x {
+		dst[i] = a * x[i]
+	}
 }
 
 // AXPY computes y += a*x in place.
@@ -81,6 +99,15 @@ func AXPY(a float64, x, y Vector) {
 	checkLen(x, y)
 	for i := range x {
 		y[i] += a * x[i]
+	}
+}
+
+// AXPYInto computes dst = y + a*x without allocating; dst may alias x or y.
+func AXPYInto(dst Vector, a float64, x, y Vector) {
+	checkLen(x, y)
+	checkLen(dst, x)
+	for i := range x {
+		dst[i] = y[i] + a*x[i]
 	}
 }
 
@@ -97,12 +124,19 @@ func Dot(x, y Vector) float64 {
 // Lerp returns (1-t)*x + t*y, the linear interpolation between x and y.
 // Flexible communication publishes such interpolants as partial updates.
 func Lerp(x, y Vector, t float64) Vector {
-	checkLen(x, y)
 	z := make(Vector, len(x))
-	for i := range x {
-		z[i] = x[i] + t*(y[i]-x[i])
-	}
+	LerpInto(z, x, y, t)
 	return z
+}
+
+// LerpInto computes dst = (1-t)*x + t*y without allocating; dst may alias
+// x or y.
+func LerpInto(dst, x, y Vector, t float64) {
+	checkLen(x, y)
+	checkLen(dst, x)
+	for i := range x {
+		dst[i] = x[i] + t*(y[i]-x[i])
+	}
 }
 
 // Norm2 returns the Euclidean norm of x.

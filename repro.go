@@ -72,6 +72,9 @@ type (
 	Separable = operators.Separable
 	// LeastSquares is the ridge/lasso smooth part.
 	LeastSquares = operators.LeastSquares
+	// OperatorScratch is a per-worker bundle of reusable work vectors for
+	// allocation-free operator evaluation (see NewOperatorScratch).
+	OperatorScratch = operators.Scratch
 )
 
 // Constructors re-exported from the operators package.
@@ -92,6 +95,16 @@ var (
 	TheoreticalRho   = operators.TheoreticalRho
 	EstimateContract = operators.EstimateContraction
 	UniformWeights   = operators.Ones
+	// NewOperatorScratch returns an empty per-worker scratch; thread it
+	// through EvalComponent/ApplyOperator to evaluate operators like
+	// ProxGradBF without per-call allocation.
+	NewOperatorScratch = operators.NewScratch
+	// EvalComponent evaluates F_i(x) using the operator's scratch fast path
+	// when available.
+	EvalComponent = operators.EvalComponent
+	// ApplyOperator evaluates F(x) into dst using the scratch (or full-apply)
+	// fast path when available.
+	ApplyOperator = operators.ApplyInto
 )
 
 // ---------------------------------------------------------------------------

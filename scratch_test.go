@@ -1,0 +1,91 @@
+package repro_test
+
+// Tests of the Solve-level buffer-reuse option (WithScratch): reusing a
+// Scratch across repeated solves must be invisible to results, on every
+// engine, including the deterministic ones bit for bit.
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestWithScratchDeterministicEnginesBitIdentical solves the same spec
+// three times with one shared Scratch and compares against a fresh solve;
+// the deterministic engines (model, sim, simsync) must agree exactly.
+func TestWithScratchDeterministicEnginesBitIdentical(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	for _, engine := range []repro.Engine{repro.EngineModel, repro.EngineSim, repro.EngineSimSync} {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			opts := func(extra ...repro.Option) []repro.Option {
+				return append([]repro.Option{
+					repro.WithEngine(engine),
+					repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+					repro.WithWorkers(4),
+					repro.WithSeed(3),
+					repro.WithTol(1e-9),
+					repro.WithMaxIter(2000000),
+					repro.WithMaxUpdates(2000000),
+				}, extra...)
+			}
+			fresh, err := repro.Solve(spec, opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scr := repro.NewScratch()
+			for run := 0; run < 3; run++ {
+				res, err := repro.Solve(spec, opts(repro.WithScratch(scr))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("run %d did not converge", run)
+				}
+				if len(res.X) != len(fresh.X) {
+					t.Fatalf("run %d: dim %d != %d", run, len(res.X), len(fresh.X))
+				}
+				for i := range res.X {
+					if res.X[i] != fresh.X[i] {
+						t.Fatalf("run %d: component %d differs with scratch: %v != %v",
+							run, i, res.X[i], fresh.X[i])
+					}
+				}
+				if res.Iterations != fresh.Iterations || res.Updates != fresh.Updates {
+					t.Errorf("run %d: trajectory changed: iters %d/%d updates %d/%d",
+						run, res.Iterations, fresh.Iterations, res.Updates, fresh.Updates)
+				}
+			}
+		})
+	}
+}
+
+// TestWithScratchGoroutineEnginesConverge checks the nondeterministic
+// engines still reach the fixed point when a Scratch is reused across runs.
+func TestWithScratchGoroutineEnginesConverge(t *testing.T) {
+	spec, xstar := lassoSpec(t)
+	for _, engine := range []repro.Engine{repro.EngineShared, repro.EngineMessage} {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			scr := repro.NewScratch()
+			for run := 0; run < 2; run++ {
+				res, err := repro.Solve(spec,
+					repro.WithEngine(engine),
+					repro.WithWorkers(4),
+					repro.WithTol(1e-9),
+					repro.WithMaxUpdates(2000000),
+					repro.WithScratch(scr),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("run %d did not converge", run)
+				}
+				if e := repro.DistInf(res.X, xstar); e > 1e-6 {
+					t.Errorf("run %d: fixed point off by %v", run, e)
+				}
+			}
+		})
+	}
+}

@@ -90,6 +90,10 @@ type Execution struct {
 	// Trace, when non-nil, records update phases and messages
 	// (asynchronous simulator).
 	Trace *TraceLog
+	// Scratch, when non-nil, lets repeated Solves of the same shape reuse
+	// hot-path buffers (operator temporaries, read vectors). See NewScratch;
+	// a Scratch must not be shared by concurrent Solves.
+	Scratch *Scratch
 }
 
 // Stopping bounds the run and sets the convergence tolerance.
@@ -193,6 +197,11 @@ func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = seed } }
 // WithTrace records update phases and messages into lg (asynchronous
 // simulator).
 func WithTrace(lg *TraceLog) Option { return func(s *Spec) { s.Trace = lg } }
+
+// WithScratch attaches reusable solver state so repeated Solves of the same
+// shape avoid re-allocating hot-path buffers. Not safe for concurrent
+// Solves sharing one Scratch.
+func WithScratch(scr *Scratch) Option { return func(s *Spec) { s.Scratch = scr } }
 
 // WithTol sets the convergence tolerance.
 func WithTol(tol float64) Option { return func(s *Spec) { s.Tol = tol } }
