@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt check clean
+.PHONY: all build test race smoke-examples bench bench-json lint fmt check clean
 
 all: build
 
@@ -13,10 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The race job covers the goroutine engines, the parallel experiment
-# harness and the facade that drives them.
+# The race job covers the goroutine and TCP engines, the parallel
+# experiment harness and the facade that drives them.
 race:
-	$(GO) test -race . ./internal/runtime/... ./internal/experiments/...
+	$(GO) test -race . ./internal/runtime/... ./internal/dist/... ./internal/experiments/...
+
+# Every example program must actually run, not just compile (CI smoke-runs
+# them on every push).
+smoke-examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run "./$$d" >/dev/null || exit 1; \
+	done
 
 # Benchmark smoke: every benchmark compiles and runs once, with allocation
 # reporting (what the CI benchmark job runs before capturing BENCH json).
@@ -37,7 +45,7 @@ lint:
 fmt:
 	gofmt -w .
 
-check: lint build test race bench
+check: lint build test race smoke-examples bench
 
 clean:
 	rm -f asyncsolve BENCH_*.json

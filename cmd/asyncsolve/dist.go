@@ -1,0 +1,121 @@
+package main
+
+// The dist-coordinator / dist-worker subcommands run the TCP engine as
+// separate OS processes — the same protocol the in-process "dist" engine
+// and its tests use over localhost, deployed for real:
+//
+//	asyncsolve dist-coordinator -listen 127.0.0.1:7000 -workers 2 -scenario lasso &
+//	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso &
+//	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso
+//
+// Every process builds the same scenario (name, size, seed) locally, so
+// only coordinates — never operators — cross the wire.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+)
+
+// distScenario resolves the workload every dist process must agree on.
+func distScenario(scenario string, n int, seed uint64) (*repro.ScenarioInstance, error) {
+	if scenario == "" {
+		scenario = "lasso"
+	}
+	return repro.BuildScenario(scenario, n, seed)
+}
+
+func runDistCoordinator(args []string) {
+	fs := flag.NewFlagSet("dist-coordinator", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7000", "address to accept workers on")
+	workers := fs.Int("workers", 2, "number of worker processes to wait for")
+	scenario := fs.String("scenario", "lasso", "workload scenario (must match the workers')")
+	n := fs.Int("n", 0, "problem size; 0 = scenario default (must match the workers')")
+	seed := fs.Uint64("seed", 1, "workload seed (must match the workers')")
+	tol := fs.Float64("tol", -1, "convergence tolerance; negative = scenario default")
+	maxUpdates := fs.Int("maxupdates", 0, "per-worker update budget; 0 = default")
+	drop := fs.Float64("drop", 0, "per-link message drop probability")
+	reorder := fs.Float64("reorder", 0, "per-link message reorder probability")
+	maxDelay := fs.Duration("maxdelay", 0, "per-link max injected transit delay")
+	timeout := fs.Duration("timeout", 2*time.Minute, "run timeout")
+	fs.Parse(args)
+
+	inst, err := distScenario(*scenario, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec := inst.Spec
+	if *tol >= 0 {
+		spec.Tol = *tol
+	}
+	dim := spec.Op.Dim()
+	p := *workers
+	if p > dim {
+		p = dim
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("coordinator: scenario=%s n=%d waiting for %d workers on %s\n",
+		*scenario, dim, p, ln.Addr())
+	res, err := dist.Serve(dist.ServerConfig{
+		Listener:            ln,
+		Workers:             p,
+		N:                   dim,
+		X0:                  spec.X0,
+		Tol:                 spec.Tol,
+		SweepsBelowTol:      spec.SweepsBelowTol,
+		MaxUpdatesPerWorker: *maxUpdates,
+		Fault: dist.Fault{
+			DropProb:    *drop,
+			ReorderProb: *reorder,
+			MaxDelay:    *maxDelay,
+			Seed:        *seed,
+		},
+		Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("converged=%v elapsed=%v updates per worker=%v\n",
+		res.Converged, res.Elapsed, res.UpdatesPerWorker)
+	fmt.Printf("messages sent=%d delivered=%d stale=%d dropped=%d reordered=%d\n",
+		res.MessagesSent, res.MessagesDelivered, res.MessagesStale,
+		res.MessagesDropped, res.MessagesReordered)
+	fmt.Printf("bytes out=%d in=%d probe rounds=%d\n",
+		res.BytesSent, res.BytesReceived, res.ProbeRounds)
+	if inst.Describe != nil {
+		fmt.Println(inst.Describe(res.X))
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+func runDistWorker(args []string) {
+	fs := flag.NewFlagSet("dist-worker", flag.ExitOnError)
+	connect := fs.String("connect", "127.0.0.1:7000", "coordinator address")
+	scenario := fs.String("scenario", "lasso", "workload scenario (must match the coordinator's)")
+	n := fs.Int("n", 0, "problem size; 0 = scenario default (must match the coordinator's)")
+	seed := fs.Uint64("seed", 1, "workload seed (must match the coordinator's)")
+	fs.Parse(args)
+
+	inst, err := distScenario(*scenario, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := dist.Connect(*connect, inst.Spec.Op, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

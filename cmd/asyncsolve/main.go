@@ -19,6 +19,13 @@
 //	asyncsolve bench -quick                # single repetition per case (CI smoke)
 //	asyncsolve bench -experiments=false    # micro-benchmarks only
 //	asyncsolve bench -out BENCH_local.json # explicit output path
+//
+// The dist-coordinator and dist-worker subcommands deploy the TCP engine
+// as separate OS processes (see dist.go in this package):
+//
+//	asyncsolve dist-coordinator -listen 127.0.0.1:7000 -workers 2 -scenario lasso &
+//	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso &
+//	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso
 package main
 
 import (
@@ -31,13 +38,22 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		runBench(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		case "dist-coordinator":
+			runDistCoordinator(os.Args[2:])
+			return
+		case "dist-worker":
+			runDistWorker(os.Args[2:])
+			return
+		}
 	}
 	scenario := flag.String("scenario", "", "workload scenario (see -list)")
 	problem := flag.String("problem", "", "legacy alias of -scenario")
-	engineName := flag.String("engine", "model", "engine: model | sim | simsync | shared | message")
+	engineName := flag.String("engine", "model", "engine: model | sim | simsync | shared | message | dist")
 	mode := flag.String("mode", "async", "model-engine mode: sync | async | flexible")
 	delayName := flag.String("delay", "bounded:8", "delay model: fresh | constant:D | bounded:B | sqrt | log | ooo:W")
 	n := flag.Int("n", 0, "problem size (features / nodes / grid side); 0 = scenario default")

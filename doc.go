@@ -9,7 +9,7 @@
 // The paper's point is that ONE asynchronous iterative scheme (Definitions
 // 1-3) subsumes many execution regimes. The API mirrors that: a single
 // Solve entry point runs one Spec — problem, asynchrony dynamics,
-// execution model, stopping rule — on any of five interchangeable engines:
+// execution model, stopping rule — on any of six interchangeable engines:
 //
 //   - EngineModel   — the mathematical model of Definitions 1 and 3
 //     (explicit steering sets S_j and delay labels l_i(j), deterministic);
@@ -18,8 +18,35 @@
 //   - EngineSimSync — the barrier-synchronous simulated baseline;
 //   - EngineShared  — real goroutines over per-coordinate atomic shared
 //     memory;
-//   - EngineMessage — real goroutines over lossy buffered channels with
-//     quiescence-based termination detection.
+//   - EngineMessage — real goroutines over lossy buffered channels;
+//   - EngineDist    — real multi-worker execution over TCP sockets with
+//     per-link fault injection (drops, reordering, transit delay).
+//
+// # Distributed execution and termination
+//
+// EngineDist runs the paper's distributed-memory setting on a genuine
+// network path: one coordinator relays length-prefixed binary block frames
+// (little-endian; see internal/dist wire.go for the exact format) between
+// TCP workers, injecting faults per link — WithDropProb (iid loss),
+// WithReorderProb (hold-backs so later blocks overtake), WithMaxLinkDelay
+// (uniform transit jitter) — so unbounded-delay and out-of-order message
+// regimes are exercised end to end. Receivers discard blocks superseded by
+// a fresher sequence number (the label discipline for out-of-order
+// messages); a worker's final re-broadcast is reliable, i.e. exempt from
+// drop and reorder injection. In-process Solve calls run everything over
+// localhost; the asyncsolve dist-coordinator and dist-worker subcommands
+// deploy the identical protocol as separate OS processes.
+//
+// All three concurrent engines (shared, message, dist) decide termination
+// with one extracted two-phase double-collect quiescence protocol
+// (internal/runtime, quiescence.go): stop is broadcast only after two
+// identical observations of "every worker passive and nothing in flight",
+// bracketing an optional re-certification — over TCP the two observations
+// are Safra-style probe rounds. Workers publish reactivation before
+// acknowledging the input that caused it, which closes the torn-read stop
+// races polling supervisors are prone to. Report.DistDetail exposes the
+// dist engine's transport accounting (messages sent/delivered/stale/
+// dropped/reordered, wire bytes, probe rounds).
 //
 // Quick start (asynchronous proximal-gradient for lasso):
 //

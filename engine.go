@@ -22,11 +22,21 @@ package repro
 //   - EngineMessage — goroutines over lossy buffered channels
 //     (internal/runtime): Problem (Op, X0), Workers, Tol, SweepsBelowTol,
 //     MaxUpdates/MaxUpdatesPerWorker.
+//   - EngineDist    — multi-worker engine over real TCP sockets with
+//     per-link fault injection (internal/dist): Problem (Op, X0), Workers,
+//     DropProb, ReorderProb, MaxLinkDelay, Seed, Tol, SweepsBelowTol,
+//     MaxUpdates/MaxUpdatesPerWorker.
 //
 // Knobs outside an engine's list are ignored, so one Spec can be re-run
 // across engines unchanged. The simulated engines stop on the max-norm
 // error to XStar; when Tol is set and XStar is omitted they first compute a
 // synchronous reference solution (see ensureReference).
+//
+// The three concurrent engines (shared, message, dist) decide termination
+// with the same two-phase double-collect quiescence protocol
+// (internal/runtime, quiescence.go): stop is broadcast only after two
+// identical observations of "every worker passive, nothing in flight",
+// taken around an optional re-certification.
 
 import (
 	"errors"
@@ -34,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/dist"
 	"repro/internal/operators"
 	"repro/internal/runtime"
 	"repro/internal/vec"
@@ -62,15 +73,20 @@ var (
 	EngineShared Engine = sharedEngine{}
 	// EngineMessage executes real goroutines over lossy message channels.
 	EngineMessage Engine = messageEngine{}
+	// EngineDist executes real TCP workers through a fault-injecting
+	// coordinator (localhost by default; see internal/dist and the
+	// asyncsolve dist-coordinator / dist-worker subcommands for
+	// multi-process deployment).
+	EngineDist Engine = distEngine{}
 )
 
 // Engines returns the built-in engines in presentation order.
 func Engines() []Engine {
-	return []Engine{EngineModel, EngineSim, EngineSimSync, EngineShared, EngineMessage}
+	return []Engine{EngineModel, EngineSim, EngineSimSync, EngineShared, EngineMessage, EngineDist}
 }
 
 // EngineByName resolves an engine identifier ("model", "sim", "simsync",
-// "shared", "message"); a few aliases are accepted.
+// "shared", "message", "dist"); a few aliases are accepted.
 func EngineByName(name string) (Engine, error) {
 	switch name {
 	case "model", "math":
@@ -83,8 +99,10 @@ func EngineByName(name string) (Engine, error) {
 		return EngineShared, nil
 	case "message", "msg", "channel":
 		return EngineMessage, nil
+	case "dist", "tcp":
+		return EngineDist, nil
 	}
-	return nil, fmt.Errorf("repro: unknown engine %q (want model | sim | simsync | shared | message)", name)
+	return nil, fmt.Errorf("repro: unknown engine %q (want model | sim | simsync | shared | message | dist)", name)
 }
 
 // defaultWorkers is the processor count used by the worker-based engines
@@ -347,4 +365,54 @@ func (messageEngine) Solve(spec Spec) (*Report, error) {
 		return nil, err
 	}
 	return concurrentReport("message", r, spec), nil
+}
+
+// ---------------------------------------------------------------------------
+// Distributed TCP engine.
+
+type distEngine struct{}
+
+func (distEngine) Name() string { return "dist" }
+
+func (distEngine) Solve(spec Spec) (*Report, error) {
+	rc := spec.runtimeConfig() // reuse the per-worker budget derivation
+	r, err := dist.Run(dist.Config{
+		Op:                  spec.Op,
+		Workers:             rc.Workers,
+		X0:                  spec.X0,
+		Tol:                 spec.Tol,
+		SweepsBelowTol:      spec.SweepsBelowTol,
+		MaxUpdatesPerWorker: rc.MaxUpdatesPerWorker,
+		Fault: dist.Fault{
+			DropProb:    spec.DropProb,
+			ReorderProb: spec.ReorderProb,
+			MaxDelay:    spec.MaxLinkDelay,
+			Seed:        spec.Seed,
+		},
+		Scratches: rc.Scratches,
+	})
+	if err != nil {
+		return nil, err
+	}
+	updates := 0
+	for _, u := range r.UpdatesPerWorker {
+		updates += u
+	}
+	rep := &Report{
+		Engine:            "dist",
+		X:                 r.X,
+		Converged:         r.Converged,
+		Updates:           updates,
+		UpdatesPerWorker:  r.UpdatesPerWorker,
+		MessagesSent:      r.MessagesSent,
+		MessagesDropped:   r.MessagesDropped,
+		MessagesStale:     r.MessagesStale,
+		MessagesReordered: r.MessagesReordered,
+		BytesSent:         r.BytesSent,
+		BytesReceived:     r.BytesReceived,
+		Elapsed:           r.Elapsed,
+		dist:              r,
+	}
+	rep.finish(spec)
+	return rep, nil
 }

@@ -189,6 +189,33 @@ func MicroCases() []Case {
 			},
 		},
 		{
+			// One op is a complete distributed solve over localhost TCP:
+			// listener + 4 worker sockets, 100 phases each, coordinator
+			// relay and probe rounds included — the end-to-end cost of the
+			// dist engine rather than just its inner loop.
+			Name: "DistTCPWorkers", Kind: "micro", UnitsPerOp: 400,
+			Setup: func() (func() error, error) {
+				op, _, err := benchLinearOp()
+				if err != nil {
+					return nil, err
+				}
+				spec := repro.NewSpec(op,
+					repro.WithEngine(repro.EngineDist),
+					repro.WithWorkers(4),
+					repro.WithMaxUpdatesPerWorker(100),
+				)
+				return solveCase(spec, func(r *repro.Report) error {
+					if len(r.UpdatesPerWorker) != 4 {
+						return fmt.Errorf("%d workers", len(r.UpdatesPerWorker))
+					}
+					if r.MessagesSent == 0 {
+						return fmt.Errorf("no TCP traffic")
+					}
+					return nil
+				}), nil
+			},
+		},
+		{
 			Name: "ScenarioSolveLasso", Kind: "micro", UnitsPerOp: 0,
 			Setup: func() (func() error, error) {
 				inst, err := repro.BuildScenario("lasso", 32, 1)

@@ -1,0 +1,470 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/vec"
+)
+
+// probeInterval paces the coordinator's termination probe rounds.
+const probeInterval = 500 * time.Microsecond
+
+// probeRoundTimeout bounds one probe round; a worker that cannot answer in
+// time simply fails the round (it is retried), it does not fail the run.
+const probeRoundTimeout = 2 * time.Second
+
+// reorderHold is the extra delay a reorder-injected block is held for when
+// Fault.MaxDelay does not imply one (4x MaxDelay otherwise): long enough
+// that blocks sent after it on the same link overtake it.
+const defaultReorderHold = 800 * time.Microsecond
+
+// ServerConfig configures the coordinator half of a distributed run.
+type ServerConfig struct {
+	// Listener accepts the worker connections; Serve closes it when the
+	// run ends. Workers must know its address out of band.
+	Listener net.Listener
+	// Workers is the number of worker connections to wait for. The
+	// caller partitions the problem, so it must already be clamped to the
+	// dimension.
+	Workers int
+	// N is the problem dimension; X0 the initial iterate (defaults zero).
+	N  int
+	X0 []float64
+	// Tol, SweepsBelowTol and MaxUpdatesPerWorker are forwarded to the
+	// workers in the welcome frame (see runtime.Config for semantics).
+	Tol                 float64
+	SweepsBelowTol      int
+	MaxUpdatesPerWorker int
+	// Fault is the per-link fault injection.
+	Fault Fault
+	// Timeout bounds the whole run (default 2m).
+	Timeout time.Duration
+}
+
+// link is one worker connection from the coordinator's side. Writes are
+// whole prebuilt frames under mu, so concurrent relays, probes and the
+// stop broadcast never interleave bytes.
+type link struct {
+	conn    net.Conn
+	mu      sync.Mutex
+	lastSeq []uint64 // per source worker: highest seq delivered on this link
+}
+
+type status struct {
+	worker          int
+	probeID         uint64
+	passive, done   bool
+	epoch           uint64
+	sent, delivered uint64
+}
+
+type final struct {
+	worker                 int
+	lo                     int
+	vals                   []float64
+	updates                int
+	sent, delivered, stale uint64
+}
+
+type coordinator struct {
+	cfg    ServerConfig
+	links  []*link
+	blocks [][2]int
+
+	dropped, reordered atomic.Int64
+	bytesOut, bytesIn  atomic.Int64
+	relays             sync.WaitGroup // in-flight delayed relay writes
+
+	stopped  atomic.Bool
+	statusCh chan status
+	finalCh  chan final
+	errCh    chan error
+}
+
+// Serve runs the coordinator: accept and welcome cfg.Workers workers,
+// relay their block broadcasts with fault injection, probe for quiescence
+// with the two-phase double collect, and stop the run — on quiescence
+// (converged), when every worker exhausts its budget (not converged), or
+// at Timeout (error).
+func Serve(cfg ServerConfig) (*Result, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("dist: ServerConfig.Listener is required")
+	}
+	defer cfg.Listener.Close()
+	if cfg.Workers < 1 {
+		return nil, errors.New("dist: need at least one worker")
+	}
+	if cfg.N < 1 {
+		return nil, errors.New("dist: dimension must be positive")
+	}
+	if cfg.X0 != nil && len(cfg.X0) != cfg.N {
+		return nil, fmt.Errorf("dist: X0 length %d, want %d", len(cfg.X0), cfg.N)
+	}
+	if cfg.Workers > cfg.N {
+		// Same clamp as Config.validate: never more blocks than components
+		// (vec.Blocks would return fewer blocks than accept loops expect).
+		cfg.Workers = cfg.N
+	}
+	applyRunDefaults(&cfg.SweepsBelowTol, &cfg.MaxUpdatesPerWorker, &cfg.Timeout)
+	if err := cfg.Fault.validate(); err != nil {
+		return nil, err
+	}
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = make([]float64, cfg.N)
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+	c := &coordinator{
+		cfg:      cfg,
+		links:    make([]*link, cfg.Workers),
+		blocks:   vec.Blocks(cfg.N, cfg.Workers),
+		statusCh: make(chan status, 4*cfg.Workers),
+		finalCh:  make(chan final, cfg.Workers),
+		errCh:    make(chan error, cfg.Workers),
+	}
+
+	// Accept and welcome every worker, then start its reader.
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := cfg.Listener.(deadliner); ok {
+		d.SetDeadline(deadline)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		conn, err := cfg.Listener.Accept()
+		if err != nil {
+			c.closeLinks()
+			return nil, fmt.Errorf("dist: accept worker %d: %w", w, err)
+		}
+		// An absolute I/O deadline guarantees no read or write on this
+		// link can outlive the run's Timeout — a stalled worker (full TCP
+		// buffers, paused process) surfaces as a deadline error instead of
+		// hanging Serve inside a blocking conn.Write. The grace period
+		// covers the post-deadline stop/final exchange.
+		conn.SetDeadline(deadline.Add(cfg.Timeout))
+		c.links[w] = &link{conn: conn, lastSeq: make([]uint64, cfg.Workers)}
+		typ, payload, err := readFrame(conn, maxFramePayload)
+		if err != nil || typ != msgHello {
+			c.closeLinks()
+			return nil, fmt.Errorf("dist: worker %d handshake failed: %v", w, err)
+		}
+		cur := cursor{b: payload}
+		if v := cur.u32(); cur.err != nil || v != protocolVersion {
+			c.closeLinks()
+			return nil, fmt.Errorf("dist: worker %d protocol version %d, want %d", w, v, protocolVersion)
+		}
+		wel := appendU32(nil, uint32(w))
+		wel = appendU32(wel, uint32(cfg.Workers))
+		wel = appendU32(wel, uint32(cfg.N))
+		wel = appendU32(wel, uint32(c.blocks[w][0]))
+		wel = appendU32(wel, uint32(c.blocks[w][1]))
+		wel = appendF64(wel, cfg.Tol)
+		wel = appendU32(wel, uint32(cfg.SweepsBelowTol))
+		wel = appendU32(wel, uint32(cfg.MaxUpdatesPerWorker))
+		wel = appendF64s(wel, x0)
+		if err := c.write(w, buildFrame(msgWelcome, wel)); err != nil {
+			c.closeLinks()
+			return nil, fmt.Errorf("dist: welcome worker %d: %w", w, err)
+		}
+	}
+	for w := range c.links {
+		go c.serveLink(w)
+	}
+
+	// Probe for quiescence until it is detected, every worker is done, or
+	// the deadline passes.
+	converged := false
+	timedOut := true // cleared when the loop ends for a legitimate reason
+	var probeRounds int64
+	lastDone := make([]bool, cfg.Workers)
+	observe := func() runtime.Observation {
+		probeRounds++
+		return c.probeRound(lastDone, deadline)
+	}
+	for time.Now().Before(deadline) {
+		if cfg.Tol > 0 && runtime.DoubleCollect(observe, nil) {
+			converged = true
+			timedOut = false
+			break
+		}
+		if cfg.Tol <= 0 {
+			// No convergence detection: a probe round still tracks done
+			// bits so the run ends when every budget is exhausted.
+			observe()
+		}
+		allDone := true
+		for _, d := range lastDone {
+			if !d {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			timedOut = false // budget exhaustion, a valid non-converged end
+			break
+		}
+		select {
+		case err := <-c.errCh:
+			c.stopped.Store(true)
+			c.closeLinks()
+			return nil, err
+		case <-time.After(probeInterval):
+		}
+	}
+
+	// Stop the run and collect the authoritative final blocks.
+	c.stopped.Store(true)
+	stopFrame := buildFrame(msgStop, nil)
+	for w := range c.links {
+		if err := c.write(w, stopFrame); err != nil {
+			c.closeLinks()
+			return nil, fmt.Errorf("dist: stop worker %d: %w", w, err)
+		}
+	}
+	x := make([]float64, cfg.N)
+	copy(x, x0)
+	updates := make([]int, cfg.Workers)
+	var sent, delivered, stale int64
+	finalDeadline := time.Now().Add(cfg.Timeout)
+	for got := 0; got < cfg.Workers; got++ {
+		select {
+		case f := <-c.finalCh:
+			copy(x[f.lo:f.lo+len(f.vals)], f.vals)
+			updates[f.worker] = f.updates
+			sent += int64(f.sent)
+			delivered += int64(f.delivered)
+			stale += int64(f.stale)
+		case err := <-c.errCh:
+			c.closeLinks()
+			return nil, err
+		case <-time.After(time.Until(finalDeadline)):
+			c.closeLinks()
+			return nil, errors.New("dist: timed out waiting for final blocks")
+		}
+	}
+	c.closeLinks()
+	c.relays.Wait() // delayed relay writes now fail fast against closed conns
+
+	if timedOut {
+		return nil, fmt.Errorf("dist: run exceeded timeout %v without quiescence or budget exhaustion", cfg.Timeout)
+	}
+	return &Result{
+		X:                 x,
+		Converged:         converged,
+		UpdatesPerWorker:  updates,
+		Elapsed:           time.Since(start),
+		MessagesSent:      sent,
+		MessagesDelivered: delivered,
+		MessagesStale:     stale,
+		MessagesDropped:   c.dropped.Load(),
+		MessagesReordered: c.reordered.Load(),
+		BytesSent:         c.bytesOut.Load(),
+		BytesReceived:     c.bytesIn.Load(),
+		ProbeRounds:       probeRounds,
+	}, nil
+}
+
+func (c *coordinator) closeLinks() {
+	for _, l := range c.links {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+}
+
+// write sends one prebuilt frame on link w; frames are written whole under
+// the link mutex so concurrent writers never interleave.
+func (c *coordinator) write(w int, frame []byte) error {
+	l := c.links[w]
+	l.mu.Lock()
+	_, err := l.conn.Write(frame)
+	l.mu.Unlock()
+	if err == nil {
+		c.bytesOut.Add(int64(len(frame)))
+	}
+	return err
+}
+
+// deliverBlock writes a relayed block to link w, counting a reordered
+// delivery when an earlier-sequenced block arrives after a later one from
+// the same source.
+func (c *coordinator) deliverBlock(w, from int, seq uint64, frame []byte) {
+	if c.stopped.Load() {
+		return
+	}
+	l := c.links[w]
+	l.mu.Lock()
+	if seq < l.lastSeq[from] {
+		c.reordered.Add(1)
+	} else {
+		l.lastSeq[from] = seq
+	}
+	_, err := l.conn.Write(frame)
+	l.mu.Unlock()
+	if err == nil {
+		c.bytesOut.Add(int64(len(frame)))
+		return
+	}
+	// A failed write after stop is expected teardown. Before stop it means
+	// a relayed block is lost with no delivery or drop to account for it —
+	// in-flight could never reach zero again — so surface the broken link
+	// instead of letting the run die as a generic timeout. (One-directional
+	// stalls exist: this link's reader may still be healthy.)
+	if !c.stopped.Load() {
+		select {
+		case c.errCh <- fmt.Errorf("dist: relay to worker %d: %w", w, err):
+		default:
+		}
+	}
+}
+
+// serveLink reads one worker's frames: blocks are relayed to every peer
+// through the fault-injection path, statuses and finals are routed to the
+// termination logic.
+func (c *coordinator) serveLink(w int) {
+	rng := rand.New(rand.NewSource(int64(c.cfg.Fault.Seed) + int64(w)*7919))
+	hold := 4 * c.cfg.Fault.MaxDelay
+	if hold <= 0 {
+		hold = defaultReorderHold
+	}
+	conn := c.links[w].conn
+	for {
+		typ, payload, err := readFrame(conn, maxFramePayload)
+		if err != nil {
+			if !c.stopped.Load() {
+				c.errCh <- fmt.Errorf("dist: worker %d connection: %w", w, err)
+			}
+			return
+		}
+		c.bytesIn.Add(int64(frameHeaderLen + len(payload)))
+		switch typ {
+		case msgBlock:
+			cur := cursor{b: payload}
+			from := int(cur.u32())
+			seq := cur.u64()
+			flags := cur.u8()
+			if cur.err != nil || from != w {
+				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed block frame", w)
+				return
+			}
+			if c.stopped.Load() {
+				continue
+			}
+			frame := buildFrame(msgBlock, payload)
+			reliable := flags&blockReliable != 0
+			for q := 0; q < c.cfg.Workers; q++ {
+				if q == w {
+					continue
+				}
+				if !reliable && c.cfg.Fault.DropProb > 0 && rng.Float64() < c.cfg.Fault.DropProb {
+					c.dropped.Add(1)
+					continue
+				}
+				var delay time.Duration
+				if c.cfg.Fault.MaxDelay > 0 {
+					delay = time.Duration(rng.Int63n(int64(c.cfg.Fault.MaxDelay) + 1))
+				}
+				if !reliable && c.cfg.Fault.ReorderProb > 0 && rng.Float64() < c.cfg.Fault.ReorderProb {
+					delay += hold
+				}
+				if delay <= 0 {
+					c.deliverBlock(q, w, seq, frame)
+					continue
+				}
+				q := q
+				c.relays.Add(1)
+				time.AfterFunc(delay, func() {
+					defer c.relays.Done()
+					c.deliverBlock(q, w, seq, frame)
+				})
+			}
+		case msgStatus:
+			cur := cursor{b: payload}
+			st := status{worker: w, probeID: cur.u64()}
+			flags := cur.u8()
+			st.passive = flags&statusPassive != 0
+			st.done = flags&statusDone != 0
+			st.epoch = cur.u64()
+			st.sent = cur.u64()
+			st.delivered = cur.u64()
+			if cur.err != nil {
+				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed status frame", w)
+				return
+			}
+			select {
+			case c.statusCh <- st:
+			default: // stale round backlog; the prober discards by id anyway
+			}
+		case msgFinal:
+			cur := cursor{b: payload}
+			f := final{worker: w, lo: int(cur.u32())}
+			count := int(cur.u32())
+			f.vals = cur.f64s(count)
+			f.updates = int(cur.u32())
+			f.sent = cur.u64()
+			f.delivered = cur.u64()
+			f.stale = cur.u64()
+			if cur.err != nil || f.lo < 0 || f.lo+count > c.cfg.N {
+				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed final frame", w)
+				return
+			}
+			c.finalCh <- f
+			return
+		default:
+			c.errCh <- fmt.Errorf("dist: worker %d sent unexpected frame type %d", w, typ)
+			return
+		}
+	}
+}
+
+// probeRound is one network collect of the double-collect protocol: probe
+// every worker, gather matching statuses, and assemble the Observation.
+// The passive flags come from the statuses (each a self-consistent
+// worker-side snapshot) and the coordinator's drop counter is read after
+// the last status arrives, matching the in-process Tracker's "flags before
+// counters" collect order. Any timeout or stale reply just makes the round
+// non-quiet; it is retried. lastDone is updated with each worker's done
+// bit as a side effect.
+func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Observation {
+	probeID := uint64(time.Now().UnixNano())
+	probe := buildFrame(msgProbe, appendU64(nil, probeID))
+	for w := range c.links {
+		if err := c.write(w, probe); err != nil {
+			return runtime.Observation{}
+		}
+	}
+	roundDeadline := time.Now().Add(probeRoundTimeout)
+	if roundDeadline.After(deadline) {
+		roundDeadline = deadline
+	}
+	obs := runtime.Observation{AllPassive: true}
+	seen := make([]bool, len(c.links))
+	for got := 0; got < len(c.links); {
+		select {
+		case st := <-c.statusCh:
+			if st.probeID != probeID || seen[st.worker] {
+				continue // stale round or duplicate
+			}
+			seen[st.worker] = true
+			got++
+			lastDone[st.worker] = st.done
+			if !st.passive {
+				obs.AllPassive = false
+			}
+			obs.Epoch += st.epoch
+			obs.Sent += int64(st.sent)
+			obs.Delivered += int64(st.delivered)
+		case <-time.After(time.Until(roundDeadline)):
+			return runtime.Observation{}
+		}
+	}
+	obs.Dropped = c.dropped.Load()
+	return obs
+}

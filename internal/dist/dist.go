@@ -1,0 +1,214 @@
+// Package dist executes asynchronous iterations across workers that
+// exchange blocks over real TCP sockets — the genuinely distributed
+// transport behind the repro "dist" engine. The topology is a star: every
+// worker connects to one coordinator, which relays block broadcasts
+// between workers, injects per-link faults (extra delay, reordering
+// holds, drops) so the paper's unbounded-delay and out-of-order regimes
+// run on an actual network path, and decides termination.
+//
+// Termination is the two-phase double-collect protocol of
+// internal/runtime (quiescence.go), run over the network as Safra-style
+// probe rounds: the coordinator probes every worker, each replies with a
+// self-consistent status (passive flag, activity epoch, sent/delivered
+// counters — composed by the worker's single compute goroutine), and the
+// run stops only after two consecutive quiet rounds with identical
+// epochs and counters and nothing in flight (sum sent == sum delivered +
+// coordinator-side drops). Workers obey the protocol's ordering rule —
+// a reactivation is published (epoch bump, passive cleared) before the
+// reactivating block is counted delivered — so a quiet round can never
+// hide a message being absorbed.
+//
+// The same code paths serve two deployments: Run spawns the coordinator
+// and all workers in-process over localhost TCP (how the tests and the
+// in-process engine use it), and Serve/Connect are the halves the
+// `asyncsolve dist-coordinator` / `asyncsolve dist-worker` subcommands
+// expose for true multi-process runs.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/operators"
+)
+
+// Fault configures the coordinator's per-link fault injection. Every
+// non-reliable relayed block is independently subjected to each knob.
+type Fault struct {
+	// DropProb is the iid probability a relayed block is dropped.
+	DropProb float64
+	// ReorderProb is the iid probability a relayed block is held back long
+	// enough for later blocks on the same link to overtake it.
+	ReorderProb float64
+	// MaxDelay adds a uniform random transit delay in [0, MaxDelay] to
+	// every relayed block (reliable ones included — delay is not loss).
+	MaxDelay time.Duration
+	// Seed drives the injection randomness.
+	Seed uint64
+}
+
+// Config describes one distributed run.
+type Config struct {
+	// Op is the fixed-point operator; every worker evaluates its own block.
+	Op operators.Operator
+	// Workers is the number of TCP workers (clamped to the dimension).
+	Workers int
+	// X0 is the initial iterate (defaults to zero).
+	X0 []float64
+	// Tol is the per-coordinate block displacement tolerance (see
+	// runtime.Config.Tol); zero disables convergence detection.
+	Tol float64
+	// SweepsBelowTol is the consecutive-confirmation count (default 2).
+	SweepsBelowTol int
+	// MaxUpdatesPerWorker bounds each worker's loop iterations.
+	MaxUpdatesPerWorker int
+	// Fault is the per-link fault injection.
+	Fault Fault
+	// Timeout is the wall-clock safety bound on the whole run (default 2m).
+	Timeout time.Duration
+	// Scratches optionally supplies one reusable operator scratch per
+	// worker, as in runtime.Config.
+	Scratches []*operators.Scratch
+}
+
+// Result reports one distributed run.
+type Result struct {
+	X                []float64
+	Converged        bool
+	UpdatesPerWorker []int
+	Elapsed          time.Duration
+	// MessagesSent counts per-recipient block sends (a broadcast to p-1
+	// peers counts p-1); MessagesDelivered counts blocks acknowledged by
+	// receivers; MessagesStale counts delivered blocks a receiver
+	// discarded as superseded (an out-of-order arrival older than an
+	// already-applied block); MessagesDropped counts injection drops;
+	// MessagesReordered counts blocks delivered after a later-sequenced
+	// block on the same directed link.
+	MessagesSent, MessagesDelivered, MessagesStale, MessagesDropped, MessagesReordered int64
+	// BytesSent / BytesReceived count wire bytes from the coordinator's
+	// perspective (sent to workers / received from workers).
+	BytesSent, BytesReceived int64
+	// ProbeRounds counts termination probe rounds the coordinator ran.
+	ProbeRounds int64
+}
+
+func (c *Config) validate() (n int, err error) {
+	if c.Op == nil {
+		return 0, errors.New("dist: Config.Op is required")
+	}
+	n = c.Op.Dim()
+	if c.Workers < 1 {
+		return 0, errors.New("dist: need at least one worker")
+	}
+	if c.Workers > n {
+		c.Workers = n
+	}
+	if c.X0 != nil && len(c.X0) != n {
+		return 0, fmt.Errorf("dist: X0 length %d, want %d", len(c.X0), n)
+	}
+	applyRunDefaults(&c.SweepsBelowTol, &c.MaxUpdatesPerWorker, &c.Timeout)
+	if err := c.Fault.validate(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// applyRunDefaults fills the run-knob defaults shared by the in-process
+// Config and the coordinator's ServerConfig, so the two entry points cannot
+// drift apart.
+func applyRunDefaults(sweepsBelowTol, maxUpdatesPerWorker *int, timeout *time.Duration) {
+	if *sweepsBelowTol <= 0 {
+		*sweepsBelowTol = 2
+	}
+	if *maxUpdatesPerWorker <= 0 {
+		*maxUpdatesPerWorker = 1 << 20
+	}
+	if *timeout <= 0 {
+		*timeout = 2 * time.Minute
+	}
+}
+
+func (f Fault) validate() error {
+	if !(f.DropProb >= 0 && f.DropProb < 1) { // NaN fails too
+		return fmt.Errorf("dist: DropProb %v outside [0, 1)", f.DropProb)
+	}
+	if !(f.ReorderProb >= 0 && f.ReorderProb < 1) {
+		return fmt.Errorf("dist: ReorderProb %v outside [0, 1)", f.ReorderProb)
+	}
+	if f.MaxDelay < 0 {
+		return fmt.Errorf("dist: MaxDelay %v is negative", f.MaxDelay)
+	}
+	return nil
+}
+
+// workerScratch mirrors runtime.Config.workerScratch.
+func (c *Config) workerScratch(w int) *operators.Scratch {
+	if w < len(c.Scratches) && c.Scratches[w] != nil {
+		return c.Scratches[w]
+	}
+	return operators.NewScratch()
+}
+
+// Run executes the full distributed solve in-process over localhost TCP:
+// it listens on an ephemeral port, launches the coordinator, dials one TCP
+// worker per block, and returns the coordinator's result. This is real
+// networking end to end — the same frames, fault injection and probe
+// rounds a multi-process deployment uses — just with every endpoint in one
+// process so tests and the engine need no orchestration.
+func Run(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+
+	type serveOut struct {
+		res *Result
+		err error
+	}
+	serveCh := make(chan serveOut, 1)
+	go func() {
+		res, err := Serve(ServerConfig{
+			Listener:            ln,
+			Workers:             cfg.Workers,
+			N:                   n,
+			X0:                  cfg.X0,
+			Tol:                 cfg.Tol,
+			SweepsBelowTol:      cfg.SweepsBelowTol,
+			MaxUpdatesPerWorker: cfg.MaxUpdatesPerWorker,
+			Fault:               cfg.Fault,
+			Timeout:             cfg.Timeout,
+		})
+		serveCh <- serveOut{res, err}
+	}()
+
+	workerErr := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			workerErr <- Connect(addr, cfg.Op, cfg.workerScratch(w))
+		}(w)
+	}
+
+	out := <-serveCh
+	// The coordinator has finished (stop sent, finals collected, or an
+	// error); workers unwind on their own — surface the first failure.
+	var firstWorkerErr error
+	for w := 0; w < cfg.Workers; w++ {
+		if err := <-workerErr; err != nil && firstWorkerErr == nil {
+			firstWorkerErr = err
+		}
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	if firstWorkerErr != nil {
+		return nil, firstWorkerErr
+	}
+	return out.res, nil
+}

@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+// contractingOp builds a diagonally dominant Jacobi operator with known
+// fixed point (the same construction the runtime tests use).
+func contractingOp(t testing.TB, n int, seed uint64) (*operators.Linear, []float64) {
+	t.Helper()
+	rng := vec.NewRNG(seed)
+	m := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, 0.4*rng.Normal())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, 2*off+1)
+	}
+	rhs := rng.NormalVector(n)
+	op := operators.JacobiFromSystem(m, rhs)
+	xstar, err := m.SolveGaussian(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, xstar
+}
+
+func TestRunConverges(t *testing.T) {
+	op, xstar := contractingOp(t, 32, 1)
+	tol := 1e-10
+	res, err := Run(Config{
+		Op: op, Workers: 4, Tol: tol, MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("distributed run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-6 {
+		t.Errorf("error %v too large", e)
+	}
+	if r := operators.Residual(op, res.X); r > tol*4 {
+		t.Errorf("declared quiescent with residual %.3e > tol %.1e", r, tol)
+	}
+	if res.MessagesSent == 0 {
+		t.Error("no messages sent over TCP")
+	}
+	if res.BytesSent == 0 || res.BytesReceived == 0 {
+		t.Error("byte counters not populated")
+	}
+	if res.ProbeRounds == 0 {
+		t.Error("no probe rounds recorded")
+	}
+	for w, u := range res.UpdatesPerWorker {
+		if u == 0 {
+			t.Errorf("worker %d performed no updates", w)
+		}
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	op, xstar := contractingOp(t, 8, 2)
+	res, err := Run(Config{Op: op, Workers: 1, Tol: 1e-12, MaxUpdatesPerWorker: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("single worker did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-9 {
+		t.Errorf("error %v", e)
+	}
+}
+
+// TestRunFaultInjection is the unbounded-delay / out-of-order / lossy-link
+// regime on a real network path: drops, reordering holds and transit
+// jitter must not break convergence or termination, and the injection
+// counters must show the faults actually happened.
+func TestRunFaultInjection(t *testing.T) {
+	op, xstar := contractingOp(t, 64, 3)
+	res, err := Run(Config{
+		Op: op, Workers: 8, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 18,
+		Timeout: 60 * time.Second,
+		Fault: Fault{
+			DropProb:    0.3,
+			ReorderProb: 0.5,
+			MaxDelay:    300 * time.Microsecond,
+			Seed:        11,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("faulty-link run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-5 {
+		t.Errorf("error %v too large", e)
+	}
+	if res.MessagesDropped == 0 {
+		t.Error("drop injection never fired")
+	}
+	if res.MessagesReordered == 0 {
+		t.Error("reorder injection never produced an out-of-order delivery")
+	}
+	if res.MessagesStale == 0 {
+		t.Error("no out-of-order delivery was discarded as superseded")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	op, _ := contractingOp(t, 8, 4)
+	res, err := Run(Config{
+		Op: op, Workers: 4, Tol: 1e-30, // unreachable tolerance
+		MaxUpdatesPerWorker: 50,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("unreachable tolerance should not converge")
+	}
+}
+
+func TestRunNoTol(t *testing.T) {
+	op, _ := contractingOp(t, 8, 5)
+	res, err := Run(Config{
+		Op: op, Workers: 2, MaxUpdatesPerWorker: 20,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("should not report convergence without Tol")
+	}
+	for w, u := range res.UpdatesPerWorker {
+		if u != 20 {
+			t.Errorf("worker %d updates = %d, want 20", w, u)
+		}
+	}
+}
+
+func TestRunWorkersClampedToDim(t *testing.T) {
+	op, _ := contractingOp(t, 3, 6)
+	res, err := Run(Config{Op: op, Workers: 16, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UpdatesPerWorker) != 3 {
+		t.Errorf("workers not clamped: %d", len(res.UpdatesPerWorker))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("expected error without operator")
+	}
+	op, _ := contractingOp(t, 4, 7)
+	if _, err := Run(Config{Op: op}); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	if _, err := Run(Config{Op: op, Workers: 2, X0: []float64{1}}); err == nil {
+		t.Error("expected error for bad X0")
+	}
+	if _, err := Run(Config{Op: op, Workers: 2, Fault: Fault{DropProb: 1.5}}); err == nil {
+		t.Error("expected error for DropProb outside [0, 1)")
+	}
+	if _, err := Run(Config{Op: op, Workers: 2, Fault: Fault{ReorderProb: 1}}); err == nil {
+		t.Error("expected error for ReorderProb outside [0, 1)")
+	}
+	if _, err := Run(Config{Op: op, Workers: 2, Fault: Fault{MaxDelay: -1}}); err == nil {
+		t.Error("expected error for negative MaxDelay")
+	}
+}
+
+// TestServeConnectSplit exercises the exact halves the dist-coordinator /
+// dist-worker subcommands run: an explicit listener served in one
+// goroutine, workers dialing it separately.
+func TestServeConnectSplit(t *testing.T) {
+	op, xstar := contractingOp(t, 16, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 2
+	type out struct {
+		res *Result
+		err error
+	}
+	serveCh := make(chan out, 1)
+	go func() {
+		res, err := Serve(ServerConfig{
+			Listener: ln, Workers: p, N: op.Dim(),
+			Tol: 1e-10, MaxUpdatesPerWorker: 1 << 18,
+			Timeout: 30 * time.Second,
+		})
+		serveCh <- out{res, err}
+	}()
+	workerCh := make(chan error, p)
+	for w := 0; w < p; w++ {
+		go func() { workerCh <- Connect(ln.Addr().String(), op, nil) }()
+	}
+	got := <-serveCh
+	for w := 0; w < p; w++ {
+		if err := <-workerCh; err != nil {
+			t.Errorf("worker error: %v", err)
+		}
+	}
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if !got.res.Converged {
+		t.Fatal("split serve/connect run did not converge")
+	}
+	if e := vec.DistInf(got.res.X, xstar); e > 1e-6 {
+		t.Errorf("error %v", e)
+	}
+}
+
+// TestQuiescenceStressTCP mirrors the in-process message-engine stress
+// regression over the network path: many workers, tiny tolerance, and the
+// invariant that a converged run's assembled iterate genuinely meets the
+// tolerance (early termination would leave a stale block).
+func TestQuiescenceStressTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP stress in -short mode")
+	}
+	tol := 1e-10
+	for trial := 0; trial < 3; trial++ {
+		op, _ := contractingOp(t, 48, 20+uint64(trial))
+		res, err := Run(Config{
+			Op: op, Workers: 6, Tol: tol, MaxUpdatesPerWorker: 1 << 18,
+			Timeout: 60 * time.Second,
+			Fault:   Fault{DropProb: 0.1, ReorderProb: 0.3, Seed: uint64(trial)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		if r := operators.Residual(op, res.X); r > tol*4 {
+			t.Fatalf("trial %d: quiescent with residual %.3e > tol %.1e", trial, r, tol)
+		}
+	}
+}

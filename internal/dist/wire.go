@@ -1,0 +1,145 @@
+package dist
+
+// The wire format: length-prefixed little-endian binary frames over TCP.
+//
+//	frame   := u32 length | u8 type | payload           (length counts type + payload)
+//	hello   := u32 protocolVersion
+//	welcome := u32 id | u32 workers | u32 n | u32 lo | u32 hi |
+//	           f64 tol | u32 sweepsBelowTol | u32 maxUpdates | f64×n x0
+//	block   := u32 from | u64 seq | u8 flags | u32 lo | u32 count | f64×count
+//	probe   := u64 probeID
+//	status  := u64 probeID | u8 flags | u64 epoch | u64 sent | u64 delivered
+//	stop    := (empty)
+//	final   := u32 lo | u32 count | f64×count | u32 updates |
+//	           u64 sent | u64 delivered | u64 stale
+//
+// block.flags bit 0 marks a reliable frame (a worker's final re-broadcast):
+// the coordinator's fault injection never drops or reorder-holds it, the
+// TCP analogue of the in-process transport's sendReliable. status.flags
+// bit 0 is passive, bit 1 is done (update budget exhausted).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+const protocolVersion = 1
+
+const (
+	msgHello byte = iota + 1
+	msgWelcome
+	msgBlock
+	msgProbe
+	msgStatus
+	msgStop
+	msgFinal
+)
+
+const (
+	blockReliable  = 1 << 0
+	statusPassive  = 1 << 0
+	statusDone     = 1 << 1
+	frameHeaderLen = 5 // u32 length + u8 type
+)
+
+// appendU32 .. appendF64s build payloads; the cursor type consumes them.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendF64s(b []byte, vs []float64) []byte {
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// cursor decodes a payload sequentially; the first short read poisons it so
+// call sites check err once at the end.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) u8() byte {
+	v := c.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (c *cursor) u32() uint32 {
+	v := c.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (c *cursor) u64() uint64 {
+	v := c.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) f64s(n int) []float64 {
+	raw := c.take(8 * n)
+	if raw == nil {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return vs
+}
+
+// buildFrame assembles a complete frame (header + payload) in one buffer so
+// a single Write puts it on the wire without interleaving.
+func buildFrame(typ byte, payload []byte) []byte {
+	f := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(f, uint32(1+len(payload)))
+	f[4] = typ
+	copy(f[frameHeaderLen:], payload)
+	return f
+}
+
+// readFrame reads one frame, enforcing maxPayload as a sanity bound against
+// corrupt length prefixes.
+func readFrame(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if length < 1 || length-1 > maxPayload {
+		return 0, nil, fmt.Errorf("dist: frame length %d out of range (max payload %d)", length, maxPayload)
+	}
+	payload = make([]byte, length-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

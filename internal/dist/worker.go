@@ -1,0 +1,383 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/operators"
+)
+
+// maxFramePayload is the sanity bound on any frame's payload.
+const maxFramePayload = 1 << 26
+
+// passiveWait is how long a passive or done worker blocks for input before
+// re-checking its loop condition; it bounds the latency of noticing stop.
+const passiveWait = 200 * time.Microsecond
+
+// doneWait is the fallback deadline a budget-exhausted worker waits for the
+// coordinator's stop before giving up (the coordinator's own Timeout should
+// always fire first).
+const doneWait = 5 * time.Minute
+
+type inFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// Connect dials the coordinator at addr and runs one worker to completion:
+// handshake, compute/exchange loop, final-block upload. It returns when
+// the coordinator stops the run (nil) or on a protocol/network error. scr
+// may be nil.
+func Connect(addr string, op operators.Operator, scr *operators.Scratch) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: worker dial: %w", err)
+	}
+	defer conn.Close()
+	return runWorker(conn, op, scr)
+}
+
+// workerState is the per-worker protocol state. It lives entirely on the
+// compute goroutine, so status replies are self-consistent snapshots by
+// construction — the property the coordinator's probe rounds rely on.
+type workerState struct {
+	conn            net.Conn
+	id, p, n        int
+	lo, hi          int
+	tol             float64
+	sweeps, maxUpds int
+
+	view    []float64
+	out     []float64
+	lastSeq []uint64 // per source: highest applied block sequence
+	op      operators.Operator
+	scr     *operators.Scratch
+
+	passive, done, stopped bool
+	epoch                  uint64
+	sent, delivered, stale uint64
+	updates                int
+	seq                    uint64
+}
+
+func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) error {
+	if scr == nil {
+		scr = operators.NewScratch()
+	}
+	if _, err := conn.Write(buildFrame(msgHello, appendU32(nil, protocolVersion))); err != nil {
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+	typ, payload, err := readFrame(conn, maxFramePayload)
+	if err != nil {
+		return fmt.Errorf("dist: worker welcome: %w", err)
+	}
+	if typ != msgWelcome {
+		return fmt.Errorf("dist: worker expected welcome, got frame type %d", typ)
+	}
+	cur := cursor{b: payload}
+	ws := &workerState{
+		conn: conn,
+		id:   int(cur.u32()),
+		p:    int(cur.u32()),
+		n:    int(cur.u32()),
+		lo:   int(cur.u32()),
+		hi:   int(cur.u32()),
+		tol:  cur.f64(),
+		op:   op,
+		scr:  scr,
+	}
+	ws.sweeps = int(cur.u32())
+	ws.maxUpds = int(cur.u32())
+	if cur.err == nil {
+		ws.view = cur.f64s(ws.n)
+	}
+	if cur.err != nil {
+		return fmt.Errorf("dist: worker welcome decode: %w", cur.err)
+	}
+	if op.Dim() != ws.n {
+		return fmt.Errorf("dist: worker operator dim %d, coordinator says %d", op.Dim(), ws.n)
+	}
+	ws.out = make([]float64, ws.hi-ws.lo)
+	ws.lastSeq = make([]uint64, ws.p)
+
+	// Reader goroutine: decode frames into the inbox; the quit channel
+	// unblocks it if the compute loop returns while it holds a frame.
+	inbox := make(chan inFrame, 1024)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		for {
+			typ, payload, err := readFrame(conn, maxFramePayload)
+			if err != nil {
+				close(inbox)
+				return
+			}
+			select {
+			case inbox <- inFrame{typ, payload}:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	return ws.loop(inbox)
+}
+
+// blockDelta is the worker's local convergence measure: the max displacement
+// |F_c(view) - view_c| over its own block, evaluated on its current view.
+func (ws *workerState) blockDelta() float64 {
+	d := 0.0
+	for c := ws.lo; c < ws.hi; c++ {
+		v := operators.EvalComponent(ws.op, ws.scr, c, ws.view) - ws.view[c]
+		if v < 0 {
+			v = -v
+		}
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// handle processes one inbound frame. A block that arrives while the worker
+// is passive reactivates it BEFORE the delivery is counted — the protocol's
+// ordering rule: the coordinator's probe rounds either still see the block
+// in flight or see this worker active (or the epoch bumps of a re-check).
+func (ws *workerState) handle(f inFrame) error {
+	switch f.typ {
+	case msgBlock:
+		cur := cursor{b: f.payload}
+		from := int(cur.u32())
+		seq := cur.u64()
+		cur.u8() // flags
+		blo := int(cur.u32())
+		count := int(cur.u32())
+		vals := cur.f64s(count)
+		if cur.err != nil || blo < 0 || blo+count > ws.n || from < 0 || from >= ws.p {
+			return fmt.Errorf("dist: worker %d: bad block frame", ws.id)
+		}
+		if seq <= ws.lastSeq[from] {
+			// Out-of-order delivery of a superseded block (the label
+			// discipline for out-of-order messages): a fresher block from
+			// this source was already applied — possibly its reliable
+			// final — so the stale values are discarded. The delivery is
+			// still acknowledged to drain the in-flight count; a discarded
+			// block cannot reactivate anyone, so no epoch bump is needed.
+			ws.delivered++
+			ws.stale++
+			return nil
+		}
+		ws.lastSeq[from] = seq
+		// The protocol's ordering rule: publish the reactivation before
+		// acknowledging the delivery. Budget-exhausted workers reactivate
+		// too — they cannot compute, but staying observably passive while
+		// absorbing data they can no longer verify would let the
+		// coordinator certify a false quiescence; recheck() re-passivates
+		// them only if the new data left their block converged.
+		if ws.passive {
+			ws.passive = false
+			ws.epoch++
+		}
+		copy(ws.view[blo:blo+count], vals)
+		ws.delivered++
+	case msgProbe:
+		cur := cursor{b: f.payload}
+		probeID := cur.u64()
+		if cur.err != nil {
+			return fmt.Errorf("dist: worker %d: bad probe frame", ws.id)
+		}
+		var flags byte
+		if ws.passive {
+			flags |= statusPassive
+		}
+		if ws.done {
+			flags |= statusDone
+		}
+		st := appendU64(nil, probeID)
+		st = append(st, flags)
+		st = appendU64(st, ws.epoch)
+		st = appendU64(st, ws.sent)
+		st = appendU64(st, ws.delivered)
+		if _, err := ws.conn.Write(buildFrame(msgStatus, st)); err != nil {
+			return fmt.Errorf("dist: worker %d status: %w", ws.id, err)
+		}
+	case msgStop:
+		ws.stopped = true
+	default:
+		return fmt.Errorf("dist: worker %d: unexpected frame type %d", ws.id, f.typ)
+	}
+	return nil
+}
+
+// recheck re-evaluates local convergence after a reactivating block and
+// re-passivates (with the epoch bumps the double collect watches) when the
+// fresh data left the block converged. A done worker that stays active here
+// can never be part of a certified quiescence — it absorbed data it has no
+// budget left to verify, so the run ends by budget exhaustion instead of a
+// false Converged.
+func (ws *workerState) recheck() {
+	if ws.passive || ws.stopped || ws.tol <= 0 {
+		return
+	}
+	if ws.blockDelta() <= ws.tol {
+		ws.epoch++
+		ws.passive = true
+	}
+}
+
+// drain handles every frame already queued without blocking.
+func (ws *workerState) drain(inbox chan inFrame) error {
+	for {
+		select {
+		case f, ok := <-inbox:
+			if !ok {
+				return fmt.Errorf("dist: worker %d: connection lost", ws.id)
+			}
+			if err := ws.handle(f); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// broadcast ships this worker's block to all peers via the coordinator and
+// accounts its fan-out share of the in-flight count.
+func (ws *workerState) broadcast(vals []float64, flags byte) error {
+	if ws.p <= 1 {
+		return nil
+	}
+	ws.seq++
+	b := appendU32(nil, uint32(ws.id))
+	b = appendU64(b, ws.seq)
+	b = append(b, flags)
+	b = appendU32(b, uint32(ws.lo))
+	b = appendU32(b, uint32(len(vals)))
+	b = appendF64s(b, vals)
+	if _, err := ws.conn.Write(buildFrame(msgBlock, b)); err != nil {
+		return fmt.Errorf("dist: worker %d broadcast: %w", ws.id, err)
+	}
+	ws.sent += uint64(ws.p - 1)
+	return nil
+}
+
+func (ws *workerState) loop(inbox chan inFrame) error {
+	streak := 0
+	for k := 0; k < ws.maxUpds && !ws.stopped; k++ {
+		if err := ws.drain(inbox); err != nil {
+			return err
+		}
+		if ws.stopped {
+			break
+		}
+		if ws.passive {
+			// Passive: wait briefly for input; a reactivating block was
+			// already marked active by handle, so re-check local
+			// convergence with the fresh data and either resume computing
+			// or re-passivate (both paths bump the epoch, invalidating any
+			// probe round in progress).
+			select {
+			case f, ok := <-inbox:
+				if !ok {
+					return fmt.Errorf("dist: worker %d: connection lost", ws.id)
+				}
+				if err := ws.handle(f); err != nil {
+					return err
+				}
+				if err := ws.drain(inbox); err != nil {
+					return err
+				}
+				ws.recheck()
+				if !ws.passive {
+					streak = 0 // new data broke convergence: resume
+				}
+			case <-time.After(passiveWait):
+			}
+			continue // passivity consumes budget, bounding the loop
+		}
+		// Active updating phase over the current view.
+		delta := 0.0
+		for c := ws.lo; c < ws.hi; c++ {
+			ws.out[c-ws.lo] = operators.EvalComponent(ws.op, ws.scr, c, ws.view)
+			if d := ws.out[c-ws.lo] - ws.view[c]; d > delta {
+				delta = d
+			} else if -d > delta {
+				delta = -d
+			}
+		}
+		copy(ws.view[ws.lo:ws.hi], ws.out)
+		ws.updates++
+		if err := ws.broadcast(ws.out, 0); err != nil {
+			return err
+		}
+		if ws.tol > 0 {
+			if delta <= ws.tol {
+				streak++
+			} else {
+				streak = 0
+			}
+			if streak >= ws.sweeps {
+				// Reliable final broadcast (never dropped or reorder-held
+				// by the coordinator), then go passive — unless data that
+				// arrived meanwhile already broke local convergence.
+				if err := ws.broadcast(ws.view[ws.lo:ws.hi], blockReliable); err != nil {
+					return err
+				}
+				if err := ws.drain(inbox); err != nil {
+					return err
+				}
+				if ws.stopped {
+					break
+				}
+				if ws.blockDelta() > ws.tol {
+					streak = 0
+					continue
+				}
+				ws.epoch++
+				ws.passive = true
+			}
+		}
+	}
+
+	// Budget exhausted (or stop observed): keep serving probes and
+	// absorbing blocks until the coordinator stops the run, then upload
+	// the final block.
+	if !ws.stopped {
+		ws.done = true
+		deadline := time.Now().Add(doneWait)
+		for !ws.stopped {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dist: worker %d: no stop from coordinator", ws.id)
+			}
+			select {
+			case f, ok := <-inbox:
+				if !ok {
+					return fmt.Errorf("dist: worker %d: connection lost", ws.id)
+				}
+				if err := ws.handle(f); err != nil {
+					return err
+				}
+				// A reactivating block must be re-verified even without
+				// budget: recheck re-passivates only if the block is still
+				// converged, otherwise this worker stays active and blocks
+				// any further quiescence certification.
+				ws.recheck()
+			case <-time.After(passiveWait):
+			}
+		}
+	}
+
+	fin := appendU32(nil, uint32(ws.lo))
+	fin = appendU32(fin, uint32(ws.hi-ws.lo))
+	fin = appendF64s(fin, ws.view[ws.lo:ws.hi])
+	fin = appendU32(fin, uint32(ws.updates))
+	fin = appendU64(fin, ws.sent)
+	fin = appendU64(fin, ws.delivered)
+	fin = appendU64(fin, ws.stale)
+	if _, err := ws.conn.Write(buildFrame(msgFinal, fin)); err != nil {
+		return fmt.Errorf("dist: worker %d final: %w", ws.id, err)
+	}
+	return nil
+}

@@ -10,6 +10,14 @@
 //     (quiescence = all local residuals below tolerance and no messages in
 //     flight).
 //
+// Both transports — and the TCP transport in internal/dist — decide
+// termination with the two-phase double-collect quiescence protocol of
+// quiescence.go: a stop is broadcast only after two identical observations
+// of "every worker passive, nothing in flight" bracketing an optional
+// re-certification, with workers publishing reactivation before they
+// acknowledge the input that caused it. See the quiescence.go package
+// comment for the protocol and its soundness argument.
+//
 // Real schedulers are nondeterministic, so tests assert invariants
 // (convergence, termination, race freedom) rather than exact traces; the
 // deterministic studies live in internal/core and internal/des.

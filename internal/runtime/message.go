@@ -26,13 +26,15 @@ type blockMsg struct {
 // paper argues asynchronous iterations tolerate (later messages carry
 // fresher values).
 //
-// Termination follows the supervisor scheme of [22]: a worker whose block
-// displacement stays below Tol for SweepsBelowTol consecutive sweeps turns
-// passive — it reliably re-broadcasts its final block, stops computing and
-// only drains its inbox; a received value that breaks local convergence
-// reactivates it. The run is quiescent when every worker is passive and no
-// messages are in flight (sent == delivered + dropped), at which point the
-// supervisor broadcasts stop.
+// Termination combines the supervisor scheme of [22] with the two-phase
+// double-collect protocol of this package (see quiescence.go): a worker
+// whose block displacement stays below Tol for SweepsBelowTol consecutive
+// sweeps turns passive — it reliably re-broadcasts its final block, stops
+// computing and only drains its inbox; a received message reactivates it
+// BEFORE the delivery is acknowledged, so the supervisor can never observe
+// "all passive, nothing in flight" while a reactivating message is being
+// absorbed. The supervisor broadcasts stop only after two identical quiet
+// collects.
 func RunMessage(cfg Config) (*Result, error) {
 	n, err := cfg.validate()
 	if err != nil {
@@ -65,9 +67,8 @@ func RunMessage(cfg Config) (*Result, error) {
 	}}
 
 	var stop atomic.Bool
-	var sent, delivered, dropped atomic.Int64
 	var doneWorkers atomic.Int64
-	passive := make([]atomic.Bool, p)
+	q := NewTracker(p)
 	exited := make([]atomic.Bool, p)
 	updates := make([]int, p)
 	finals := make([][]float64, p)
@@ -89,7 +90,7 @@ func RunMessage(cfg Config) (*Result, error) {
 			receive := func(m blockMsg) {
 				copy(view[m.lo:m.lo+len(*m.vals)], *m.vals)
 				valPool.Put(m.vals)
-				delivered.Add(1)
+				q.MsgDelivered()
 			}
 			newPayload := func(src []float64) *[]float64 {
 				vp := valPool.Get().(*[]float64)
@@ -130,19 +131,19 @@ func RunMessage(cfg Config) (*Result, error) {
 			// Termination detection depends on finals being truly reliable:
 			// a lost final would let the system quiesce on inconsistent
 			// views.
-			sendReliable := func(q int, m blockMsg) {
-				sent.Add(1)
+			sendReliable := func(qi int, m blockMsg) {
+				q.MsgSent()
 				for {
 					select {
-					case inboxes[q] <- m:
+					case inboxes[qi] <- m:
 						return
 					default:
 						drain()
 						runtime.Gosched()
 					}
-					if stop.Load() || exited[q].Load() {
+					if stop.Load() || exited[qi].Load() {
 						valPool.Put(m.vals)
-						dropped.Add(1)
+						q.MsgDropped()
 						return
 					}
 				}
@@ -153,23 +154,27 @@ func RunMessage(cfg Config) (*Result, error) {
 				if stop.Load() {
 					break
 				}
-				if passive[w].Load() {
-					// Passive: only drain; reactivate if new data breaks
-					// local convergence. Wait for one message then drain
-					// the rest so a burst cannot back up the inbox.
-					got := false
+				if q.IsPassive(w) {
+					// Passive: wait briefly for a message. Any receipt
+					// reactivates the worker BEFORE the delivery is
+					// acknowledged (the protocol's ordering rule): the
+					// supervisor either still sees the message in flight
+					// or sees this worker active. After absorbing the
+					// burst the worker re-checks local convergence and
+					// either resumes computing or re-passivates (the epoch
+					// bumps of that round trip invalidate any collect in
+					// progress).
 					select {
 					case m := <-inboxes[w]:
+						q.SetActive(w)
 						receive(m)
-						got = true
+						drain()
+						if blockDelta() > cfg.Tol {
+							streak = 0 // new data broke convergence: resume
+						} else {
+							q.SetPassive(w)
+						}
 					case <-time.After(50 * time.Microsecond):
-					}
-					if drain() {
-						got = true
-					}
-					if got && blockDelta() > cfg.Tol {
-						passive[w].Store(false)
-						streak = 0
 					}
 					continue // passivity consumes budget, bounding the loop
 				}
@@ -186,17 +191,17 @@ func RunMessage(cfg Config) (*Result, error) {
 				copy(view[lo:hi], out)
 				updates[w]++
 				// Lossy broadcast while active.
-				for q := 0; q < p; q++ {
-					if q == w {
+				for qi := 0; qi < p; qi++ {
+					if qi == w {
 						continue
 					}
 					m := blockMsg{from: w, lo: lo, vals: newPayload(out)}
-					sent.Add(1)
+					q.MsgSent()
 					select {
-					case inboxes[q] <- m:
+					case inboxes[qi] <- m:
 					default:
 						valPool.Put(m.vals)
-						dropped.Add(1)
+						q.MsgDropped()
 					}
 				}
 				if cfg.Tol > 0 {
@@ -207,17 +212,17 @@ func RunMessage(cfg Config) (*Result, error) {
 					}
 					if streak >= cfg.SweepsBelowTol {
 						// Reliable final broadcast, then go passive.
-						for q := 0; q < p; q++ {
-							if q == w {
+						for qi := 0; qi < p; qi++ {
+							if qi == w {
 								continue
 							}
-							sendReliable(q, blockMsg{from: w, lo: lo, vals: newPayload(view[lo:hi])})
+							sendReliable(qi, blockMsg{from: w, lo: lo, vals: newPayload(view[lo:hi])})
 						}
 						if blockDelta() > cfg.Tol {
 							streak = 0 // drained data broke convergence
 							continue
 						}
-						passive[w].Store(true)
+						q.SetPassive(w)
 					}
 				}
 			}
@@ -225,7 +230,7 @@ func RunMessage(cfg Config) (*Result, error) {
 		}(w)
 	}
 
-	// Supervisor: poll for quiescence.
+	// Supervisor: poll for quiescence with the two-phase double collect.
 	if cfg.Tol > 0 {
 		wg.Add(1)
 		go func() {
@@ -234,15 +239,7 @@ func RunMessage(cfg Config) (*Result, error) {
 				if doneWorkers.Load() == int64(p) {
 					return // every worker hit its update bound
 				}
-				all := true
-				for q := 0; q < p; q++ {
-					if !passive[q].Load() {
-						all = false
-						break
-					}
-				}
-				inFlight := sent.Load() - delivered.Load() - dropped.Load()
-				if all && inFlight == 0 {
+				if q.Quiescent(nil) {
 					stop.Store(true)
 					return
 				}
@@ -263,7 +260,7 @@ func RunMessage(cfg Config) (*Result, error) {
 		Converged:        stop.Load(),
 		UpdatesPerWorker: updates,
 		Elapsed:          time.Since(start),
-		MessagesSent:     sent.Load(),
-		MessagesDropped:  dropped.Load(),
+		MessagesSent:     q.Sent(),
+		MessagesDropped:  q.Dropped(),
 	}, nil
 }

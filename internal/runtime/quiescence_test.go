@@ -1,0 +1,261 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/flexible"
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+func TestTrackerStateMachine(t *testing.T) {
+	q := NewTracker(2)
+	if q.IsPassive(0) || q.IsPassive(1) {
+		t.Fatal("workers must start active")
+	}
+	o := q.Observe()
+	if o.AllPassive {
+		t.Error("observation of active workers reports AllPassive")
+	}
+	q.SetPassive(0)
+	q.SetPassive(1)
+	o = q.Observe()
+	if !o.AllPassive || o.InFlight() != 0 {
+		t.Errorf("all-passive idle system not quiet: %+v", o)
+	}
+	if !q.Quiescent(nil) {
+		t.Error("frozen all-passive system must be quiescent")
+	}
+	q.MsgSent()
+	if q.Quiescent(nil) {
+		t.Error("quiescent with a message in flight")
+	}
+	q.MsgDelivered()
+	if !q.Quiescent(nil) {
+		t.Error("delivered message still counts as in flight")
+	}
+	q.MsgSent()
+	q.MsgDropped()
+	if !q.Quiescent(nil) {
+		t.Error("dropped message still counts as in flight")
+	}
+	if q.Sent() != 2 || q.Dropped() != 1 {
+		t.Errorf("Sent/Dropped = %d/%d, want 2/1", q.Sent(), q.Dropped())
+	}
+	q.SetActive(1)
+	if q.Quiescent(nil) {
+		t.Error("quiescent with an active worker")
+	}
+}
+
+// TestDoubleCollectRejectsTransition scripts the torn-read scenario the
+// protocol exists to catch: both collects look individually quiet, but a
+// worker reactivated (epoch bump) between them.
+func TestDoubleCollectRejectsTransition(t *testing.T) {
+	calls := 0
+	observe := func() Observation {
+		calls++
+		return Observation{AllPassive: true, Epoch: uint64(calls)}
+	}
+	if DoubleCollect(observe, nil) {
+		t.Error("double collect accepted an epoch change between passes")
+	}
+
+	// Counter movement between passes must also be rejected even when
+	// in-flight is zero at both.
+	calls = 0
+	observe = func() Observation {
+		calls++
+		return Observation{AllPassive: true, Sent: int64(calls), Delivered: int64(calls)}
+	}
+	if DoubleCollect(observe, nil) {
+		t.Error("double collect accepted counter movement between passes")
+	}
+
+	// The confirm callback vetoes between the passes.
+	stable := func() Observation { return Observation{AllPassive: true} }
+	if DoubleCollect(stable, func() bool { return false }) {
+		t.Error("double collect ignored confirm veto")
+	}
+	if !DoubleCollect(stable, func() bool { return true }) {
+		t.Error("double collect rejected a stable confirmed state")
+	}
+}
+
+// chainOp builds a dense contraction dominated by a one-directional chain:
+// component i leans hard on component i-1 (weight decaying slowly along the
+// block partition) plus weak dense coupling. Convergence then propagates as
+// a wave through the worker blocks — downstream workers converge early on
+// stale inputs, passivate, and are REACTIVATED when the wave arrives. That
+// reactivation churn is exactly the window of the termination stop races:
+// a supervisor that samples passivity and in-flight counters non-atomically
+// can catch a worker between absorbing the wave and publishing that it woke
+// up, and declare convergence with the wave still un-absorbed.
+func chainOp(t testing.TB, n int, seed uint64) *operators.Linear {
+	t.Helper()
+	rng := vec.NewRNG(seed)
+	m := vec.NewDense(n, n)
+	weak := 0.05 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, weak*rng.Normal())
+			}
+		}
+		if i > 0 {
+			m.Set(i, i-1, 0.85)
+		}
+	}
+	b := rng.NormalVector(n)
+	for i := range b {
+		b[i] += 3 // push the fixed point away from the zero start
+	}
+	return operators.NewLinear(m, b)
+}
+
+// TestMessageStopRace is the deterministic regression test for the
+// message-engine stop race. The pre-fix worker acknowledged a delivery
+// BEFORE publishing its reactivation, and the pre-fix supervisor stopped on
+// a single quiet observation — so in the instant between the
+// acknowledgement and the passive-flag clear, the supervisor could observe
+// "all passive, in flight == 0" and stop with the reactivating message
+// un-absorbed. This test scripts exactly that interleaving against the
+// extracted protocol: the single collect the old supervisor used accepts
+// the torn state, the two-phase double collect must reject it.
+func TestMessageStopRace(t *testing.T) {
+	q := NewTracker(1)
+	q.SetPassive(0)
+	// A message is sent toward the passive worker...
+	q.MsgSent()
+	// ...and the worker acknowledges it with the PRE-FIX ordering:
+	// delivery first, reactivation afterwards.
+	q.MsgDelivered()
+
+	// The old supervisor polls here, between the two steps of the worker's
+	// racy acknowledge-then-reactivate sequence: one observation, stop if
+	// quiet. It accepts — this is the bug.
+	if got := q.Observe(); !(got.AllPassive && got.InFlight() == 0) {
+		t.Fatal("torn window not reproduced: single collect should look quiet")
+	}
+
+	// The two-phase protocol must catch the same interleaving: its second
+	// collect lands after the worker finishes reactivating.
+	first := q.Observe()
+	q.SetActive(0) // the delayed reactivation of the pre-fix ordering
+	second := q.Observe()
+	if first.AllPassive && first.InFlight() == 0 &&
+		second.AllPassive && second.InFlight() == 0 && second == first {
+		t.Fatal("double collect accepted the torn interleaving the old supervisor raced on")
+	}
+	// And with the FIXED ordering (reactivate before acknowledging) even a
+	// single collect can no longer look quiet while the message is being
+	// absorbed: the in-flight count stays positive until after SetActive.
+	q2 := NewTracker(1)
+	q2.SetPassive(0)
+	q2.MsgSent()
+	q2.SetActive(0)
+	if got := q2.Observe(); got.AllPassive {
+		t.Fatal("fixed ordering still observable as passive mid-absorption")
+	}
+	q2.MsgDelivered()
+	if q2.Quiescent(nil) {
+		t.Fatal("worker is active with absorbed data; not quiescent")
+	}
+}
+
+// TestMessageQuiescenceStress is the end-to-end invariant behind the stop
+// race fix: a converged run guarantees every worker's final evaluation saw
+// every final block, so the assembled iterate's fixed-point residual must
+// actually meet the tolerance (the margin covers only floating-point
+// noise). The chain workload maximizes the passive/reactivate churn that
+// opened the pre-fix window.
+func TestMessageQuiescenceStress(t *testing.T) {
+	const trials = 6
+	tol := 1e-12
+	for trial := 0; trial < trials; trial++ {
+		op := chainOp(t, 128, 60+uint64(trial))
+		res, err := RunMessage(Config{
+			Op: op, Workers: 12, Tol: tol,
+			MaxUpdatesPerWorker: 1 << 18,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		// True quiescence means every worker's last evaluation saw every
+		// final block, so the assembled iterate's residual is <= Tol
+		// exactly (the evaluations are deterministic); the margin covers
+		// only floating-point noise. A supervisor that fired mid-
+		// reactivation leaves a block whose displacement exceeds Tol.
+		if r := operators.Residual(op, res.X); r > tol*1.01 {
+			t.Fatalf("trial %d: declared quiescent with residual %.3e > tol %.1e — termination fired early",
+				trial, r, tol)
+		}
+	}
+}
+
+// TestSharedCertificationRace is the deterministic regression test for the
+// shared-engine certification race. The pre-fix certifier sampled the
+// workers' streak counters, took ONE snapshot — which could straddle a
+// peer's mid-phase interpolated flexible partial stores — certified its
+// residual, and stopped: a state that never existed could pass. Under the
+// protocol the certification runs between two collects, so a peer storing
+// mid-certification (exactly the torn-snapshot scenario) invalidates the
+// result even when the certification itself happened to pass.
+func TestSharedCertificationRace(t *testing.T) {
+	q := NewTracker(2)
+	q.SetPassive(0)
+	q.SetPassive(1)
+	if DoubleCollect(q.Observe, func() bool {
+		// A peer resumes an update phase while the certifier is
+		// snapshotting: its interpolated partial stores tear the snapshot.
+		// The pre-fix certifier had no second look and would stop on this
+		// certification alone; returning true simulates the torn snapshot
+		// happening to look converged.
+		q.SetActive(1)
+		return true
+	}) {
+		t.Fatal("double collect accepted a certification torn by a peer's mid-phase stores")
+	}
+	// Re-certifying once the peer has finished and re-passivated succeeds.
+	q.SetPassive(1)
+	if !q.Quiescent(func() bool { return true }) {
+		t.Fatal("stable all-passive state with passing certification must be quiescent")
+	}
+}
+
+// TestSharedFlexibleCertificationStress is the end-to-end invariant behind
+// the certification race fix: the certification happens on a frozen
+// all-passive vector that is exactly the vector the run returns, so a
+// converged run's final residual meets the tolerance even under an
+// aggressive flexible schedule.
+func TestSharedFlexibleCertificationStress(t *testing.T) {
+	const trials = 6
+	tol := 1e-11
+	for trial := 0; trial < trials; trial++ {
+		op := chainOp(t, 96, 70+uint64(trial))
+		res, err := RunShared(Config{
+			Op: op, Workers: 8, Tol: tol,
+			MaxUpdatesPerWorker: 1 << 18,
+			Flexible:            flexible.Uniform(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		// The certification happens on a frozen all-passive vector that is
+		// exactly the vector the run returns, so a converged run's final
+		// residual is <= Tol up to floating-point noise. A certifier whose
+		// snapshot straddled a peer's mid-phase (interpolated flexible
+		// partial) stores certifies a state that never existed and leaves
+		// a residual above Tol behind.
+		if r := operators.Residual(op, res.X); r > tol*1.01 {
+			t.Fatalf("trial %d: certified stop with residual %.3e > tol %.1e — certification was torn",
+				trial, r, tol)
+		}
+	}
+}

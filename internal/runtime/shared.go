@@ -90,6 +90,20 @@ func (c *Config) validate() (n int, err error) {
 // asynchronous read model), relax their block, and publish results (and,
 // under flexible communication, intermediate partial values) coordinate by
 // coordinate with one-sided stores.
+//
+// Termination uses the two-phase protocol of quiescence.go. A worker with
+// SweepsBelowTol consecutive locally-converged sweeps turns passive: it
+// stops storing and downgrades to read-only watch sweeps, reactivating
+// (BEFORE its first store — the protocol's ordering rule) if a peer's
+// stores break its local convergence. Once every worker is passive the
+// published vector is frozen, so any passive worker can certify the
+// candidate: first collect, then a re-snapshot and full fixed-point
+// residual re-certification, then a second collect proving no worker
+// reactivated meanwhile. Only a certification bracketed by two identical
+// quiet collects broadcasts stop — a residual computed from a snapshot
+// torn across a peer's mid-phase (possibly interpolated flexible partial)
+// stores can never terminate the run, because the storing worker was
+// active at one of the collects or bumped the epoch in between.
 func RunShared(cfg Config) (*Result, error) {
 	n, err := cfg.validate()
 	if err != nil {
@@ -104,9 +118,7 @@ func RunShared(cfg Config) (*Result, error) {
 	p := len(blocks)
 
 	var stop atomic.Bool
-	// streaks[w] counts the worker's consecutive locally-converged sweeps;
-	// written by worker w, read by all (termination check).
-	streaks := make([]atomic.Int64, p)
+	q := NewTracker(p)
 	updates := make([]int, p)
 
 	start := time.Now()
@@ -117,12 +129,55 @@ func RunShared(cfg Config) (*Result, error) {
 			defer wg.Done()
 			lo, hi := blocks[w][0], blocks[w][1]
 			snap := make([]float64, n)
+			cert := make([]float64, n)
 			out := make([]float64, hi-lo)
 			old := make([]float64, hi-lo)
 			scr := cfg.workerScratch(w)
+
+			// certify re-snapshots the full vector and re-checks the
+			// fixed-point residual; it runs between the two collects of the
+			// double collect, when the vector is a candidate frozen state.
+			certify := func() bool {
+				sv.Snapshot(cert)
+				for c := 0; c < n; c++ {
+					if math.Abs(operators.EvalComponent(cfg.Op, scr, c, cert)-cert[c]) > cfg.Tol {
+						return false
+					}
+				}
+				return true
+			}
+
+			streak := 0
 			for k := 0; k < cfg.MaxUpdatesPerWorker; k++ {
 				if stop.Load() {
 					return
+				}
+				if q.IsPassive(w) {
+					// Passive watch sweep: read-only re-check of local
+					// convergence against the live vector. No stores, so a
+					// fully passive system is frozen and certifiable.
+					sv.Snapshot(snap)
+					delta := 0.0
+					for c := lo; c < hi; c++ {
+						if d := math.Abs(operators.EvalComponent(cfg.Op, scr, c, snap) - snap[c]); d > delta {
+							delta = d
+						}
+					}
+					if delta > cfg.Tol {
+						// A peer's stores broke local convergence:
+						// reactivate before the next iteration's stores.
+						q.SetActive(w)
+						streak = 0
+						continue
+					}
+					if q.Quiescent(certify) {
+						stop.Store(true)
+						return
+					}
+					// Not certifiable yet (a peer is active or was caught
+					// mid-transition): yield and watch again.
+					gort.Gosched()
+					continue // watch sweeps consume budget, bounding the loop
 				}
 				sv.Snapshot(snap)
 				delta := 0.0
@@ -150,7 +205,7 @@ func RunShared(cfg Config) (*Result, error) {
 
 				if cfg.Tol > 0 {
 					if delta <= cfg.Tol {
-						streaks[w].Add(1)
+						streak++
 						// Locally converged: yield the processor so peers can
 						// advance. Without this, an oversubscribed or
 						// single-CPU schedule lets one worker burn its entire
@@ -158,37 +213,11 @@ func RunShared(cfg Config) (*Result, error) {
 						// while its peers are descheduled with stale blocks.
 						gort.Gosched()
 					} else {
-						streaks[w].Store(0)
+						streak = 0
 					}
-					// Supervisor check, performed cooperatively: when every
-					// worker has a sufficient streak, quiescence is a
-					// *candidate* — streaks are per-block observations
-					// against possibly mutually stale snapshots, so the
-					// checking worker certifies the candidate with a full
-					// fixed-point residual before broadcasting stop.
-					if streaks[w].Load() >= int64(cfg.SweepsBelowTol) {
-						all := true
-						for q := 0; q < p; q++ {
-							if streaks[q].Load() < int64(cfg.SweepsBelowTol) {
-								all = false
-								break
-							}
-						}
-						if all {
-							sv.Snapshot(snap)
-							resid := 0.0
-							for c := 0; c < n && resid <= cfg.Tol; c++ {
-								if d := math.Abs(operators.EvalComponent(cfg.Op, scr, c, snap) - snap[c]); d > resid {
-									resid = d
-								}
-							}
-							if resid <= cfg.Tol {
-								stop.Store(true)
-								return
-							}
-							// False alarm: our own view was stale.
-							streaks[w].Store(0)
-						}
+					if streak >= cfg.SweepsBelowTol {
+						// This phase's stores are complete; go passive.
+						q.SetPassive(w)
 					}
 				}
 			}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/dist"
 	"repro/internal/operators"
 	"repro/internal/runtime"
 	"repro/internal/vec"
@@ -60,17 +61,23 @@ type Report struct {
 	// engines).
 	UpdatesPerWorker []int
 	// MessagesSent / MessagesDropped / MessagesStale count transport
-	// events (simulated and message engines).
+	// events (simulated, message and dist engines).
 	MessagesSent, MessagesDropped, MessagesStale int64
+	// MessagesReordered counts out-of-order link deliveries (dist engine).
+	MessagesReordered int64
+	// BytesSent / BytesReceived count wire bytes through the coordinator
+	// (dist engine).
+	BytesSent, BytesReceived int64
 	// Time is the virtual clock at stop (simulated engines).
 	Time float64
-	// Elapsed is the wall-clock duration (goroutine engines).
+	// Elapsed is the wall-clock duration (goroutine and dist engines).
 	Elapsed time.Duration
 
 	model      *core.Result
 	sim        *des.Result
 	simSync    *des.SyncResult
 	concurrent *runtime.Result
+	dist       *dist.Result
 }
 
 // finish fills in the outcome fields every engine can provide uniformly:
@@ -103,3 +110,7 @@ func (r *Report) SimSyncDetail() (*SimSyncResult, bool) { return r.simSync, r.si
 func (r *Report) ConcurrentDetail() (*ConcurrentResult, bool) {
 	return r.concurrent, r.concurrent != nil
 }
+
+// DistDetail returns the TCP engine's full result (per-link fault and
+// probe-round accounting) when this report came from EngineDist.
+func (r *Report) DistDetail() (*DistResult, bool) { return r.dist, r.dist != nil }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/des"
+	"repro/internal/dist"
 	"repro/internal/flexible"
 	"repro/internal/macroiter"
 	"repro/internal/metrics"
@@ -238,6 +239,10 @@ type (
 	ConcurrentConfig = runtime.Config
 	// ConcurrentResult reports a goroutine run.
 	ConcurrentResult = runtime.Result
+	// DistResult reports a distributed TCP run.
+	DistResult = dist.Result
+	// DistFault configures the TCP engine's per-link fault injection.
+	DistFault = dist.Fault
 	// CostFunc models per-phase compute durations.
 	CostFunc = des.CostFunc
 	// LatencyFunc models link latencies.

@@ -115,7 +115,9 @@ func mustRegister(s Scenario) {
 
 // ParseDelay parses a delay-model string of the form "name" or
 // "name:param": fresh | constant:D | bounded:B | sqrt | log | ooo:W.
-// Parameters default to constant:1, bounded:8, ooo:16. The seed feeds the
+// Parameters default to constant:1, bounded:8, ooo:16 and must be >= 1 when
+// given — a zero parameter (constant:0, bounded:0, ooo:0) would silently
+// degenerate to the fresh model and is rejected instead. The seed feeds the
 // randomized models.
 func ParseDelay(s string, seed uint64) (DelayModel, error) {
 	name, param := s, 0
@@ -123,13 +125,16 @@ func ParseDelay(s string, seed uint64) (DelayModel, error) {
 	if k := strings.IndexByte(s, ':'); k >= 0 {
 		name = s[:k]
 		v, err := strconv.Atoi(s[k+1:])
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("repro: bad delay parameter in %q", s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("repro: bad delay parameter in %q (want an integer >= 1)", s)
 		}
 		param, hasParam = v, true
 	}
 	switch name {
 	case "fresh":
+		if hasParam {
+			return nil, fmt.Errorf("repro: delay model fresh takes no parameter (got %q)", s)
+		}
 		return FreshDelay{}, nil
 	case "constant", "const":
 		if !hasParam {
@@ -142,8 +147,14 @@ func ParseDelay(s string, seed uint64) (DelayModel, error) {
 		}
 		return BoundedRandomDelay{B: param, Seed: seed + 1}, nil
 	case "sqrt":
+		if hasParam {
+			return nil, fmt.Errorf("repro: delay model sqrt takes no parameter (got %q)", s)
+		}
 		return SqrtGrowthDelay{}, nil
 	case "log":
+		if hasParam {
+			return nil, fmt.Errorf("repro: delay model log takes no parameter (got %q)", s)
+		}
 		return LogGrowthDelay{}, nil
 	case "ooo", "outoforder":
 		if !hasParam {

@@ -20,7 +20,10 @@ package repro
 // Engines honour the subset of knobs their regime models; the rest are
 // ignored (see the Engine docs in engine.go for the per-engine contract).
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Problem identifies the fixed-point problem being solved.
 type Problem struct {
@@ -77,8 +80,15 @@ type Execution struct {
 	// FixedLatency(0.1)).
 	Latency LatencyFunc
 	// DropProb is the iid probability a message is lost in transit
-	// (asynchronous simulator).
+	// (asynchronous simulator and dist engine).
 	DropProb float64
+	// ReorderProb is the iid probability a relayed block is held back long
+	// enough for later messages to overtake it (dist engine fault
+	// injection).
+	ReorderProb float64
+	// MaxLinkDelay adds a uniform random transit delay in [0, MaxLinkDelay]
+	// to every relayed block (dist engine fault injection).
+	MaxLinkDelay time.Duration
 	// ApplyStale lets late messages carrying older labels overwrite the
 	// receiver's view (asynchronous simulator).
 	ApplyStale bool
@@ -181,8 +191,17 @@ func WithCost(c CostFunc) Option { return func(s *Spec) { s.Cost = c } }
 // WithLatency sets the link-latency model (simulated engines).
 func WithLatency(l LatencyFunc) Option { return func(s *Spec) { s.Latency = l } }
 
-// WithDropProb sets the message-loss probability (asynchronous simulator).
+// WithDropProb sets the message-loss probability (asynchronous simulator
+// and dist engine).
 func WithDropProb(p float64) Option { return func(s *Spec) { s.DropProb = p } }
+
+// WithReorderProb sets the probability a relayed block is held back so
+// later messages overtake it (dist engine).
+func WithReorderProb(p float64) Option { return func(s *Spec) { s.ReorderProb = p } }
+
+// WithMaxLinkDelay sets the maximum injected per-message transit delay
+// (dist engine).
+func WithMaxLinkDelay(d time.Duration) Option { return func(s *Spec) { s.MaxLinkDelay = d } }
 
 // WithApplyStale lets stale messages overwrite the receiver's view
 // (asynchronous simulator).

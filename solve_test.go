@@ -1,12 +1,13 @@
 package repro_test
 
 // Tests of the unified Solve API: the cross-engine parity guarantee (one
-// spec, five engines, one fixed point), the scenario registry, and the
+// spec, six engines, one fixed point), the scenario registry, and the
 // option/report plumbing.
 
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -32,7 +33,7 @@ func lassoSpec(t testing.TB) (repro.Spec, []float64) {
 }
 
 // TestSolveEngineParity is the acceptance test of the unified API: the same
-// lasso spec solved on all five backends reaches the same fixed point.
+// lasso spec solved on all six backends reaches the same fixed point.
 func TestSolveEngineParity(t *testing.T) {
 	spec, xstar := lassoSpec(t)
 	for _, engine := range repro.Engines() {
@@ -122,7 +123,7 @@ func TestSolveValidation(t *testing.T) {
 	if _, err := repro.EngineByName("quantum"); err == nil {
 		t.Error("expected error for unknown engine")
 	}
-	for _, name := range []string{"model", "sim", "simsync", "shared", "message"} {
+	for _, name := range []string{"model", "sim", "simsync", "shared", "message", "dist"} {
 		e, err := repro.EngineByName(name)
 		if err != nil {
 			t.Errorf("EngineByName(%q): %v", name, err)
@@ -176,6 +177,77 @@ func TestScenariosBuildAndSolve(t *testing.T) {
 	}
 }
 
+// TestDistScenarioParity is the distributed acceptance test: every
+// registered scenario converges on the dist engine over localhost TCP —
+// both on clean links and with drop + reorder + delay injection enabled —
+// to the same fixed point the in-process message engine reaches.
+func TestDistScenarioParity(t *testing.T) {
+	sizes := map[string]int{
+		"lasso":     16,
+		"ridge":     16,
+		"logistic":  8,
+		"netflow":   4,
+		"obstacle":  8,
+		"routing":   32,
+		"multigrid": 7,
+	}
+	for _, sc := range repro.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			n, ok := sizes[sc.Name]
+			if !ok {
+				n = sc.DefaultN
+			}
+			inst, err := repro.BuildScenario(sc.Name, n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := repro.Solve(inst.Spec,
+				repro.WithEngine(repro.EngineMessage), repro.WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Converged {
+				t.Fatalf("message reference for %s did not converge", sc.Name)
+			}
+			for _, faulty := range []bool{false, true} {
+				opts := []repro.Option{
+					repro.WithEngine(repro.EngineDist),
+					repro.WithWorkers(4),
+					repro.WithSeed(9),
+				}
+				label := "clean"
+				if faulty {
+					label = "faulty"
+					opts = append(opts,
+						repro.WithDropProb(0.05),
+						repro.WithReorderProb(0.25),
+						repro.WithMaxLinkDelay(100*time.Microsecond),
+					)
+				}
+				res, err := repro.Solve(inst.Spec, opts...)
+				if err != nil {
+					t.Fatalf("%s links: %v", label, err)
+				}
+				if !res.Converged {
+					t.Fatalf("dist (%s links) did not converge on %s", label, sc.Name)
+				}
+				// Both engines stop on the same per-block displacement
+				// tolerance; for a contraction both iterates are within
+				// O(tol/(1-alpha)) of the fixed point, so compare with
+				// generous slack relative to the scenario tolerances.
+				if e := repro.DistInf(res.X, ref.X); e > 1e-5 {
+					t.Errorf("dist (%s links) deviates from message engine by %v on %s",
+						label, e, sc.Name)
+				}
+				if faulty && res.MessagesSent == 0 {
+					t.Errorf("dist (%s links) reported no TCP traffic", label)
+				}
+			}
+		})
+	}
+}
+
 // TestScenarioRegistryValidation covers registration and lookup errors.
 func TestScenarioRegistryValidation(t *testing.T) {
 	if err := repro.RegisterScenario(repro.Scenario{}); err == nil {
@@ -220,7 +292,11 @@ func TestParseDelay(t *testing.T) {
 			t.Errorf("ParseDelay(%q).Name() = %q, want %q", c.in, m.Name(), c.name)
 		}
 	}
-	for _, bad := range []string{"", "warp", "bounded:x", "bounded:-1"} {
+	// Degenerate parameters are rejected: a zero parameter would silently
+	// behave like the fresh model, and the parameterless models take none.
+	for _, bad := range []string{"", "warp", "bounded:x", "bounded:-1",
+		"constant:0", "bounded:0", "ooo:0", "constant:-3",
+		"fresh:1", "sqrt:2", "log:2"} {
 		if _, err := repro.ParseDelay(bad, 1); err == nil {
 			t.Errorf("ParseDelay(%q) should fail", bad)
 		}
