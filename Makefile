@@ -13,8 +13,9 @@ build:
 test:
 	$(GO) test ./...
 
-# The race job covers the goroutine and TCP engines, the parallel
-# experiment harness and the facade that drives them.
+# The race job covers the goroutine and TCP engines (both dist
+# topologies), the parallel experiment harness and the facade that drives
+# them.
 race:
 	$(GO) test -race . ./internal/runtime/... ./internal/dist/... ./internal/experiments/...
 
@@ -25,6 +26,13 @@ smoke-examples:
 		echo "== $$d"; \
 		$(GO) run "./$$d" >/dev/null || exit 1; \
 	done
+
+# Both dist data planes solve a scenario end to end over real TCP (what
+# the CI dist smoke step runs).
+smoke-dist:
+	$(GO) run ./cmd/asyncsolve -scenario lasso -engine dist -workers 4 -topology star >/dev/null
+	$(GO) run ./cmd/asyncsolve -scenario lasso -engine dist -workers 4 -topology mesh >/dev/null
+	$(GO) run ./cmd/asyncsolve -scenario routing -engine dist -workers 4 -topology mesh -delta 1e-9 >/dev/null
 
 # Benchmark smoke: every benchmark compiles and runs once, with allocation
 # reporting (what the CI benchmark job runs before capturing BENCH json).
@@ -45,7 +53,7 @@ lint:
 fmt:
 	gofmt -w .
 
-check: lint build test race smoke-examples bench
+check: lint build test race smoke-examples smoke-dist bench
 
 clean:
 	rm -f asyncsolve BENCH_*.json

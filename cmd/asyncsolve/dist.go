@@ -9,7 +9,12 @@ package main
 //	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso
 //
 // Every process builds the same scenario (name, size, seed) locally, so
-// only coordinates — never operators — cross the wire.
+// only coordinates — never operators — cross the wire. With
+// -topology mesh the coordinator keeps only the control plane: each worker
+// opens its own listener, the coordinator distributes the peer table, and
+// shard frames flow over direct worker-to-worker TCP links (the workers
+// learn the topology, fault config and delta threshold from the welcome
+// frame, so no extra worker-side flags are needed).
 
 import (
 	"flag"
@@ -35,9 +40,11 @@ func runDistCoordinator(args []string) {
 	listen := fs.String("listen", "127.0.0.1:7000", "address to accept workers on")
 	workers := fs.Int("workers", 2, "number of worker processes to wait for")
 	scenario := fs.String("scenario", "lasso", "workload scenario (must match the workers')")
+	topology := fs.String("topology", "star", "data plane: star (coordinator relay) | mesh (worker-to-worker links)")
 	n := fs.Int("n", 0, "problem size; 0 = scenario default (must match the workers')")
 	seed := fs.Uint64("seed", 1, "workload seed (must match the workers')")
 	tol := fs.Float64("tol", -1, "convergence tolerance; negative = scenario default")
+	deltaThr := fs.Float64("delta", 0, "flexible-communication threshold: ship only components that moved more than this")
 	maxUpdates := fs.Int("maxupdates", 0, "per-worker update budget; 0 = default")
 	drop := fs.Float64("drop", 0, "per-link message drop probability")
 	reorder := fs.Float64("reorder", 0, "per-link message reorder probability")
@@ -64,16 +71,18 @@ func runDistCoordinator(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("coordinator: scenario=%s n=%d waiting for %d workers on %s\n",
-		*scenario, dim, p, ln.Addr())
+	fmt.Printf("coordinator: scenario=%s n=%d topology=%s waiting for %d workers on %s\n",
+		*scenario, dim, *topology, p, ln.Addr())
 	res, err := dist.Serve(dist.ServerConfig{
 		Listener:            ln,
 		Workers:             p,
+		Topology:            *topology,
 		N:                   dim,
 		X0:                  spec.X0,
 		Tol:                 spec.Tol,
 		SweepsBelowTol:      spec.SweepsBelowTol,
 		MaxUpdatesPerWorker: *maxUpdates,
+		DeltaThreshold:      *deltaThr,
 		Fault: dist.Fault{
 			DropProb:    *drop,
 			ReorderProb: *reorder,

@@ -58,6 +58,8 @@ func main() {
 	delayName := flag.String("delay", "bounded:8", "delay model: fresh | constant:D | bounded:B | sqrt | log | ooo:W")
 	n := flag.Int("n", 0, "problem size (features / nodes / grid side); 0 = scenario default")
 	workers := flag.Int("workers", 0, "worker count for the sim/goroutine engines; 0 = default")
+	topology := flag.String("topology", "", "dist-engine data plane: star | mesh (default star)")
+	deltaThr := flag.Float64("delta", 0, "dist-engine flexible-communication threshold: ship only components that moved more than this since last shipped")
 	theta := flag.Float64("theta", 0.5, "flexible blend fraction (model engine, mode=flexible)")
 	flexK := flag.Int("flex", 0, "publish k uniform partial updates per phase (sim/shared engines)")
 	tol := flag.Float64("tol", -1, "convergence tolerance; negative = scenario default, 0 = run to budget")
@@ -152,6 +154,22 @@ func main() {
 	opts = append(opts, repro.WithEngine(engine))
 	if *workers > 0 {
 		opts = append(opts, repro.WithWorkers(*workers))
+	}
+	if *topology != "" {
+		if engine != repro.EngineDist {
+			fmt.Fprintf(os.Stderr, "-topology only applies to the dist engine (got -engine %s)\n", engine.Name())
+			os.Exit(2)
+		}
+		opts = append(opts, repro.WithTopology(*topology))
+	}
+	if *deltaThr != 0 {
+		if engine != repro.EngineDist {
+			fmt.Fprintf(os.Stderr, "-delta only applies to the dist engine (got -engine %s)\n", engine.Name())
+			os.Exit(2)
+		}
+		// Negative values flow through so the engine rejects them loudly
+		// instead of a typo'd sign silently running a different experiment.
+		opts = append(opts, repro.WithDeltaThreshold(*deltaThr))
 	}
 	if *flexK > 0 {
 		opts = append(opts, repro.WithFlexible(repro.UniformFlex(*flexK)))

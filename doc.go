@@ -25,17 +25,60 @@
 // # Distributed execution and termination
 //
 // EngineDist runs the paper's distributed-memory setting on a genuine
-// network path: one coordinator relays length-prefixed binary block frames
-// (little-endian; see internal/dist wire.go for the exact format) between
-// TCP workers, injecting faults per link — WithDropProb (iid loss),
+// network path: TCP workers each own a contiguous multi-component shard of
+// the iterate and exchange length-prefixed binary shard frames
+// (little-endian; see internal/dist wire.go for the exact format, and its
+// protocol-v2 delta note for what changed since the star-only format),
+// with fault injection per directed link — WithDropProb (iid loss),
 // WithReorderProb (hold-backs so later blocks overtake), WithMaxLinkDelay
 // (uniform transit jitter) — so unbounded-delay and out-of-order message
-// regimes are exercised end to end. Receivers discard blocks superseded by
-// a fresher sequence number (the label discipline for out-of-order
-// messages); a worker's final re-broadcast is reliable, i.e. exempt from
-// drop and reorder injection. In-process Solve calls run everything over
-// localhost; the asyncsolve dist-coordinator and dist-worker subcommands
-// deploy the identical protocol as separate OS processes.
+// regimes are exercised end to end. On every directed link, frames
+// overtaken by a later-sequenced frame from the same source are discarded
+// at the delivery point (the label discipline for out-of-order messages):
+// never written, never applied, counted MessagesReordered (or
+// MessagesDuplicate for an equal sequence number) and drained from the
+// termination protocol's in-flight count like a drop. A worker's final
+// re-broadcast is reliable, i.e. exempt from drop and reorder injection.
+// In-process Solve calls run everything over localhost; the asyncsolve
+// dist-coordinator and dist-worker subcommands deploy the identical
+// protocol as separate OS processes.
+//
+// # Topologies
+//
+// WithTopology selects the dist engine's data plane; the control plane —
+// rendezvous, config distribution, probe-round termination, final shard
+// collection — always runs through the coordinator:
+//
+//   - "star" (default): every shard frame is relayed by the coordinator,
+//     which also applies the fault injection and the per-link sequence
+//     filter. Simple, but the coordinator carries all p(p-1) logical links
+//     and becomes the bandwidth bottleneck as workers scale.
+//   - "mesh": after rendezvous the coordinator hands every worker the full
+//     peer table and workers exchange shard frames over direct
+//     worker-to-worker TCP connections. Fault injection and sequence
+//     filtering move to the sending side of each mesh link, drawing the
+//     same per-source RNG streams the star relay uses, so the two
+//     topologies are behaviorally comparable under identical seeds. Each
+//     link keeps a one-frame newest-wins outbox: a compute loop that
+//     outruns the wire supersedes its own unsent frames (counted
+//     MessagesReordered) instead of queueing stale values.
+//
+// WithDeltaThreshold adds flexible communication on the wire for either
+// topology: a broadcast ships one [offset, len) frame covering the span of
+// shard components that moved by more than the threshold since they were
+// last shipped (sub-threshold creep accumulates, and one frame per
+// broadcast means a broadcast is delivered or lost atomically — the
+// sequence filter can never keep half of one), and ships nothing when
+// nothing moved. On loss-free delivery peer staleness stays bounded by the
+// threshold; a frame lost to injection or superseded before delivery
+// leaves its components stale until the reliable final, which always
+// carries the whole shard. Report.DistDetail exposes
+// the topology that ran and the per-link byte matrix (LinkBytes[i][j] =
+// data-plane wire bytes from worker i to worker j), alongside the
+// transport accounting (messages sent/delivered/stale/dropped/reordered/
+// duplicate, coordinator wire bytes, probe rounds). The benchsuite pair
+// DistStarWorkers/DistMeshWorkers tracks the topologies' end-to-end solve
+// rates at 8 workers in every BENCH capture.
 //
 // All three concurrent engines (shared, message, dist) decide termination
 // with one extracted two-phase double-collect quiescence protocol
@@ -44,9 +87,9 @@
 // bracketing an optional re-certification — over TCP the two observations
 // are Safra-style probe rounds. Workers publish reactivation before
 // acknowledging the input that caused it, which closes the torn-read stop
-// races polling supervisors are prone to. Report.DistDetail exposes the
-// dist engine's transport accounting (messages sent/delivered/stale/
-// dropped/reordered, wire bytes, probe rounds).
+// races polling supervisors are prone to; idle paths (passive workers, the
+// message engine's supervisor) sleep on channels and are woken by events,
+// never by polling.
 //
 // Quick start (asynchronous proximal-gradient for lasso):
 //

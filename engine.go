@@ -24,7 +24,9 @@ package repro
 //     MaxUpdates/MaxUpdatesPerWorker.
 //   - EngineDist    — multi-worker engine over real TCP sockets with
 //     per-link fault injection (internal/dist): Problem (Op, X0), Workers,
-//     DropProb, ReorderProb, MaxLinkDelay, Seed, Tol, SweepsBelowTol,
+//     Topology ("star" relay or "mesh" worker-to-worker links),
+//     DeltaThreshold (flexible communication on the wire), DropProb,
+//     ReorderProb, MaxLinkDelay, Seed, Tol, SweepsBelowTol,
 //     MaxUpdates/MaxUpdatesPerWorker.
 //
 // Knobs outside an engine's list are ignored, so one Spec can be re-run
@@ -379,10 +381,12 @@ func (distEngine) Solve(spec Spec) (*Report, error) {
 	r, err := dist.Run(dist.Config{
 		Op:                  spec.Op,
 		Workers:             rc.Workers,
+		Topology:            spec.Topology,
 		X0:                  spec.X0,
 		Tol:                 spec.Tol,
 		SweepsBelowTol:      spec.SweepsBelowTol,
 		MaxUpdatesPerWorker: rc.MaxUpdatesPerWorker,
+		DeltaThreshold:      spec.DeltaThreshold,
 		Fault: dist.Fault{
 			DropProb:    spec.DropProb,
 			ReorderProb: spec.ReorderProb,
@@ -408,6 +412,7 @@ func (distEngine) Solve(spec Spec) (*Report, error) {
 		MessagesDropped:   r.MessagesDropped,
 		MessagesStale:     r.MessagesStale,
 		MessagesReordered: r.MessagesReordered,
+		MessagesDuplicate: r.MessagesDuplicate,
 		BytesSent:         r.BytesSent,
 		BytesReceived:     r.BytesReceived,
 		Elapsed:           r.Elapsed,

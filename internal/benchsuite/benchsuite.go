@@ -216,6 +216,18 @@ func MicroCases() []Case {
 			},
 		},
 		{
+			// Star and mesh at 8 workers over the same workload: the pair
+			// CI captures to show the mesh data plane removing the
+			// coordinator as the bandwidth bottleneck (mesh solve rate
+			// should be at or above star).
+			Name: "DistStarWorkers", Kind: "micro", UnitsPerOp: 800,
+			Setup: distTopologyCase("star"),
+		},
+		{
+			Name: "DistMeshWorkers", Kind: "micro", UnitsPerOp: 800,
+			Setup: distTopologyCase("mesh"),
+		},
+		{
 			Name: "ScenarioSolveLasso", Kind: "micro", UnitsPerOp: 0,
 			Setup: func() (func() error, error) {
 				inst, err := repro.BuildScenario("lasso", 32, 1)
@@ -255,6 +267,32 @@ func MicroCases() []Case {
 				}, nil
 			},
 		},
+	}
+}
+
+// distTopologyCase builds the 8-worker × 100-phase end-to-end TCP solve
+// used to compare the star and mesh data planes under identical load.
+func distTopologyCase(topology string) func() (func() error, error) {
+	return func() (func() error, error) {
+		op, _, err := benchLinearOp()
+		if err != nil {
+			return nil, err
+		}
+		spec := repro.NewSpec(op,
+			repro.WithEngine(repro.EngineDist),
+			repro.WithTopology(topology),
+			repro.WithWorkers(8),
+			repro.WithMaxUpdatesPerWorker(100),
+		)
+		return solveCase(spec, func(r *repro.Report) error {
+			if len(r.UpdatesPerWorker) != 8 {
+				return fmt.Errorf("%d workers", len(r.UpdatesPerWorker))
+			}
+			if r.MessagesSent == 0 {
+				return fmt.Errorf("no TCP traffic")
+			}
+			return nil
+		}), nil
 	}
 }
 

@@ -20,9 +20,9 @@ const probeInterval = 500 * time.Microsecond
 // time simply fails the round (it is retried), it does not fail the run.
 const probeRoundTimeout = 2 * time.Second
 
-// reorderHold is the extra delay a reorder-injected block is held for when
-// Fault.MaxDelay does not imply one (4x MaxDelay otherwise): long enough
-// that blocks sent after it on the same link overtake it.
+// defaultReorderHold is the extra delay a reorder-injected block is held
+// for when Fault.MaxDelay does not imply one (4x MaxDelay otherwise): long
+// enough that blocks sent after it on the same link overtake it.
 const defaultReorderHold = 800 * time.Microsecond
 
 // ServerConfig configures the coordinator half of a distributed run.
@@ -34,6 +34,9 @@ type ServerConfig struct {
 	// caller partitions the problem, so it must already be clamped to the
 	// dimension.
 	Workers int
+	// Topology selects the data plane (TopologyStar default, TopologyMesh
+	// for direct worker-to-worker links).
+	Topology string
 	// N is the problem dimension; X0 the initial iterate (defaults zero).
 	N  int
 	X0 []float64
@@ -42,7 +45,10 @@ type ServerConfig struct {
 	Tol                 float64
 	SweepsBelowTol      int
 	MaxUpdatesPerWorker int
-	// Fault is the per-link fault injection.
+	// DeltaThreshold enables flexible communication (see Config).
+	DeltaThreshold float64
+	// Fault is the per-link fault injection (applied by the coordinator's
+	// relay in star, by the sending side of every mesh link in mesh).
 	Fault Fault
 	// Timeout bounds the whole run (default 2m).
 	Timeout time.Duration
@@ -50,11 +56,14 @@ type ServerConfig struct {
 
 // link is one worker connection from the coordinator's side. Writes are
 // whole prebuilt frames under mu, so concurrent relays, probes and the
-// stop broadcast never interleave bytes.
+// stop broadcast never interleave bytes. lastSeq and bytesFrom are indexed
+// by source worker: the newest sequence delivered on this link and the
+// data-plane bytes relayed onto it (star topology only).
 type link struct {
-	conn    net.Conn
-	mu      sync.Mutex
-	lastSeq []uint64 // per source worker: highest seq delivered on this link
+	conn      net.Conn
+	mu        sync.Mutex
+	lastSeq   []uint64
+	bytesFrom []int64
 }
 
 type status struct {
@@ -63,6 +72,7 @@ type status struct {
 	passive, done   bool
 	epoch           uint64
 	sent, delivered uint64
+	drained         uint64
 }
 
 type final struct {
@@ -71,6 +81,9 @@ type final struct {
 	vals                   []float64
 	updates                int
 	sent, delivered, stale uint64
+	dropped                uint64
+	reordered, duplicate   uint64
+	linkBytes              []uint64
 }
 
 type coordinator struct {
@@ -78,9 +91,12 @@ type coordinator struct {
 	links  []*link
 	blocks [][2]int
 
-	dropped, reordered atomic.Int64
-	bytesOut, bytesIn  atomic.Int64
-	relays             sync.WaitGroup // in-flight delayed relay writes
+	// dropped counts injection drops, reordered/duplicate the relay's
+	// sequence-filter discards; all three are drained messages for the
+	// termination protocol (they can never reactivate a worker).
+	dropped, reordered, duplicate atomic.Int64
+	bytesOut, bytesIn             atomic.Int64
+	delays                        delayQueue // pending delayed relay deliveries
 
 	stopped  atomic.Bool
 	statusCh chan status
@@ -88,11 +104,12 @@ type coordinator struct {
 	errCh    chan error
 }
 
-// Serve runs the coordinator: accept and welcome cfg.Workers workers,
-// relay their block broadcasts with fault injection, probe for quiescence
-// with the two-phase double collect, and stop the run — on quiescence
-// (converged), when every worker exhausts its budget (not converged), or
-// at Timeout (error).
+// Serve runs the coordinator: accept and welcome cfg.Workers workers, run
+// the topology's rendezvous (mesh: collect listen addresses, broadcast the
+// peer table), relay star shard broadcasts with fault injection, probe for
+// quiescence with the two-phase double collect, and stop the run — on
+// quiescence (converged), when every worker exhausts its budget (not
+// converged), or at Timeout (error).
 func Serve(cfg ServerConfig) (*Result, error) {
 	if cfg.Listener == nil {
 		return nil, errors.New("dist: ServerConfig.Listener is required")
@@ -108,9 +125,15 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		return nil, fmt.Errorf("dist: X0 length %d, want %d", len(cfg.X0), cfg.N)
 	}
 	if cfg.Workers > cfg.N {
-		// Same clamp as Config.validate: never more blocks than components
+		// Same clamp as Config.validate: never more shards than components
 		// (vec.Blocks would return fewer blocks than accept loops expect).
 		cfg.Workers = cfg.N
+	}
+	if err := validateTopology(&cfg.Topology); err != nil {
+		return nil, err
+	}
+	if err := validateDeltaThreshold(cfg.DeltaThreshold); err != nil {
+		return nil, err
 	}
 	applyRunDefaults(&cfg.SweepsBelowTol, &cfg.MaxUpdatesPerWorker, &cfg.Timeout)
 	if err := cfg.Fault.validate(); err != nil {
@@ -131,8 +154,19 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		finalCh:  make(chan final, cfg.Workers),
 		errCh:    make(chan error, cfg.Workers),
 	}
+	// A delayed relay cancelled or skipped at teardown was counted sent by
+	// its worker and can never be delivered: account the disposal as a
+	// drop so the transport counters stay as close to balanced as a
+	// torn-down run allows (a certified-quiescent run has nothing pending,
+	// so converged accounting stays exact).
+	c.delays.onDispose = func() { c.dropped.Add(1) }
 
-	// Accept and welcome every worker, then start its reader.
+	topo := topologyStarWire
+	if cfg.Topology == TopologyMesh {
+		topo = topologyMeshWire
+	}
+
+	// Accept and welcome every worker.
 	type deadliner interface{ SetDeadline(time.Time) error }
 	if d, ok := cfg.Listener.(deadliner); ok {
 		d.SetDeadline(deadline)
@@ -140,7 +174,7 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	for w := 0; w < cfg.Workers; w++ {
 		conn, err := cfg.Listener.Accept()
 		if err != nil {
-			c.closeLinks()
+			c.shutdown()
 			return nil, fmt.Errorf("dist: accept worker %d: %w", w, err)
 		}
 		// An absolute I/O deadline guarantees no read or write on this
@@ -149,15 +183,19 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		// hanging Serve inside a blocking conn.Write. The grace period
 		// covers the post-deadline stop/final exchange.
 		conn.SetDeadline(deadline.Add(cfg.Timeout))
-		c.links[w] = &link{conn: conn, lastSeq: make([]uint64, cfg.Workers)}
+		c.links[w] = &link{
+			conn:      conn,
+			lastSeq:   make([]uint64, cfg.Workers),
+			bytesFrom: make([]int64, cfg.Workers),
+		}
 		typ, payload, err := readFrame(conn, maxFramePayload)
 		if err != nil || typ != msgHello {
-			c.closeLinks()
+			c.shutdown()
 			return nil, fmt.Errorf("dist: worker %d handshake failed: %v", w, err)
 		}
 		cur := cursor{b: payload}
 		if v := cur.u32(); cur.err != nil || v != protocolVersion {
-			c.closeLinks()
+			c.shutdown()
 			return nil, fmt.Errorf("dist: worker %d protocol version %d, want %d", w, v, protocolVersion)
 		}
 		wel := appendU32(nil, uint32(w))
@@ -168,12 +206,51 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		wel = appendF64(wel, cfg.Tol)
 		wel = appendU32(wel, uint32(cfg.SweepsBelowTol))
 		wel = appendU32(wel, uint32(cfg.MaxUpdatesPerWorker))
+		wel = append(wel, topo)
+		wel = appendF64(wel, cfg.DeltaThreshold)
+		wel = appendU64(wel, uint64(cfg.Timeout))
+		wel = appendF64(wel, cfg.Fault.DropProb)
+		wel = appendF64(wel, cfg.Fault.ReorderProb)
+		wel = appendU64(wel, uint64(cfg.Fault.MaxDelay))
+		wel = appendU64(wel, cfg.Fault.Seed)
 		wel = appendF64s(wel, x0)
 		if err := c.write(w, buildFrame(msgWelcome, wel)); err != nil {
-			c.closeLinks()
+			c.shutdown()
 			return nil, fmt.Errorf("dist: welcome worker %d: %w", w, err)
 		}
 	}
+
+	// Mesh rendezvous: collect every worker's listen address, then hand
+	// each worker the full peer table. Every listener is up before any
+	// worker learns a peer address, so no dial can race a missing listener.
+	if cfg.Topology == TopologyMesh {
+		addrs := make([]string, cfg.Workers)
+		for w := range c.links {
+			typ, payload, err := readFrame(c.links[w].conn, maxFramePayload)
+			if err != nil || typ != msgMeshAddr {
+				c.shutdown()
+				return nil, fmt.Errorf("dist: worker %d mesh address: %v", w, err)
+			}
+			cur := cursor{b: payload}
+			addrs[w] = cur.str()
+			if cur.err != nil || addrs[w] == "" {
+				c.shutdown()
+				return nil, fmt.Errorf("dist: worker %d sent a malformed mesh address", w)
+			}
+		}
+		peers := appendU32(nil, uint32(cfg.Workers))
+		for _, a := range addrs {
+			peers = appendStr(peers, a)
+		}
+		frame := buildFrame(msgPeers, peers)
+		for w := range c.links {
+			if err := c.write(w, frame); err != nil {
+				c.shutdown()
+				return nil, fmt.Errorf("dist: peer table to worker %d: %w", w, err)
+			}
+		}
+	}
+
 	for w := range c.links {
 		go c.serveLink(w)
 	}
@@ -212,26 +289,29 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		}
 		select {
 		case err := <-c.errCh:
-			c.stopped.Store(true)
-			c.closeLinks()
+			c.shutdown()
 			return nil, err
 		case <-time.After(probeInterval):
 		}
 	}
 
-	// Stop the run and collect the authoritative final blocks.
+	// Stop the run and collect the authoritative final shards.
 	c.stopped.Store(true)
 	stopFrame := buildFrame(msgStop, nil)
 	for w := range c.links {
 		if err := c.write(w, stopFrame); err != nil {
-			c.closeLinks()
+			c.shutdown()
 			return nil, fmt.Errorf("dist: stop worker %d: %w", w, err)
 		}
 	}
 	x := make([]float64, cfg.N)
 	copy(x, x0)
 	updates := make([]int, cfg.Workers)
-	var sent, delivered, stale int64
+	linkBytes := make([][]int64, cfg.Workers)
+	for i := range linkBytes {
+		linkBytes[i] = make([]int64, cfg.Workers)
+	}
+	var sent, delivered, stale, dropped, reordered, duplicate int64
 	finalDeadline := time.Now().Add(cfg.Timeout)
 	for got := 0; got < cfg.Workers; got++ {
 		select {
@@ -241,41 +321,77 @@ func Serve(cfg ServerConfig) (*Result, error) {
 			sent += int64(f.sent)
 			delivered += int64(f.delivered)
 			stale += int64(f.stale)
+			dropped += int64(f.dropped)
+			reordered += int64(f.reordered)
+			duplicate += int64(f.duplicate)
+			for q, b := range f.linkBytes {
+				linkBytes[f.worker][q] += int64(b)
+			}
 		case err := <-c.errCh:
-			c.closeLinks()
+			c.shutdown()
 			return nil, err
 		case <-time.After(time.Until(finalDeadline)):
-			c.closeLinks()
+			c.shutdown()
 			return nil, errors.New("dist: timed out waiting for final blocks")
 		}
 	}
-	c.closeLinks()
-	c.relays.Wait() // delayed relay writes now fail fast against closed conns
+	c.shutdown()
 
 	if timedOut {
 		return nil, fmt.Errorf("dist: run exceeded timeout %v without quiescence or budget exhaustion", cfg.Timeout)
+	}
+	// Star relays every data-plane frame, so its per-link counters live on
+	// the coordinator's links (stable now — shutdown drained every relay
+	// writer); mesh workers reported theirs in the finals.
+	if cfg.Topology == TopologyStar {
+		for to, l := range c.links {
+			for from, b := range l.bytesFrom {
+				linkBytes[from][to] += b
+			}
+		}
 	}
 	return &Result{
 		X:                 x,
 		Converged:         converged,
 		UpdatesPerWorker:  updates,
 		Elapsed:           time.Since(start),
+		Topology:          cfg.Topology,
 		MessagesSent:      sent,
 		MessagesDelivered: delivered,
 		MessagesStale:     stale,
-		MessagesDropped:   c.dropped.Load(),
-		MessagesReordered: c.reordered.Load(),
+		MessagesDropped:   dropped + c.dropped.Load(),
+		MessagesReordered: reordered + c.reordered.Load(),
+		MessagesDuplicate: duplicate + c.duplicate.Load(),
 		BytesSent:         c.bytesOut.Load(),
 		BytesReceived:     c.bytesIn.Load(),
+		LinkBytes:         linkBytes,
 		ProbeRounds:       probeRounds,
 	}, nil
 }
 
-func (c *coordinator) closeLinks() {
+// shutdown tears the coordinator down in the only safe order: mark the run
+// stopped (new delayed deliveries become no-ops), cancel pending relay
+// timers and wait out callbacks already firing, and only then close the
+// worker connections. A delayed delivery can therefore never write to a
+// conn that is being closed.
+func (c *coordinator) shutdown() {
+	c.stopped.Store(true)
+	c.delays.drain()
 	for _, l := range c.links {
 		if l != nil {
 			l.conn.Close()
 		}
+	}
+}
+
+// fail reports an error to the run loop without ever blocking: the single
+// drain reads one error, and every further failure racing it (multiple
+// link goroutines dying together at teardown) is dropped rather than
+// wedging its goroutine on the channel send.
+func (c *coordinator) fail(err error) {
+	select {
+	case c.errCh <- err:
+	default:
 	}
 }
 
@@ -292,21 +408,34 @@ func (c *coordinator) write(w int, frame []byte) error {
 	return err
 }
 
-// deliverBlock writes a relayed block to link w, counting a reordered
-// delivery when an earlier-sequenced block arrives after a later one from
-// the same source.
+// deliverBlock writes a relayed shard frame from worker from to link w —
+// unless a later-sequenced frame from the same source has already been
+// delivered on this link, in which case the frame is discarded HERE:
+// superseded (reordered) and duplicate frames are never written, so the
+// receiver cannot count them again and no bandwidth is spent on them. The
+// discard counts as drained for the termination protocol, like a drop.
 func (c *coordinator) deliverBlock(w, from int, seq uint64, frame []byte) {
 	if c.stopped.Load() {
+		c.dropped.Add(1) // sent but undeliverable: the run is tearing down
 		return
 	}
 	l := c.links[w]
 	l.mu.Lock()
-	if seq < l.lastSeq[from] {
-		c.reordered.Add(1)
-	} else {
-		l.lastSeq[from] = seq
+	if seq <= l.lastSeq[from] {
+		newest := l.lastSeq[from]
+		l.mu.Unlock()
+		if seq < newest {
+			c.reordered.Add(1)
+		} else {
+			c.duplicate.Add(1)
+		}
+		return
 	}
+	l.lastSeq[from] = seq
 	_, err := l.conn.Write(frame)
+	if err == nil {
+		l.bytesFrom[from] += int64(len(frame))
+	}
 	l.mu.Unlock()
 	if err == nil {
 		c.bytesOut.Add(int64(len(frame)))
@@ -318,43 +447,44 @@ func (c *coordinator) deliverBlock(w, from int, seq uint64, frame []byte) {
 	// instead of letting the run die as a generic timeout. (One-directional
 	// stalls exist: this link's reader may still be healthy.)
 	if !c.stopped.Load() {
-		select {
-		case c.errCh <- fmt.Errorf("dist: relay to worker %d: %w", w, err):
-		default:
-		}
+		c.fail(fmt.Errorf("dist: relay to worker %d: %w", w, err))
 	}
 }
 
-// serveLink reads one worker's frames: blocks are relayed to every peer
-// through the fault-injection path, statuses and finals are routed to the
-// termination logic.
+// serveLink reads one worker's frames: star shard broadcasts are relayed to
+// every peer through the fault-injection path, statuses and finals are
+// routed to the termination logic.
 func (c *coordinator) serveLink(w int) {
-	rng := rand.New(rand.NewSource(int64(c.cfg.Fault.Seed) + int64(w)*7919))
-	hold := 4 * c.cfg.Fault.MaxDelay
-	if hold <= 0 {
-		hold = defaultReorderHold
-	}
+	rng := rand.New(rand.NewSource(linkRNGSeed(c.cfg.Fault.Seed, w)))
+	hold := reorderHoldFor(c.cfg.Fault)
 	conn := c.links[w].conn
 	for {
 		typ, payload, err := readFrame(conn, maxFramePayload)
 		if err != nil {
 			if !c.stopped.Load() {
-				c.errCh <- fmt.Errorf("dist: worker %d connection: %w", w, err)
+				c.fail(fmt.Errorf("dist: worker %d connection: %w", w, err))
 			}
 			return
 		}
 		c.bytesIn.Add(int64(frameHeaderLen + len(payload)))
 		switch typ {
 		case msgBlock:
+			if c.cfg.Topology != TopologyStar {
+				c.fail(fmt.Errorf("dist: worker %d sent a data-plane frame on the mesh control plane", w))
+				return
+			}
 			cur := cursor{b: payload}
 			from := int(cur.u32())
 			seq := cur.u64()
 			flags := cur.u8()
 			if cur.err != nil || from != w {
-				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed block frame", w)
+				c.fail(fmt.Errorf("dist: worker %d sent a malformed block frame", w))
 				return
 			}
 			if c.stopped.Load() {
+				// The worker counted p-1 sends for this broadcast; none
+				// will be relayed now that the run is stopping.
+				c.dropped.Add(int64(c.cfg.Workers - 1))
 				continue
 			}
 			frame := buildFrame(msgBlock, payload)
@@ -363,27 +493,22 @@ func (c *coordinator) serveLink(w int) {
 				if q == w {
 					continue
 				}
-				if !reliable && c.cfg.Fault.DropProb > 0 && rng.Float64() < c.cfg.Fault.DropProb {
+				drop, delay := c.cfg.Fault.decide(rng, hold, reliable)
+				if drop {
 					c.dropped.Add(1)
 					continue
-				}
-				var delay time.Duration
-				if c.cfg.Fault.MaxDelay > 0 {
-					delay = time.Duration(rng.Int63n(int64(c.cfg.Fault.MaxDelay) + 1))
-				}
-				if !reliable && c.cfg.Fault.ReorderProb > 0 && rng.Float64() < c.cfg.Fault.ReorderProb {
-					delay += hold
 				}
 				if delay <= 0 {
 					c.deliverBlock(q, w, seq, frame)
 					continue
 				}
 				q := q
-				c.relays.Add(1)
-				time.AfterFunc(delay, func() {
-					defer c.relays.Done()
-					c.deliverBlock(q, w, seq, frame)
-				})
+				if !c.delays.after(delay, func() { c.deliverBlock(q, w, seq, frame) }) {
+					// Teardown already began: no probe round will look
+					// again, but the frame was counted sent — account the
+					// disposal.
+					c.dropped.Add(1)
+				}
 			}
 		case msgStatus:
 			cur := cursor{b: payload}
@@ -394,8 +519,9 @@ func (c *coordinator) serveLink(w int) {
 			st.epoch = cur.u64()
 			st.sent = cur.u64()
 			st.delivered = cur.u64()
+			st.drained = cur.u64()
 			if cur.err != nil {
-				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed status frame", w)
+				c.fail(fmt.Errorf("dist: worker %d sent a malformed status frame", w))
 				return
 			}
 			select {
@@ -411,14 +537,18 @@ func (c *coordinator) serveLink(w int) {
 			f.sent = cur.u64()
 			f.delivered = cur.u64()
 			f.stale = cur.u64()
-			if cur.err != nil || f.lo < 0 || f.lo+count > c.cfg.N {
-				c.errCh <- fmt.Errorf("dist: worker %d sent a malformed final frame", w)
+			f.dropped = cur.u64()
+			f.reordered = cur.u64()
+			f.duplicate = cur.u64()
+			f.linkBytes = cur.u64s(int(cur.u32()))
+			if cur.err != nil || f.lo < 0 || f.lo+count > c.cfg.N || len(f.linkBytes) > c.cfg.Workers {
+				c.fail(fmt.Errorf("dist: worker %d sent a malformed final frame", w))
 				return
 			}
 			c.finalCh <- f
 			return
 		default:
-			c.errCh <- fmt.Errorf("dist: worker %d sent unexpected frame type %d", w, typ)
+			c.fail(fmt.Errorf("dist: worker %d sent unexpected frame type %d", w, typ))
 			return
 		}
 	}
@@ -427,11 +557,14 @@ func (c *coordinator) serveLink(w int) {
 // probeRound is one network collect of the double-collect protocol: probe
 // every worker, gather matching statuses, and assemble the Observation.
 // The passive flags come from the statuses (each a self-consistent
-// worker-side snapshot) and the coordinator's drop counter is read after
+// worker-side snapshot) and the coordinator's drain counters are read after
 // the last status arrives, matching the in-process Tracker's "flags before
-// counters" collect order. Any timeout or stale reply just makes the round
-// non-quiet; it is retried. lastDone is updated with each worker's done
-// bit as a side effect.
+// counters" collect order. The drained total — injection drops plus
+// link-filter discards, wherever they happened (coordinator relay in star,
+// sending workers in mesh) — enters the observation as Dropped: none of
+// those frames can ever reactivate a worker. Any timeout or stale reply
+// just makes the round non-quiet; it is retried. lastDone is updated with
+// each worker's done bit as a side effect.
 func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Observation {
 	probeID := uint64(time.Now().UnixNano())
 	probe := buildFrame(msgProbe, appendU64(nil, probeID))
@@ -461,10 +594,11 @@ func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Ob
 			obs.Epoch += st.epoch
 			obs.Sent += int64(st.sent)
 			obs.Delivered += int64(st.delivered)
+			obs.Dropped += int64(st.drained)
 		case <-time.After(time.Until(roundDeadline)):
 			return runtime.Observation{}
 		}
 	}
-	obs.Dropped = c.dropped.Load()
+	obs.Dropped += c.dropped.Load() + c.reordered.Load() + c.duplicate.Load()
 	return obs
 }

@@ -1,22 +1,47 @@
 // Package dist executes asynchronous iterations across workers that
-// exchange blocks over real TCP sockets — the genuinely distributed
-// transport behind the repro "dist" engine. The topology is a star: every
-// worker connects to one coordinator, which relays block broadcasts
-// between workers, injects per-link faults (extra delay, reordering
-// holds, drops) so the paper's unbounded-delay and out-of-order regimes
-// run on an actual network path, and decides termination.
+// exchange shard frames over real TCP sockets — the genuinely distributed
+// transport behind the repro "dist" engine. Each worker owns a contiguous
+// multi-component shard of the iterate (Workers may be far smaller than the
+// dimension) and publishes [offset, len) slices of it; under a delta
+// threshold only the components that moved significantly are shipped — the
+// paper's flexible communication realized on the wire.
+//
+// Two data planes share one control plane:
+//
+//   - Star (TopologyStar): every worker connects to one coordinator, which
+//     relays shard broadcasts between workers and injects per-link faults
+//     (extra delay, reordering holds, drops) so the paper's unbounded-delay
+//     and out-of-order regimes run on an actual network path.
+//   - Mesh (TopologyMesh): after rendezvous the coordinator hands every
+//     worker its peers' listen addresses and workers exchange shard frames
+//     directly over worker-to-worker TCP links, removing the coordinator as
+//     the bandwidth bottleneck. Fault injection and per-source sequence
+//     filtering run on the sending side of each mesh link, so star and mesh
+//     are behaviorally comparable under identical seeds.
+//
+// In both topologies the coordinator keeps the control plane: rendezvous,
+// fault/topology config distribution, probe-round double-collect
+// termination, and final shard collection.
+//
+// On every directed link (a star relay leg or a mesh link) frames are
+// sequence-filtered at the delivery point: a frame overtaken by a
+// later-sequenced frame from the same source is discarded there — never
+// written, never applied — and counted reordered (seq below the newest) or
+// duplicate (seq equal). Discarded frames count as drained for the
+// termination protocol, like injection drops: they can never reactivate a
+// worker.
 //
 // Termination is the two-phase double-collect protocol of
 // internal/runtime (quiescence.go), run over the network as Safra-style
 // probe rounds: the coordinator probes every worker, each replies with a
 // self-consistent status (passive flag, activity epoch, sent/delivered
-// counters — composed by the worker's single compute goroutine), and the
-// run stops only after two consecutive quiet rounds with identical
-// epochs and counters and nothing in flight (sum sent == sum delivered +
-// coordinator-side drops). Workers obey the protocol's ordering rule —
-// a reactivation is published (epoch bump, passive cleared) before the
-// reactivating block is counted delivered — so a quiet round can never
-// hide a message being absorbed.
+// counters — composed by the worker's single compute goroutine — plus its
+// monotone drained counter), and the run stops only after two consecutive
+// quiet rounds with identical epochs and counters and nothing in flight
+// (sum sent == sum delivered + drops + link-filter discards). Workers obey
+// the protocol's ordering rule — a reactivation is published (epoch bump,
+// passive cleared) before the reactivating block is counted delivered — so
+// a quiet round can never hide a message being absorbed.
 //
 // The same code paths serve two deployments: Run spawns the coordinator
 // and all workers in-process over localhost TCP (how the tests and the
@@ -34,8 +59,19 @@ import (
 	"repro/internal/operators"
 )
 
-// Fault configures the coordinator's per-link fault injection. Every
-// non-reliable relayed block is independently subjected to each knob.
+// The supported data-plane topologies.
+const (
+	// TopologyStar relays every shard frame through the coordinator.
+	TopologyStar = "star"
+	// TopologyMesh exchanges shard frames over direct worker-to-worker TCP
+	// links; the coordinator keeps only the control plane.
+	TopologyMesh = "mesh"
+)
+
+// Fault configures per-link fault injection. Every non-reliable shard frame
+// is independently subjected to each knob — by the coordinator's relay in
+// the star topology, by the sending side of each mesh link in the mesh
+// topology.
 type Fault struct {
 	// DropProb is the iid probability a relayed block is dropped.
 	DropProb float64
@@ -45,16 +81,22 @@ type Fault struct {
 	// MaxDelay adds a uniform random transit delay in [0, MaxDelay] to
 	// every relayed block (reliable ones included — delay is not loss).
 	MaxDelay time.Duration
-	// Seed drives the injection randomness.
+	// Seed drives the injection randomness. The per-source RNG derivation
+	// is shared by both topologies, so a star and a mesh run with the same
+	// seed draw the same per-(frame, destination) fault decisions.
 	Seed uint64
 }
 
 // Config describes one distributed run.
 type Config struct {
-	// Op is the fixed-point operator; every worker evaluates its own block.
+	// Op is the fixed-point operator; every worker evaluates its own shard.
 	Op operators.Operator
-	// Workers is the number of TCP workers (clamped to the dimension).
+	// Workers is the number of TCP workers (clamped to the dimension); each
+	// owns a contiguous shard of roughly Dim/Workers components.
 	Workers int
+	// Topology selects the data plane: TopologyStar (default) or
+	// TopologyMesh.
+	Topology string
 	// X0 is the initial iterate (defaults to zero).
 	X0 []float64
 	// Tol is the per-coordinate block displacement tolerance (see
@@ -64,6 +106,17 @@ type Config struct {
 	SweepsBelowTol int
 	// MaxUpdatesPerWorker bounds each worker's loop iterations.
 	MaxUpdatesPerWorker int
+	// DeltaThreshold, when positive, enables flexible communication: a
+	// non-final broadcast ships one frame covering the span from the first
+	// to the last shard component that moved by more than the threshold
+	// since it was last shipped (sub-threshold components inside the span
+	// ride along), and ships nothing when nothing moved. On loss-free
+	// delivery peer views lag the sender by at most the threshold per
+	// component, so it should be chosen at or below Tol; a frame lost to
+	// injection or superseded before delivery leaves its components stale
+	// until they move again, and the reliable final re-broadcast — always
+	// the whole shard — restores exactness for termination.
+	DeltaThreshold float64
 	// Fault is the per-link fault injection.
 	Fault Fault
 	// Timeout is the wall-clock safety bound on the whole run (default 2m).
@@ -79,17 +132,35 @@ type Result struct {
 	Converged        bool
 	UpdatesPerWorker []int
 	Elapsed          time.Duration
-	// MessagesSent counts per-recipient block sends (a broadcast to p-1
-	// peers counts p-1); MessagesDelivered counts blocks acknowledged by
-	// receivers; MessagesStale counts delivered blocks a receiver
-	// discarded as superseded (an out-of-order arrival older than an
-	// already-applied block); MessagesDropped counts injection drops;
-	// MessagesReordered counts blocks delivered after a later-sequenced
-	// block on the same directed link.
-	MessagesSent, MessagesDelivered, MessagesStale, MessagesDropped, MessagesReordered int64
+	// Topology is the data plane that ran (TopologyStar or TopologyMesh).
+	Topology string
+	// MessagesSent counts per-recipient shard-frame sends (a broadcast to
+	// p-1 peers counts p-1); MessagesDelivered counts frames acknowledged
+	// by receivers; MessagesDropped counts fault-injection drops plus
+	// frames disposed at teardown (sent but no longer deliverable once the
+	// run stopped). A certified-quiescent (converged) run stops with
+	// nothing pending, so its counters balance exactly: sent = delivered +
+	// dropped + reordered + duplicate; a budget- or timeout-ended run may
+	// leave a small residual of frames cut off mid-teardown.
+	//
+	// The link-filter counters are disjoint from each other and from the
+	// above: MessagesReordered counts frames discarded at the delivery
+	// point of a directed link because a later-sequenced frame from the
+	// same source had already been delivered there (seq strictly below the
+	// newest — they are dropped at the link, never written or applied);
+	// MessagesDuplicate counts frames whose sequence number exactly matched
+	// the newest already delivered on that link; MessagesStale counts
+	// frames that slipped past the link filter and were discarded by the
+	// receiver as superseded (defense in depth — zero in a healthy run).
+	MessagesSent, MessagesDelivered, MessagesStale, MessagesDropped, MessagesReordered, MessagesDuplicate int64
 	// BytesSent / BytesReceived count wire bytes from the coordinator's
-	// perspective (sent to workers / received from workers).
+	// perspective (sent to workers / received from workers). In the star
+	// topology that is the whole run; in the mesh topology it is the
+	// control plane only — the data plane is in LinkBytes.
 	BytesSent, BytesReceived int64
+	// LinkBytes[i][j] counts data-plane wire bytes shipped from worker i to
+	// worker j (through the relay in star, directly in mesh).
+	LinkBytes [][]int64
 	// ProbeRounds counts termination probe rounds the coordinator ran.
 	ProbeRounds int64
 }
@@ -107,6 +178,12 @@ func (c *Config) validate() (n int, err error) {
 	}
 	if c.X0 != nil && len(c.X0) != n {
 		return 0, fmt.Errorf("dist: X0 length %d, want %d", len(c.X0), n)
+	}
+	if err := validateTopology(&c.Topology); err != nil {
+		return 0, err
+	}
+	if err := validateDeltaThreshold(c.DeltaThreshold); err != nil {
+		return 0, err
 	}
 	applyRunDefaults(&c.SweepsBelowTol, &c.MaxUpdatesPerWorker, &c.Timeout)
 	if err := c.Fault.validate(); err != nil {
@@ -128,6 +205,24 @@ func applyRunDefaults(sweepsBelowTol, maxUpdatesPerWorker *int, timeout *time.Du
 	if *timeout <= 0 {
 		*timeout = 2 * time.Minute
 	}
+}
+
+func validateTopology(topology *string) error {
+	switch *topology {
+	case "":
+		*topology = TopologyStar
+	case TopologyStar, TopologyMesh:
+	default:
+		return fmt.Errorf("dist: unknown topology %q (want %q or %q)", *topology, TopologyStar, TopologyMesh)
+	}
+	return nil
+}
+
+func validateDeltaThreshold(d float64) error {
+	if d < 0 || d != d {
+		return fmt.Errorf("dist: DeltaThreshold %v is not a non-negative number", d)
+	}
+	return nil
 }
 
 func (f Fault) validate() error {
@@ -153,10 +248,11 @@ func (c *Config) workerScratch(w int) *operators.Scratch {
 
 // Run executes the full distributed solve in-process over localhost TCP:
 // it listens on an ephemeral port, launches the coordinator, dials one TCP
-// worker per block, and returns the coordinator's result. This is real
+// worker per shard, and returns the coordinator's result. This is real
 // networking end to end — the same frames, fault injection and probe
-// rounds a multi-process deployment uses — just with every endpoint in one
-// process so tests and the engine need no orchestration.
+// rounds a multi-process deployment uses (including the worker-to-worker
+// links of the mesh topology) — just with every endpoint in one process so
+// tests and the engine need no orchestration.
 func Run(cfg Config) (*Result, error) {
 	n, err := cfg.validate()
 	if err != nil {
@@ -177,11 +273,13 @@ func Run(cfg Config) (*Result, error) {
 		res, err := Serve(ServerConfig{
 			Listener:            ln,
 			Workers:             cfg.Workers,
+			Topology:            cfg.Topology,
 			N:                   n,
 			X0:                  cfg.X0,
 			Tol:                 cfg.Tol,
 			SweepsBelowTol:      cfg.SweepsBelowTol,
 			MaxUpdatesPerWorker: cfg.MaxUpdatesPerWorker,
+			DeltaThreshold:      cfg.DeltaThreshold,
 			Fault:               cfg.Fault,
 			Timeout:             cfg.Timeout,
 		})

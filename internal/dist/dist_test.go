@@ -3,6 +3,7 @@ package dist
 import (
 	"math"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,10 +119,16 @@ func TestRunFaultInjection(t *testing.T) {
 		t.Error("drop injection never fired")
 	}
 	if res.MessagesReordered == 0 {
-		t.Error("reorder injection never produced an out-of-order delivery")
+		t.Error("reorder injection never produced a link-filtered out-of-order frame")
 	}
-	if res.MessagesStale == 0 {
-		t.Error("no out-of-order delivery was discarded as superseded")
+	// Superseded frames are discarded at the link, never delivered: the
+	// receiver-side stale counter must stay zero (it is defense in depth).
+	if res.MessagesStale != 0 {
+		t.Errorf("link filter leaked %d superseded frames to receivers", res.MessagesStale)
+	}
+	if got := res.MessagesSent - res.MessagesDelivered - res.MessagesDropped -
+		res.MessagesReordered - res.MessagesDuplicate; got != 0 {
+		t.Errorf("message accounting does not balance: %d frames unaccounted", got)
 	}
 }
 
@@ -190,6 +197,12 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Op: op, Workers: 2, Fault: Fault{MaxDelay: -1}}); err == nil {
 		t.Error("expected error for negative MaxDelay")
 	}
+	if _, err := Run(Config{Op: op, Workers: 2, Topology: "ring"}); err == nil {
+		t.Error("expected error for unknown topology")
+	}
+	if _, err := Run(Config{Op: op, Workers: 2, DeltaThreshold: -1e-9}); err == nil {
+		t.Error("expected error for negative DeltaThreshold")
+	}
 }
 
 // TestServeConnectSplit exercises the exact halves the dist-coordinator /
@@ -249,6 +262,489 @@ func TestQuiescenceStressTCP(t *testing.T) {
 		op, _ := contractingOp(t, 48, 20+uint64(trial))
 		res, err := Run(Config{
 			Op: op, Workers: 6, Tol: tol, MaxUpdatesPerWorker: 1 << 18,
+			Timeout: 60 * time.Second,
+			Fault:   Fault{DropProb: 0.1, ReorderProb: 0.3, Seed: uint64(trial)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		if r := operators.Residual(op, res.X); r > tol*4 {
+			t.Fatalf("trial %d: quiescent with residual %.3e > tol %.1e", trial, r, tol)
+		}
+	}
+}
+
+// TestRunMeshConverges is the basic mesh data-plane check: workers exchange
+// shard frames directly, the coordinator keeps only the control plane, and
+// the per-link byte matrix shows worker-to-worker traffic.
+func TestRunMeshConverges(t *testing.T) {
+	op, xstar := contractingOp(t, 32, 1)
+	tol := 1e-10
+	res, err := Run(Config{
+		Op: op, Workers: 4, Topology: TopologyMesh, Tol: tol, MaxUpdatesPerWorker: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("mesh run did not converge")
+	}
+	if res.Topology != TopologyMesh {
+		t.Errorf("Result.Topology = %q", res.Topology)
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-6 {
+		t.Errorf("error %v too large", e)
+	}
+	if r := operators.Residual(op, res.X); r > tol*4 {
+		t.Errorf("declared quiescent with residual %.3e > tol %.1e", r, tol)
+	}
+	var dataBytes int64
+	for i, row := range res.LinkBytes {
+		for j, b := range row {
+			if i == j && b != 0 {
+				t.Errorf("self-link bytes [%d][%d] = %d", i, j, b)
+			}
+			dataBytes += b
+		}
+	}
+	if dataBytes == 0 {
+		t.Error("no worker-to-worker data-plane bytes recorded")
+	}
+	// The coordinator must be out of the data path: its wire traffic is
+	// rendezvous, probes and finals only, far below the shard traffic.
+	if res.BytesSent > dataBytes {
+		t.Errorf("coordinator shipped %d bytes > data plane %d: mesh did not bypass it", res.BytesSent, dataBytes)
+	}
+}
+
+// TestRunMeshShardedFaultInjection is the acceptance regime: Workers << n
+// (multi-component shards) on the mesh under drop+reorder+delay, with the
+// sender-side injection and link-filter counters balancing exactly.
+func TestRunMeshShardedFaultInjection(t *testing.T) {
+	op, xstar := contractingOp(t, 64, 3)
+	res, err := Run(Config{
+		Op: op, Workers: 8, Topology: TopologyMesh, Tol: 1e-9, MaxUpdatesPerWorker: 1 << 18,
+		Timeout: 60 * time.Second,
+		Fault: Fault{
+			DropProb:    0.3,
+			ReorderProb: 0.5,
+			MaxDelay:    300 * time.Microsecond,
+			Seed:        11,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("faulty mesh run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-5 {
+		t.Errorf("error %v too large", e)
+	}
+	if res.MessagesDropped == 0 {
+		t.Error("drop injection never fired on the mesh")
+	}
+	if res.MessagesReordered == 0 {
+		t.Error("reorder injection never produced a link-filtered frame")
+	}
+	if res.MessagesStale != 0 {
+		t.Errorf("sender-side link filter leaked %d superseded frames", res.MessagesStale)
+	}
+	if got := res.MessagesSent - res.MessagesDelivered - res.MessagesDropped -
+		res.MessagesReordered - res.MessagesDuplicate; got != 0 {
+		t.Errorf("mesh accounting does not balance: %d frames unaccounted", got)
+	}
+}
+
+// TestRunMeshSingleWorker exercises the degenerate mesh (no peers, no
+// links): rendezvous must still complete and the solve still run.
+func TestRunMeshSingleWorker(t *testing.T) {
+	op, xstar := contractingOp(t, 8, 2)
+	res, err := Run(Config{Op: op, Workers: 1, Topology: TopologyMesh, Tol: 1e-12, MaxUpdatesPerWorker: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("single mesh worker did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-9 {
+		t.Errorf("error %v", e)
+	}
+}
+
+// TestDeltaThresholdFraming pins the flexible-communication framing
+// exactly: under a threshold a broadcast ships ONE frame covering the span
+// from the first to the last component that moved by more than the
+// threshold since it was LAST SHIPPED (so sub-threshold creep accumulates
+// until it crosses, and a broadcast is atomic on the sequence stream — a
+// supersession can never keep half of one), an unmoved shard costs zero
+// frames and zero bytes, and a reliable final always carries the whole
+// shard.
+func TestDeltaThresholdFraming(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	type sent struct {
+		flags byte
+		lo    int
+		vals  []float64
+	}
+	frames := make(chan sent, 32)
+	go func() {
+		for {
+			typ, payload, err := readFrame(cli, maxFramePayload)
+			if err != nil {
+				close(frames)
+				return
+			}
+			if typ != msgBlock {
+				continue
+			}
+			cur := cursor{b: payload}
+			cur.u32() // from
+			cur.u64() // seq
+			f := sent{flags: cur.u8()}
+			f.lo = int(cur.u32())
+			f.vals = cur.f64s(int(cur.u32()))
+			frames <- f
+		}
+	}()
+	next := func() sent {
+		select {
+		case f := <-frames:
+			return f
+		case <-time.After(5 * time.Second):
+			t.Fatal("expected a frame, got none")
+			return sent{}
+		}
+	}
+	none := func(context string) {
+		select {
+		case f := <-frames:
+			t.Fatalf("%s: unexpected frame [%d, +%d)", context, f.lo, len(f.vals))
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	expect := func(context string, lo int, vals ...float64) {
+		t.Helper()
+		f := next()
+		if f.lo != lo || len(f.vals) != len(vals) {
+			t.Fatalf("%s: frame [%d, +%d), want [%d, +%d)", context, f.lo, len(f.vals), lo, len(vals))
+		}
+		for i, v := range vals {
+			if f.vals[i] != v {
+				t.Fatalf("%s: frame value [%d] = %v, want %v", context, i, f.vals[i], v)
+			}
+		}
+	}
+
+	ws := &workerState{
+		conn: srv, id: 0, p: 2, n: 8, lo: 0, hi: 8,
+		deltaThreshold: 0.1,
+		lastSent:       make([]float64, 8),
+	}
+
+	// Components 0, 2-3 and 6 moved beyond the threshold (baseline:
+	// lastSent all zero): ONE frame covering [0, 7) goes out, with the
+	// sub-threshold components inside the span riding along; component 7,
+	// outside the span, stays unshipped.
+	if err := ws.broadcast([]float64{1, 0.05, 1, 1, 0.05, 0.05, 1, 0.05}, 0); err != nil {
+		t.Fatal(err)
+	}
+	expect("covering span", 0, 1, 0.05, 1, 1, 0.05, 0.05, 1)
+	none("covering span")
+	if ws.sent != 1 {
+		t.Errorf("sent = %d frames × (p-1), want 1", ws.sent)
+	}
+
+	// Re-broadcasting the identical vector ships nothing at all.
+	if err := ws.broadcast([]float64{1, 0.05, 1, 1, 0.05, 0.05, 1, 0.05}, 0); err != nil {
+		t.Fatal(err)
+	}
+	none("unchanged vector")
+
+	// Sub-threshold creep: component 7 was never shipped (its baseline is
+	// still 0), so a step to 0.08 stays below the threshold, but the next
+	// step to 0.12 crosses the CUMULATIVE move against the last shipped
+	// value and must go out — the accumulation rule that bounds peer
+	// staleness by the threshold on loss-free links.
+	if err := ws.broadcast([]float64{1, 0.05, 1, 1, 0.05, 0.05, 1, 0.08}, 0); err != nil {
+		t.Fatal(err)
+	}
+	none("first creep step")
+	if err := ws.broadcast([]float64{1, 0.05, 1, 1, 0.05, 0.05, 1, 0.12}, 0); err != nil {
+		t.Fatal(err)
+	}
+	expect("second creep step", 7, 0.12)
+	none("second creep step")
+
+	// A reliable final ships the whole shard no matter what moved.
+	if err := ws.broadcast([]float64{1, 0.05, 1, 1, 0.05, 0.05, 1, 0.12}, blockReliable); err != nil {
+		t.Fatal(err)
+	}
+	f := next()
+	if f.flags&blockReliable == 0 || f.lo != 0 || len(f.vals) != 8 {
+		t.Fatalf("reliable final = flags %d [%d, +%d), want the whole reliable shard", f.flags, f.lo, len(f.vals))
+	}
+	none("after final")
+}
+
+// TestSupersededNeverRelayed is the regression test for the stale-block
+// relay bug: a frame superseded on its link (an earlier sequence arriving
+// after a later one was already delivered) must be discarded AT the relay —
+// never written to the link, so the receiver can never apply or re-count
+// it — and counted reordered, disjointly from duplicates.
+func TestSupersededNeverRelayed(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	c := &coordinator{
+		cfg:   ServerConfig{Workers: 2, Topology: TopologyStar, N: 4},
+		links: []*link{nil, {conn: srv, lastSeq: make([]uint64, 2), bytesFrom: make([]int64, 2)}},
+	}
+	frames := make(chan uint64, 16)
+	go func() {
+		for {
+			typ, payload, err := readFrame(cli, maxFramePayload)
+			if err != nil {
+				close(frames)
+				return
+			}
+			if typ != msgBlock {
+				continue
+			}
+			cur := cursor{b: payload}
+			cur.u32() // from
+			frames <- cur.u64()
+		}
+	}()
+	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 0, []float64{1, 2}) }
+
+	c.deliverBlock(1, 0, 2, frame(2)) // newest first
+	c.deliverBlock(1, 0, 1, frame(1)) // superseded: must be discarded here
+	c.deliverBlock(1, 0, 2, frame(2)) // duplicate: must be discarded here
+	c.deliverBlock(1, 0, 3, frame(3)) // fresh: must pass
+
+	if got := <-frames; got != 2 {
+		t.Fatalf("first relayed seq = %d, want 2", got)
+	}
+	if got := <-frames; got != 3 {
+		t.Fatalf("second relayed seq = %d, want 3 (the superseded/duplicate frames leaked)", got)
+	}
+	if got := c.reordered.Load(); got != 1 {
+		t.Errorf("reordered = %d, want 1", got)
+	}
+	if got := c.duplicate.Load(); got != 1 {
+		t.Errorf("duplicate = %d, want 1", got)
+	}
+	if got := c.dropped.Load(); got != 0 {
+		t.Errorf("dropped = %d, want 0 (filter discards are not injection drops)", got)
+	}
+}
+
+// TestSupersededNeverWrittenOnMeshLink is the mesh-side twin: the sending
+// worker's link filter discards superseded and duplicate frames before they
+// touch the wire.
+func TestSupersededNeverWrittenOnMeshLink(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	m := &mesh{id: 0, p: 2, out: []*meshLink{nil, {conn: srv}}}
+	frames := make(chan uint64, 16)
+	go func() {
+		for {
+			typ, payload, err := readFrame(cli, maxFramePayload)
+			if err != nil {
+				close(frames)
+				return
+			}
+			if typ != msgBlock {
+				continue
+			}
+			cur := cursor{b: payload}
+			cur.u32()
+			frames <- cur.u64()
+		}
+	}()
+	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 0, []float64{1}) }
+	l := m.out[1]
+	m.deliver(l, 5, frame(5))
+	m.deliver(l, 4, frame(4)) // superseded
+	m.deliver(l, 5, frame(5)) // duplicate
+	m.deliver(l, 6, frame(6))
+	if got := <-frames; got != 5 {
+		t.Fatalf("first written seq = %d, want 5", got)
+	}
+	if got := <-frames; got != 6 {
+		t.Fatalf("second written seq = %d, want 6 (filtered frames leaked onto the wire)", got)
+	}
+	if m.reordered.Load() != 1 || m.duplicate.Load() != 1 || m.dropped.Load() != 0 {
+		t.Errorf("counters (reordered, duplicate, dropped) = (%d, %d, %d), want (1, 1, 0)",
+			m.reordered.Load(), m.duplicate.Load(), m.dropped.Load())
+	}
+}
+
+// TestSupersededNeverApplied covers the receiver's defense in depth: even
+// if a stale frame slips past every link filter, the worker discards its
+// values (acknowledging the delivery so in-flight drains) instead of
+// overwriting fresher state.
+func TestSupersededNeverApplied(t *testing.T) {
+	ws := &workerState{
+		id: 1, p: 2, n: 4, lo: 2, hi: 4,
+		view:    []float64{0, 0, 0, 0},
+		lastSeq: make([]uint64, 2),
+	}
+	block := func(seq uint64, vals []float64) inFrame {
+		f := buildBlockFrame(0, seq, 0, 0, vals)
+		return inFrame{typ: msgBlock, payload: f[frameHeaderLen:]}
+	}
+	if err := ws.handle(block(2, []float64{7, 7})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.handle(block(1, []float64{3, 3})); err != nil {
+		t.Fatal(err)
+	}
+	if ws.view[0] != 7 || ws.view[1] != 7 {
+		t.Errorf("superseded block was applied: view = %v", ws.view)
+	}
+	if ws.stale != 1 {
+		t.Errorf("stale = %d, want 1", ws.stale)
+	}
+	if ws.delivered != 2 {
+		t.Errorf("delivered = %d, want 2 (stale frames still drain in-flight)", ws.delivered)
+	}
+}
+
+// TestDelayQueueDrain pins the teardown discipline of delayed deliveries:
+// drain cancels what it can, waits out callbacks already firing, and no
+// callback can start after drain returns.
+func TestDelayQueueDrain(t *testing.T) {
+	var q delayQueue
+	var fired atomic.Int64
+	for i := 0; i < 64; i++ {
+		if !q.after(50*time.Millisecond, func() { fired.Add(1) }) {
+			t.Fatal("after refused before drain")
+		}
+	}
+	q.drain()
+	if got := fired.Load(); got != 0 {
+		t.Errorf("%d far-future callbacks ran despite drain", got)
+	}
+	if q.after(time.Microsecond, func() { fired.Add(1) }) {
+		t.Error("after accepted a timer post-drain")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if got := fired.Load(); got != 0 {
+		t.Errorf("post-drain timer fired (%d)", got)
+	}
+
+	// A callback that is already running when drain starts must complete
+	// before drain returns (the write-before-close guarantee).
+	var q2 delayQueue
+	started := make(chan struct{})
+	var finished atomic.Bool
+	q2.after(time.Microsecond, func() {
+		close(started)
+		time.Sleep(10 * time.Millisecond)
+		finished.Store(true)
+	})
+	<-started
+	q2.drain()
+	if !finished.Load() {
+		t.Error("drain returned while a callback was still running")
+	}
+}
+
+// TestDelayedDeliveryTeardown is the race-detector regression for the
+// teardown bug: with injected delays comparable to the whole solve, many
+// relay timers are still pending when the run stops, and teardown must
+// cancel or complete every one before any connection closes. Run under
+// -race (CI does) this fails loudly if a delayed write races conn close.
+func TestDelayedDeliveryTeardown(t *testing.T) {
+	for _, topology := range []string{TopologyStar, TopologyMesh} {
+		t.Run(topology, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				op, _ := contractingOp(t, 16, 30+uint64(trial))
+				res, err := Run(Config{
+					Op: op, Workers: 4, Topology: topology, Tol: 1e-8,
+					MaxUpdatesPerWorker: 1 << 18,
+					Timeout:             60 * time.Second,
+					Fault: Fault{
+						ReorderProb: 0.5,
+						MaxDelay:    3 * time.Millisecond, // >> per-phase compute time
+						Seed:        uint64(100 + trial),
+					},
+				})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !res.Converged {
+					t.Fatalf("trial %d did not converge", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestMeshServeConnectSplit exercises the multi-process halves on the mesh
+// topology: an explicit listener served in one goroutine, workers dialing
+// it separately and then each other.
+func TestMeshServeConnectSplit(t *testing.T) {
+	op, xstar := contractingOp(t, 16, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 3
+	type out struct {
+		res *Result
+		err error
+	}
+	serveCh := make(chan out, 1)
+	go func() {
+		res, err := Serve(ServerConfig{
+			Listener: ln, Workers: p, Topology: TopologyMesh, N: op.Dim(),
+			Tol: 1e-10, MaxUpdatesPerWorker: 1 << 18,
+			Timeout: 30 * time.Second,
+		})
+		serveCh <- out{res, err}
+	}()
+	workerCh := make(chan error, p)
+	for w := 0; w < p; w++ {
+		go func() { workerCh <- Connect(ln.Addr().String(), op, nil) }()
+	}
+	got := <-serveCh
+	for w := 0; w < p; w++ {
+		if err := <-workerCh; err != nil {
+			t.Errorf("worker error: %v", err)
+		}
+	}
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if !got.res.Converged {
+		t.Fatal("split mesh run did not converge")
+	}
+	if e := vec.DistInf(got.res.X, xstar); e > 1e-6 {
+		t.Errorf("error %v", e)
+	}
+}
+
+// TestQuiescenceStressMesh mirrors the TCP stress regression on the mesh
+// data plane: many workers, tiny tolerance, faulty links, and the invariant
+// that a converged run's assembled iterate genuinely meets the tolerance.
+func TestQuiescenceStressMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP stress in -short mode")
+	}
+	tol := 1e-10
+	for trial := 0; trial < 3; trial++ {
+		op, _ := contractingOp(t, 48, 20+uint64(trial))
+		res, err := Run(Config{
+			Op: op, Workers: 6, Topology: TopologyMesh, Tol: tol, MaxUpdatesPerWorker: 1 << 18,
 			Timeout: 60 * time.Second,
 			Fault:   Fault{DropProb: 0.1, ReorderProb: 0.3, Seed: uint64(trial)},
 		})

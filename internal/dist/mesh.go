@@ -1,0 +1,478 @@
+package dist
+
+// The mesh data plane: direct worker-to-worker TCP links over which shard
+// frames travel without passing through the coordinator. Rendezvous runs on
+// the control plane — every worker opens a listener, reports its address to
+// the coordinator, and receives the full peer table back; worker i then
+// dials every peer j != i, so each directed pair (i, j) has a dedicated
+// connection owned by the sender.
+//
+// Because the sender owns the link, fault injection (drop, reorder hold,
+// transit delay) and per-source sequence filtering both run on the sending
+// side: the same decisions the star coordinator's relay takes, drawn from
+// the same per-source RNG stream (seed + source*7919, destinations visited
+// in worker order), so star and mesh runs with identical seeds inject the
+// same per-(frame, destination) faults. A frame that a later-sequenced
+// frame has already overtaken on its link is discarded at the link — never
+// written — and counted reordered (seq below newest) or duplicate (seq
+// equal); discards and drops feed the drained counter the termination
+// probes subtract from in-flight.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// delayQueue tracks time.AfterFunc-scheduled frame deliveries so teardown
+// can cancel every pending timer and wait out callbacks already firing
+// before any connection is closed — a delayed delivery can then never write
+// to a conn that teardown is closing. onDispose, when set, is called once
+// for every scheduled delivery that is cancelled or skipped instead of run,
+// so the owner can account the frame as drained (a cancelled frame was
+// counted sent and will never be delivered).
+type delayQueue struct {
+	mu        sync.Mutex
+	stopped   bool
+	nextID    uint64
+	timers    map[uint64]*time.Timer
+	wg        sync.WaitGroup
+	onDispose func()
+}
+
+func (d *delayQueue) dispose() {
+	if d.onDispose != nil {
+		d.onDispose()
+	}
+}
+
+// after schedules fn to run once after delay; it reports false (and does
+// not schedule) when the queue has already been drained. The callback
+// re-checks the stopped flag, so a timer that drain could not cancel
+// becomes a no-op instead of racing teardown.
+func (d *delayQueue) after(delay time.Duration, fn func()) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return false
+	}
+	if d.timers == nil {
+		d.timers = make(map[uint64]*time.Timer)
+	}
+	d.wg.Add(1)
+	id := d.nextID
+	d.nextID++
+	// The callback acquires mu before looking itself up, and we hold mu
+	// until the map entry exists, so even an immediately firing timer
+	// observes its own registration.
+	d.timers[id] = time.AfterFunc(delay, func() {
+		defer d.wg.Done()
+		d.mu.Lock()
+		_, live := d.timers[id]
+		delete(d.timers, id)
+		stopped := d.stopped
+		d.mu.Unlock()
+		if live && !stopped {
+			fn()
+		} else {
+			d.dispose()
+		}
+	})
+	return true
+}
+
+// drain stops the queue: no new timers are accepted, every cancelable timer
+// is canceled, and drain blocks until callbacks that were already firing
+// have returned.
+func (d *delayQueue) drain() {
+	d.mu.Lock()
+	d.stopped = true
+	cancelled := 0
+	for id, t := range d.timers {
+		if t.Stop() {
+			delete(d.timers, id)
+			d.wg.Done()
+			cancelled++
+		}
+	}
+	d.mu.Unlock()
+	for i := 0; i < cancelled; i++ {
+		d.dispose()
+	}
+	d.wg.Wait()
+}
+
+// meshLink is one directed worker-to-worker connection, owned by the
+// sending worker. Writes are whole prebuilt frames under mu; lastSeq is the
+// newest sequence number delivered on this link (only the owner's frames
+// travel on it, so one scalar suffices).
+//
+// pending is the link's one-frame outbox: the compute goroutine publishes
+// each undelayed frame there and the sender goroutine swaps it out to
+// write. Publishing over a frame the sender has not yet taken supersedes it
+// before it ever touches the wire — newest-wins, the same discipline the
+// link filter applies after delays, so a compute loop that outruns the
+// socket sheds exactly the frames whose values are already stale instead of
+// queueing them.
+type meshLink struct {
+	conn    net.Conn
+	mu      sync.Mutex
+	lastSeq uint64
+	bytes   atomic.Int64
+	pending atomic.Pointer[queuedFrame]
+}
+
+// queuedFrame is one undelayed frame awaiting the worker's sender
+// goroutine.
+type queuedFrame struct {
+	seq   uint64
+	frame []byte
+}
+
+// mesh is one worker's half of the data plane: p-1 outbound links it owns,
+// p-1 inbound connections it accepted (read by reader goroutines into the
+// worker's inbox), and the sender-side fault/filter state.
+type mesh struct {
+	id, p int
+	out   []*meshLink // indexed by destination worker; nil at id
+	in    []net.Conn  // accepted inbound connections
+
+	// rng draws the fault decisions; it is touched only by the compute
+	// goroutine (inside send), preserving the per-source decision order the
+	// star relay uses.
+	fault Fault
+	rng   *rand.Rand
+	hold  time.Duration
+
+	delays    delayQueue
+	notify    chan struct{} // doorbell: some link has a pending frame
+	senders   sync.WaitGroup
+	flushOnce sync.Once
+
+	// dropped counts injection drops, reordered/duplicate the link-filter
+	// discards; all three are drained messages for the termination
+	// protocol. They are atomics because delayed deliveries and sender
+	// goroutines bump them while the compute goroutine composes status
+	// frames.
+	dropped, reordered, duplicate atomic.Int64
+}
+
+// linkRNGSeed derives the fault RNG seed for frames originating at worker
+// from — one stream per source, shared by the star relay and the mesh
+// sender so the two topologies draw identical decision sequences.
+func linkRNGSeed(seed uint64, from int) int64 {
+	return int64(seed) + int64(from)*7919
+}
+
+// reorderHoldFor is the extra delay a reorder-injected frame is held for:
+// long enough that frames sent after it on the same link overtake it.
+func reorderHoldFor(f Fault) time.Duration {
+	if hold := 4 * f.MaxDelay; hold > 0 {
+		return hold
+	}
+	return defaultReorderHold
+}
+
+// decide draws the injection decision for one (frame, destination) pair in
+// the canonical order — drop draw, transit-delay draw, reorder-hold draw,
+// with reliable frames exempt from drop and hold. This order IS the
+// cross-topology comparability contract: the star relay and the mesh
+// sender both call this one function with the same per-source RNG streams,
+// so identical seeds inject identical fault sequences on either data
+// plane.
+func (f Fault) decide(rng *rand.Rand, hold time.Duration, reliable bool) (drop bool, delay time.Duration) {
+	if !reliable && f.DropProb > 0 && rng.Float64() < f.DropProb {
+		return true, 0
+	}
+	if f.MaxDelay > 0 {
+		delay = time.Duration(rng.Int63n(int64(f.MaxDelay) + 1))
+	}
+	if !reliable && f.ReorderProb > 0 && rng.Float64() < f.ReorderProb {
+		delay += hold
+	}
+	return false, delay
+}
+
+// dialMesh establishes the full data plane for one worker: listen (already
+// bound by the caller), report nothing — the peer table is already known —
+// dial every peer, and accept every peer's dial. It returns only when all
+// 2(p-1) connections exist, so no frame can ever race a missing link.
+func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline time.Time) (*mesh, error) {
+	m := &mesh{
+		id:    id,
+		p:     p,
+		out:   make([]*meshLink, p),
+		fault: fault,
+		rng:   rand.New(rand.NewSource(linkRNGSeed(fault.Seed, id))),
+		hold:  reorderHoldFor(fault),
+	}
+	// A delayed frame cancelled or skipped at teardown was counted sent and
+	// can never be delivered: account it as drained so the transport
+	// counters stay as close to balanced as a torn-down run allows.
+	m.delays.onDispose = func() { m.dropped.Add(1) }
+
+	// Accept the p-1 inbound connections concurrently with our own dials
+	// (every worker dials everyone else, so serial accept+dial would
+	// deadlock), and handle every connection's handshake on its own
+	// goroutine: with p workers each opening p-1 links at once, any
+	// blocking step in the accept loop chains scheduling stalls across the
+	// whole rendezvous.
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, p-1)
+	go func() {
+		for i := 0; i < p-1; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{nil, err}
+				return
+			}
+			go func() {
+				conn.SetDeadline(deadline)
+				typ, payload, err := readFrame(conn, maxFramePayload)
+				if err != nil || typ != msgMeshHello {
+					conn.Close()
+					acceptCh <- accepted{nil, fmt.Errorf("dist: worker %d mesh accept handshake: %v", id, err)}
+					return
+				}
+				cur := cursor{b: payload}
+				from := int(cur.u32())
+				if cur.err != nil || from < 0 || from >= p || from == id {
+					conn.Close()
+					acceptCh <- accepted{nil, fmt.Errorf("dist: worker %d mesh accept from invalid peer %d", id, from)}
+					return
+				}
+				acceptCh <- accepted{conn, nil}
+			}()
+		}
+	}()
+
+	type dialed struct {
+		q    int
+		link *meshLink
+		err  error
+	}
+	dialCh := make(chan dialed, p-1)
+	for q := 0; q < p; q++ {
+		if q == id {
+			continue
+		}
+		go func(q int) {
+			conn, err := net.DialTimeout("tcp", peers[q], time.Until(deadline))
+			if err != nil {
+				dialCh <- dialed{q, nil, fmt.Errorf("dist: worker %d dial peer %d (%s): %w", id, q, peers[q], err)}
+				return
+			}
+			conn.SetDeadline(deadline)
+			if _, err := conn.Write(buildFrame(msgMeshHello, appendU32(nil, uint32(id)))); err != nil {
+				conn.Close()
+				dialCh <- dialed{q, nil, fmt.Errorf("dist: worker %d mesh hello to peer %d: %w", id, q, err)}
+				return
+			}
+			dialCh <- dialed{q, &meshLink{conn: conn}, nil}
+		}(q)
+	}
+
+	var firstErr error
+	for got := 0; got < p-1; got++ {
+		d := <-dialCh
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		m.out[d.q] = d.link
+	}
+	for got := 0; len(m.in) < p-1 && firstErr == nil; got++ {
+		a := <-acceptCh
+		if a.err != nil {
+			firstErr = a.err
+			break
+		}
+		m.in = append(m.in, a.conn)
+	}
+	ln.Close() // every inbound connection exists (or the rendezvous failed)
+	if firstErr != nil {
+		m.closeOut()
+		for _, c := range m.in {
+			c.Close()
+		}
+		return nil, firstErr
+	}
+
+	// One sender goroutine per worker drains the link outboxes, so the
+	// compute goroutine never waits on a socket and a burst of fan-out
+	// frames is written in one scheduling quantum — the same batching the
+	// star coordinator's relay gets from its per-link reader goroutine.
+	// The store-then-ring / receive-then-scan pairing makes missed
+	// wakeups impossible.
+	m.notify = make(chan struct{}, 1)
+	m.senders.Add(1)
+	go func() {
+		defer m.senders.Done()
+		for range m.notify {
+			for _, l := range m.out {
+				if l == nil {
+					continue
+				}
+				if qf := l.pending.Swap(nil); qf != nil {
+					m.deliver(l, qf.seq, qf.frame)
+				}
+			}
+		}
+	}()
+	return m, nil
+}
+
+// send fans one prebuilt shard frame out to every peer, drawing the fault
+// decisions in destination order from the per-source RNG. It runs on the
+// compute goroutine; only delayed deliveries escape to timer callbacks.
+func (m *mesh) send(seq uint64, frame []byte, reliable bool) {
+	for q := 0; q < m.p; q++ {
+		if q == m.id {
+			continue
+		}
+		l := m.out[q]
+		drop, delay := m.fault.decide(m.rng, m.hold, reliable)
+		if drop {
+			m.dropped.Add(1)
+			continue
+		}
+		if delay > 0 {
+			if !m.delays.after(delay, func() { m.deliver(l, seq, frame) }) {
+				// Teardown already began: the run is stopping, no probe
+				// round will look again, but the frame was counted sent —
+				// account the disposal.
+				m.dropped.Add(1)
+			}
+			continue
+		}
+		if reliable {
+			// Reliable finals are rare and must not be lost to queue
+			// overflow: write them directly (the link mutex serializes
+			// with the sender goroutine, and any queued lower-sequence
+			// frame the final overtakes is then link-filtered).
+			m.deliver(l, seq, frame)
+			continue
+		}
+		if prev := l.pending.Swap(&queuedFrame{seq, frame}); prev != nil {
+			// The sender had not yet taken the previous frame: it is
+			// superseded before ever touching the wire.
+			m.reordered.Add(1)
+		}
+		select {
+		case m.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// deliver writes one frame to a link unless a later-sequenced frame already
+// went out on it — the sender-side sequence filter. A superseded or
+// duplicate frame is discarded here, never written, so the receiver cannot
+// double-count it and the bandwidth is never spent.
+func (m *mesh) deliver(l *meshLink, seq uint64, frame []byte) {
+	l.mu.Lock()
+	if seq <= l.lastSeq {
+		newest := l.lastSeq
+		l.mu.Unlock()
+		if seq < newest {
+			m.reordered.Add(1)
+		} else {
+			m.duplicate.Add(1)
+		}
+		return
+	}
+	l.lastSeq = seq
+	_, err := l.conn.Write(frame)
+	l.mu.Unlock()
+	if err == nil {
+		l.bytes.Add(int64(len(frame)))
+		return
+	}
+	// A failed mesh write is a lost frame. Peers legitimately close their
+	// sockets once the coordinator stops them — which can land before our
+	// own stop — so the loss is accounted as a drop (keeping the in-flight
+	// count drainable) rather than surfaced as an error.
+	m.dropped.Add(1)
+}
+
+// drained is the total number of frames this sender disposed of without
+// delivering: injection drops, link-filtered reordered frames and
+// duplicates. The termination probes subtract it from in-flight.
+func (m *mesh) drained() uint64 {
+	return uint64(m.dropped.Load()) + uint64(m.reordered.Load()) + uint64(m.duplicate.Load())
+}
+
+// flush quiesces the outbound side: cancel pending delayed sends (waiting
+// out callbacks already firing), then let every sender goroutine finish its
+// queue and exit. After flush the drain counters and per-link byte totals
+// are final. It is safe to call more than once; the compute goroutine must
+// have stopped sending first.
+func (m *mesh) flush() {
+	m.flushOnce.Do(func() {
+		m.delays.drain()
+		if m.notify != nil {
+			close(m.notify)
+		}
+		m.senders.Wait()
+		// The run is over; any frame still sitting in an outbox is
+		// discarded (and accounted, keeping sent = delivered + drained
+		// exact) rather than written to peers that are tearing down too.
+		for _, l := range m.out {
+			if l != nil && l.pending.Swap(nil) != nil {
+				m.dropped.Add(1)
+			}
+		}
+	})
+}
+
+// shutdown flushes the outbound side and only then closes every connection
+// — the ordering that keeps delayed and queued deliveries from writing to
+// closing conns.
+func (m *mesh) shutdown() {
+	m.flush()
+	m.closeOut()
+	for _, c := range m.in {
+		c.Close()
+	}
+}
+
+func (m *mesh) closeOut() {
+	for _, l := range m.out {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+}
+
+// linkBytes returns the per-destination data-plane byte counters (index =
+// destination worker; zero at the sender's own slot).
+func (m *mesh) linkBytes() []uint64 {
+	out := make([]uint64, m.p)
+	for q, l := range m.out {
+		if l != nil {
+			out[q] = uint64(l.bytes.Load())
+		}
+	}
+	return out
+}
+
+// meshListener binds the listener a worker will accept peer connections on.
+// It listens on the same interface the worker used to reach the coordinator
+// so the advertised address is routable for every peer in a multi-process
+// deployment.
+func meshListener(coordConn net.Conn) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(coordConn.LocalAddr().String())
+	if err != nil {
+		return nil, fmt.Errorf("dist: mesh listener address: %w", err)
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("dist: mesh listener: %w", err)
+	}
+	return ln, nil
+}

@@ -2,21 +2,44 @@ package dist
 
 // The wire format: length-prefixed little-endian binary frames over TCP.
 //
-//	frame   := u32 length | u8 type | payload           (length counts type + payload)
-//	hello   := u32 protocolVersion
-//	welcome := u32 id | u32 workers | u32 n | u32 lo | u32 hi |
-//	           f64 tol | u32 sweepsBelowTol | u32 maxUpdates | f64×n x0
-//	block   := u32 from | u64 seq | u8 flags | u32 lo | u32 count | f64×count
-//	probe   := u64 probeID
-//	status  := u64 probeID | u8 flags | u64 epoch | u64 sent | u64 delivered
-//	stop    := (empty)
-//	final   := u32 lo | u32 count | f64×count | u32 updates |
-//	           u64 sent | u64 delivered | u64 stale
+//	frame    := u32 length | u8 type | payload          (length counts type + payload)
+//	hello    := u32 protocolVersion
+//	welcome  := u32 id | u32 workers | u32 n | u32 lo | u32 hi |
+//	            f64 tol | u32 sweepsBelowTol | u32 maxUpdates |
+//	            u8 topology | f64 deltaThreshold | u64 timeoutNs |
+//	            f64 dropProb | f64 reorderProb | u64 maxDelayNs | u64 faultSeed |
+//	            f64×n x0
+//	block    := u32 from | u64 seq | u8 flags | u32 lo | u32 count | f64×count
+//	meshaddr := str addr                                (worker → coordinator, mesh)
+//	peers    := u32 workers | workers × str addr        (coordinator → workers, mesh)
+//	meshhello:= u32 from                                (dialing worker → peer, mesh)
+//	probe    := u64 probeID
+//	status   := u64 probeID | u8 flags | u64 epoch | u64 sent | u64 delivered |
+//	            u64 drained
+//	stop     := (empty)
+//	final    := u32 lo | u32 count | f64×count | u32 updates |
+//	            u64 sent | u64 delivered | u64 stale |
+//	            u64 dropped | u64 reordered | u64 duplicate |
+//	            u32 workers | workers × u64 linkBytes
+//	str      := u32 len | len × u8
+//
+// Protocol v2 delta (v1 was the star-only format of PR 3): the welcome
+// carries the topology, the flexible-communication delta threshold, the run
+// timeout and the fault-injection config (mesh workers inject faults on
+// their own outbound links, so the knobs must reach them); meshaddr, peers
+// and meshhello exist only on the mesh rendezvous path; the status gains
+// the worker-side drained counter (frames a sender discarded — injection
+// drops plus link-filtered superseded/duplicate frames — which the
+// termination probe must subtract from in-flight); the final gains the
+// sender-side drop/reorder/duplicate counters and the per-destination
+// data-plane byte counters behind Result.LinkBytes.
 //
 // block.flags bit 0 marks a reliable frame (a worker's final re-broadcast):
-// the coordinator's fault injection never drops or reorder-holds it, the
-// TCP analogue of the in-process transport's sendReliable. status.flags
-// bit 0 is passive, bit 1 is done (update budget exhausted).
+// fault injection never drops or reorder-holds it, the TCP analogue of the
+// in-process transport's sendReliable. A block frame may carry any
+// [lo, lo+count) slice of the sender's shard — under a delta threshold only
+// the runs of components that moved by more than the threshold are shipped.
+// status.flags bit 0 is passive, bit 1 is done (update budget exhausted).
 
 import (
 	"encoding/binary"
@@ -25,7 +48,7 @@ import (
 	"math"
 )
 
-const protocolVersion = 1
+const protocolVersion = 2
 
 const (
 	msgHello byte = iota + 1
@@ -35,6 +58,14 @@ const (
 	msgStatus
 	msgStop
 	msgFinal
+	msgMeshAddr
+	msgPeers
+	msgMeshHello
+
+	// msgConnLost is an internal sentinel a worker's control-connection
+	// reader enqueues when the coordinator link dies; it never crosses the
+	// wire.
+	msgConnLost byte = 255
 )
 
 const (
@@ -42,9 +73,12 @@ const (
 	statusPassive  = 1 << 0
 	statusDone     = 1 << 1
 	frameHeaderLen = 5 // u32 length + u8 type
+
+	topologyStarWire byte = 0
+	topologyMeshWire byte = 1
 )
 
-// appendU32 .. appendF64s build payloads; the cursor type consumes them.
+// appendU32 .. appendStr build payloads; the cursor type consumes them.
 
 func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
@@ -56,6 +90,10 @@ func appendF64s(b []byte, vs []float64) []byte {
 		b = appendF64(b, v)
 	}
 	return b
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
 }
 
 // cursor decodes a payload sequentially; the first short read poisons it so
@@ -116,6 +154,29 @@ func (c *cursor) f64s(n int) []float64 {
 	return vs
 }
 
+func (c *cursor) u64s(n int) []uint64 {
+	raw := c.take(8 * n)
+	if raw == nil {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return vs
+}
+
+func (c *cursor) str() string {
+	n := int(c.u32())
+	if c.err != nil || n > len(c.b) {
+		if c.err == nil {
+			c.err = io.ErrUnexpectedEOF
+		}
+		return ""
+	}
+	return string(c.take(n))
+}
+
 // buildFrame assembles a complete frame (header + payload) in one buffer so
 // a single Write puts it on the wire without interleaving.
 func buildFrame(typ byte, payload []byte) []byte {
@@ -124,6 +185,18 @@ func buildFrame(typ byte, payload []byte) []byte {
 	f[4] = typ
 	copy(f[frameHeaderLen:], payload)
 	return f
+}
+
+// buildBlockFrame assembles one data-plane frame carrying the [lo, lo+count)
+// slice vals of worker from's shard.
+func buildBlockFrame(from int, seq uint64, flags byte, lo int, vals []float64) []byte {
+	b := appendU32(nil, uint32(from))
+	b = appendU64(b, seq)
+	b = append(b, flags)
+	b = appendU32(b, uint32(lo))
+	b = appendU32(b, uint32(len(vals)))
+	b = appendF64s(b, vals)
+	return buildFrame(msgBlock, b)
 }
 
 // readFrame reads one frame, enforcing maxPayload as a sanity bound against

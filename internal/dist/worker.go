@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"time"
 
@@ -26,9 +27,9 @@ type inFrame struct {
 }
 
 // Connect dials the coordinator at addr and runs one worker to completion:
-// handshake, compute/exchange loop, final-block upload. It returns when
-// the coordinator stops the run (nil) or on a protocol/network error. scr
-// may be nil.
+// handshake, topology rendezvous, compute/exchange loop, final-shard
+// upload. It returns when the coordinator stops the run (nil) or on a
+// protocol/network error. scr may be nil.
 func Connect(addr string, op operators.Operator, scr *operators.Scratch) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -40,19 +41,25 @@ func Connect(addr string, op operators.Operator, scr *operators.Scratch) error {
 
 // workerState is the per-worker protocol state. It lives entirely on the
 // compute goroutine, so status replies are self-consistent snapshots by
-// construction — the property the coordinator's probe rounds rely on.
+// construction — the property the coordinator's probe rounds rely on. The
+// only mesh-side exceptions are the drained counters, which delayed-send
+// timers bump through atomics.
 type workerState struct {
 	conn            net.Conn
 	id, p, n        int
 	lo, hi          int
 	tol             float64
 	sweeps, maxUpds int
+	deltaThreshold  float64
 
-	view    []float64
-	out     []float64
-	lastSeq []uint64 // per source: highest applied block sequence
-	op      operators.Operator
-	scr     *operators.Scratch
+	view     []float64
+	out      []float64
+	lastSent []float64 // per own component: value last shipped to peers
+	lastSeq  []uint64  // per source: highest applied block sequence
+	op       operators.Operator
+	scr      *operators.Scratch
+
+	mesh *mesh // nil in the star topology
 
 	passive, done, stopped bool
 	epoch                  uint64
@@ -89,6 +96,15 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 	}
 	ws.sweeps = int(cur.u32())
 	ws.maxUpds = int(cur.u32())
+	topology := cur.u8()
+	ws.deltaThreshold = cur.f64()
+	timeout := time.Duration(cur.u64())
+	fault := Fault{
+		DropProb:    cur.f64(),
+		ReorderProb: cur.f64(),
+		MaxDelay:    time.Duration(cur.u64()),
+		Seed:        cur.u64(),
+	}
 	if cur.err == nil {
 		ws.view = cur.f64s(ws.n)
 	}
@@ -99,18 +115,81 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 		return fmt.Errorf("dist: worker operator dim %d, coordinator says %d", op.Dim(), ws.n)
 	}
 	ws.out = make([]float64, ws.hi-ws.lo)
+	ws.lastSent = append([]float64(nil), ws.view[ws.lo:ws.hi]...)
 	ws.lastSeq = make([]uint64, ws.p)
 
-	// Reader goroutine: decode frames into the inbox; the quit channel
-	// unblocks it if the compute loop returns while it holds a frame.
+	// Mesh rendezvous: open a listener on the interface that reaches the
+	// coordinator, advertise it, receive the full peer table, and establish
+	// every worker-to-worker link before the first compute phase.
+	if topology == topologyMeshWire {
+		ln, err := meshListener(conn)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(buildFrame(msgMeshAddr, appendStr(nil, ln.Addr().String()))); err != nil {
+			ln.Close()
+			return fmt.Errorf("dist: worker %d mesh address: %w", ws.id, err)
+		}
+		typ, payload, err := readFrame(conn, maxFramePayload)
+		if err != nil || typ != msgPeers {
+			ln.Close()
+			return fmt.Errorf("dist: worker %d peer table: %v", ws.id, err)
+		}
+		cur := cursor{b: payload}
+		count := int(cur.u32())
+		if cur.err != nil || count != ws.p {
+			ln.Close()
+			return fmt.Errorf("dist: worker %d peer table count %d, want %d", ws.id, count, ws.p)
+		}
+		peers := make([]string, count)
+		for i := range peers {
+			peers[i] = cur.str()
+		}
+		if cur.err != nil {
+			ln.Close()
+			return fmt.Errorf("dist: worker %d peer table decode: %w", ws.id, cur.err)
+		}
+		// Mesh sockets outlive the coordinator Timeout by design (the
+		// stop/final exchange), but must never outlive the run unboundedly.
+		meshDeadline := time.Now().Add(2 * timeout)
+		if timeout <= 0 {
+			meshDeadline = time.Now().Add(doneWait)
+		}
+		m, err := dialMesh(ws.id, ws.p, ln, peers, fault, meshDeadline)
+		if err != nil {
+			return err
+		}
+		ws.mesh = m
+		defer m.shutdown()
+	}
+
+	// Reader goroutines decode frames into the shared inbox; the quit
+	// channel unblocks them if the compute loop returns while they hold a
+	// frame. The control reader reports a lost coordinator with an
+	// in-band sentinel (multiple readers share the inbox, so nobody may
+	// close it); mesh readers go quiet on error — a peer closing its
+	// sockets after stop is normal teardown, and a genuinely dead peer
+	// surfaces as missing traffic, which the coordinator's Timeout bounds.
 	inbox := make(chan inFrame, 1024)
 	quit := make(chan struct{})
 	defer close(quit)
-	go func() {
+	readInto := func(c net.Conn, ctrl bool) {
 		for {
-			typ, payload, err := readFrame(conn, maxFramePayload)
+			typ, payload, err := readFrame(c, maxFramePayload)
 			if err != nil {
-				close(inbox)
+				if ctrl {
+					select {
+					case inbox <- inFrame{typ: msgConnLost, payload: []byte(err.Error())}:
+					case <-quit:
+					}
+				}
+				return
+			}
+			if !ctrl && typ != msgBlock {
+				select {
+				case inbox <- inFrame{typ: msgConnLost, payload: []byte(fmt.Sprintf("mesh peer sent frame type %d", typ))}:
+				case <-quit:
+				}
 				return
 			}
 			select {
@@ -119,13 +198,19 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 				return
 			}
 		}
-	}()
+	}
+	go readInto(conn, true)
+	if ws.mesh != nil {
+		for _, mc := range ws.mesh.in {
+			go readInto(mc, false)
+		}
+	}
 
 	return ws.loop(inbox)
 }
 
 // blockDelta is the worker's local convergence measure: the max displacement
-// |F_c(view) - view_c| over its own block, evaluated on its current view.
+// |F_c(view) - view_c| over its own shard, evaluated on its current view.
 func (ws *workerState) blockDelta() float64 {
 	d := 0.0
 	for c := ws.lo; c < ws.hi; c++ {
@@ -158,12 +243,13 @@ func (ws *workerState) handle(f inFrame) error {
 			return fmt.Errorf("dist: worker %d: bad block frame", ws.id)
 		}
 		if seq <= ws.lastSeq[from] {
-			// Out-of-order delivery of a superseded block (the label
-			// discipline for out-of-order messages): a fresher block from
-			// this source was already applied — possibly its reliable
-			// final — so the stale values are discarded. The delivery is
-			// still acknowledged to drain the in-flight count; a discarded
-			// block cannot reactivate anyone, so no epoch bump is needed.
+			// Defense in depth: the link filter already discards superseded
+			// and duplicate frames at the delivery point, so a frame older
+			// than one already applied should never reach us — but if one
+			// does (the label discipline for out-of-order messages), the
+			// stale values are discarded. The delivery is still acknowledged
+			// to drain the in-flight count; a discarded block cannot
+			// reactivate anyone, so no epoch bump is needed.
 			ws.delivered++
 			ws.stale++
 			return nil
@@ -174,7 +260,7 @@ func (ws *workerState) handle(f inFrame) error {
 		// too — they cannot compute, but staying observably passive while
 		// absorbing data they can no longer verify would let the
 		// coordinator certify a false quiescence; recheck() re-passivates
-		// them only if the new data left their block converged.
+		// them only if the new data left their shard converged.
 		if ws.passive {
 			ws.passive = false
 			ws.epoch++
@@ -194,16 +280,23 @@ func (ws *workerState) handle(f inFrame) error {
 		if ws.done {
 			flags |= statusDone
 		}
+		var drained uint64
+		if ws.mesh != nil {
+			drained = ws.mesh.drained()
+		}
 		st := appendU64(nil, probeID)
 		st = append(st, flags)
 		st = appendU64(st, ws.epoch)
 		st = appendU64(st, ws.sent)
 		st = appendU64(st, ws.delivered)
+		st = appendU64(st, drained)
 		if _, err := ws.conn.Write(buildFrame(msgStatus, st)); err != nil {
 			return fmt.Errorf("dist: worker %d status: %w", ws.id, err)
 		}
 	case msgStop:
 		ws.stopped = true
+	case msgConnLost:
+		return fmt.Errorf("dist: worker %d: connection lost: %s", ws.id, f.payload)
 	default:
 		return fmt.Errorf("dist: worker %d: unexpected frame type %d", ws.id, f.typ)
 	}
@@ -212,7 +305,7 @@ func (ws *workerState) handle(f inFrame) error {
 
 // recheck re-evaluates local convergence after a reactivating block and
 // re-passivates (with the epoch bumps the double collect watches) when the
-// fresh data left the block converged. A done worker that stays active here
+// fresh data left the shard converged. A done worker that stays active here
 // can never be part of a certified quiescence — it absorbed data it has no
 // budget left to verify, so the run ends by budget exhaustion instead of a
 // false Converged.
@@ -230,10 +323,7 @@ func (ws *workerState) recheck() {
 func (ws *workerState) drain(inbox chan inFrame) error {
 	for {
 		select {
-		case f, ok := <-inbox:
-			if !ok {
-				return fmt.Errorf("dist: worker %d: connection lost", ws.id)
-			}
+		case f := <-inbox:
 			if err := ws.handle(f); err != nil {
 				return err
 			}
@@ -243,20 +333,57 @@ func (ws *workerState) drain(inbox chan inFrame) error {
 	}
 }
 
-// broadcast ships this worker's block to all peers via the coordinator and
-// accounts its fan-out share of the in-flight count.
+// broadcast ships this worker's shard values to all peers and accounts the
+// fan-out share of the in-flight count. Under a delta threshold a
+// non-reliable broadcast is flexible communication on the wire: it ships
+// ONE frame covering the span from the first to the last component that
+// moved by more than the threshold since it was last shipped (sub-
+// threshold components inside the span ride along), and ships nothing when
+// nothing moved. One frame per broadcast makes each broadcast atomic on
+// the sequence stream: a newest-wins outbox swap or an out-of-order
+// discard disposes of whole broadcasts, never of half of one. A disposed
+// broadcast is the same loss class as an injection drop — its components
+// stay stale at the receiver until they move beyond the threshold again or
+// the reliable final (always the whole shard) restores exactness.
 func (ws *workerState) broadcast(vals []float64, flags byte) error {
 	if ws.p <= 1 {
 		return nil
 	}
+	if flags&blockReliable == 0 && ws.deltaThreshold > 0 {
+		first, last := -1, -1
+		for i, v := range vals {
+			if math.Abs(v-ws.lastSent[i]) > ws.deltaThreshold {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		if first < 0 {
+			return nil // nothing moved: flexible communication skips the round
+		}
+		if err := ws.sendSlice(ws.lo+first, vals[first:last+1], flags); err != nil {
+			return err
+		}
+		copy(ws.lastSent[first:last+1], vals[first:last+1])
+		return nil
+	}
+	if err := ws.sendSlice(ws.lo, vals, flags); err != nil {
+		return err
+	}
+	copy(ws.lastSent, vals)
+	return nil
+}
+
+// sendSlice ships one [lo, lo+len(vals)) slice of the shard to every peer —
+// directly over the mesh links (sender-side fault injection and sequence
+// filtering) or through the coordinator's relay in the star topology.
+func (ws *workerState) sendSlice(lo int, vals []float64, flags byte) error {
 	ws.seq++
-	b := appendU32(nil, uint32(ws.id))
-	b = appendU64(b, ws.seq)
-	b = append(b, flags)
-	b = appendU32(b, uint32(ws.lo))
-	b = appendU32(b, uint32(len(vals)))
-	b = appendF64s(b, vals)
-	if _, err := ws.conn.Write(buildFrame(msgBlock, b)); err != nil {
+	frame := buildBlockFrame(ws.id, ws.seq, flags, lo, vals)
+	if ws.mesh != nil {
+		ws.mesh.send(ws.seq, frame, flags&blockReliable != 0)
+	} else if _, err := ws.conn.Write(frame); err != nil {
 		return fmt.Errorf("dist: worker %d broadcast: %w", ws.id, err)
 	}
 	ws.sent += uint64(ws.p - 1)
@@ -279,10 +406,7 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 			// or re-passivate (both paths bump the epoch, invalidating any
 			// probe round in progress).
 			select {
-			case f, ok := <-inbox:
-				if !ok {
-					return fmt.Errorf("dist: worker %d: connection lost", ws.id)
-				}
+			case f := <-inbox:
 				if err := ws.handle(f); err != nil {
 					return err
 				}
@@ -320,8 +444,8 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 			}
 			if streak >= ws.sweeps {
 				// Reliable final broadcast (never dropped or reorder-held
-				// by the coordinator), then go passive — unless data that
-				// arrived meanwhile already broke local convergence.
+				// by the fault injection), then go passive — unless data
+				// that arrived meanwhile already broke local convergence.
 				if err := ws.broadcast(ws.view[ws.lo:ws.hi], blockReliable); err != nil {
 					return err
 				}
@@ -343,7 +467,7 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 
 	// Budget exhausted (or stop observed): keep serving probes and
 	// absorbing blocks until the coordinator stops the run, then upload
-	// the final block.
+	// the final shard.
 	if !ws.stopped {
 		ws.done = true
 		deadline := time.Now().Add(doneWait)
@@ -352,10 +476,7 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 				return fmt.Errorf("dist: worker %d: no stop from coordinator", ws.id)
 			}
 			select {
-			case f, ok := <-inbox:
-				if !ok {
-					return fmt.Errorf("dist: worker %d: connection lost", ws.id)
-				}
+			case f := <-inbox:
 				if err := ws.handle(f); err != nil {
 					return err
 				}
@@ -369,6 +490,21 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 		}
 	}
 
+	// The run is over. Flush the data plane first — cancel pending delayed
+	// sends, wait out callbacks already firing, and let the link senders
+	// empty their queues — so nothing can write after teardown proceeds and
+	// the drain counters are final, then upload the authoritative shard.
+	if ws.mesh != nil {
+		ws.mesh.flush()
+	}
+	var dropped, reordered, duplicate uint64
+	var linkBytes []uint64
+	if ws.mesh != nil {
+		dropped = uint64(ws.mesh.dropped.Load())
+		reordered = uint64(ws.mesh.reordered.Load())
+		duplicate = uint64(ws.mesh.duplicate.Load())
+		linkBytes = ws.mesh.linkBytes()
+	}
 	fin := appendU32(nil, uint32(ws.lo))
 	fin = appendU32(fin, uint32(ws.hi-ws.lo))
 	fin = appendF64s(fin, ws.view[ws.lo:ws.hi])
@@ -376,8 +512,35 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 	fin = appendU64(fin, ws.sent)
 	fin = appendU64(fin, ws.delivered)
 	fin = appendU64(fin, ws.stale)
+	fin = appendU64(fin, dropped)
+	fin = appendU64(fin, reordered)
+	fin = appendU64(fin, duplicate)
+	fin = appendU32(fin, uint32(len(linkBytes)))
+	for _, b := range linkBytes {
+		fin = appendU64(fin, b)
+	}
 	if _, err := ws.conn.Write(buildFrame(msgFinal, fin)); err != nil {
 		return fmt.Errorf("dist: worker %d final: %w", ws.id, err)
+	}
+
+	// Hold the mesh open until the coordinator confirms the run is over by
+	// closing the control connection (it does so only after every worker's
+	// final arrived): peers that have not yet processed stop may still be
+	// sending, and their frames must land on open sockets, not teardown
+	// errors.
+	if ws.mesh != nil {
+		waitDeadline := time.Now().Add(doneWait)
+		for {
+			select {
+			case f := <-inbox:
+				if f.typ == msgConnLost {
+					return nil // expected EOF: the coordinator is done
+				}
+				// Late data frames are irrelevant after stop; discard.
+			case <-time.After(time.Until(waitDeadline)):
+				return nil
+			}
+		}
 	}
 	return nil
 }

@@ -19,6 +19,11 @@ type blockMsg struct {
 	vals *[]float64
 }
 
+// supervisorFallback bounds how long the supervisor waits for a wake signal
+// before re-collecting anyway — a safety net behind the event-driven
+// notifications, three orders of magnitude rarer than the old 50µs poll.
+const supervisorFallback = 5 * time.Millisecond
+
 // RunMessage executes the message-passing transport: each worker owns its
 // block, keeps a private view of the full vector, and exchanges blocks over
 // buffered channels. Active workers send without blocking — when a peer's
@@ -30,11 +35,22 @@ type blockMsg struct {
 // double-collect protocol of this package (see quiescence.go): a worker
 // whose block displacement stays below Tol for SweepsBelowTol consecutive
 // sweeps turns passive — it reliably re-broadcasts its final block, stops
-// computing and only drains its inbox; a received message reactivates it
+// computing and blocks on its inbox; a received message reactivates it
 // BEFORE the delivery is acknowledged, so the supervisor can never observe
 // "all passive, nothing in flight" while a reactivating message is being
 // absorbed. The supervisor broadcasts stop only after two identical quiet
 // collects.
+//
+// Idle paths are event-driven, not polled: a passive worker sleeps on its
+// inbox and the stop channel (zero CPU, zero timer allocations while
+// nothing happens), and the supervisor sleeps on a wake channel that
+// workers signal at every quiescence-relevant transition — going passive,
+// exiting, or draining a message addressed to an exited worker. Workers
+// that exhaust their budget count as parked for the supervisor's collect
+// (with undeliverable messages in their inboxes reaped as drops), so a run
+// where some workers exhaust their budgets while others sit passive still
+// terminates promptly — the strict all-passive double collect alone then
+// decides whether the end state counts as converged.
 func RunMessage(cfg Config) (*Result, error) {
 	n, err := cfg.validate()
 	if err != nil {
@@ -67,11 +83,51 @@ func RunMessage(cfg Config) (*Result, error) {
 	}}
 
 	var stop atomic.Bool
+	var converged atomic.Bool
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() {
+		stop.Store(true)
+		stopOnce.Do(func() { close(stopCh) })
+	}
+	// wake is the supervisor's doorbell: non-blocking, capacity one —
+	// a pending ring is as good as many.
+	wake := make(chan struct{}, 1)
+	ring := func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+
 	var doneWorkers atomic.Int64
 	q := NewTracker(p)
 	exited := make([]atomic.Bool, p)
 	updates := make([]int, p)
 	finals := make([][]float64, p)
+
+	// Reapers drain the inbox of a worker that exited with budget spent:
+	// messages already queued there (and the rare send that lands before
+	// the sender notices the exit) can never be delivered, so they are
+	// accounted as drops — otherwise the in-flight count could never reach
+	// zero again and the supervisor could never certify an end state.
+	var reaperWg sync.WaitGroup
+	reap := func(w int) {
+		reaperWg.Add(1)
+		go func() {
+			defer reaperWg.Done()
+			for {
+				select {
+				case m := <-inboxes[w]:
+					valPool.Put(m.vals)
+					q.MsgDropped()
+					ring()
+				case <-stopCh:
+					return
+				}
+			}
+		}()
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -80,7 +136,15 @@ func RunMessage(cfg Config) (*Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			defer doneWorkers.Add(1)
-			defer exited[w].Store(true)
+			defer func() {
+				// Publish the exit for the supervisor's parked collect:
+				// exited flag first, then the epoch bump that invalidates
+				// any collect straddling the transition, then the doorbell.
+				exited[w].Store(true)
+				q.epoch.Add(1)
+				reap(w)
+				ring()
+			}()
 			lo, hi := blocks[w][0], blocks[w][1]
 			view := make([]float64, n)
 			copy(view, x0)
@@ -155,15 +219,16 @@ func RunMessage(cfg Config) (*Result, error) {
 					break
 				}
 				if q.IsPassive(w) {
-					// Passive: wait briefly for a message. Any receipt
-					// reactivates the worker BEFORE the delivery is
+					// Passive: block on the inbox with no timer — the only
+					// events that matter arrive there or on stopCh. Any
+					// receipt reactivates the worker BEFORE the delivery is
 					// acknowledged (the protocol's ordering rule): the
 					// supervisor either still sees the message in flight
 					// or sees this worker active. After absorbing the
 					// burst the worker re-checks local convergence and
 					// either resumes computing or re-passivates (the epoch
 					// bumps of that round trip invalidate any collect in
-					// progress).
+					// progress, and the re-passivation rings the doorbell).
 					select {
 					case m := <-inboxes[w]:
 						q.SetActive(w)
@@ -173,10 +238,11 @@ func RunMessage(cfg Config) (*Result, error) {
 							streak = 0 // new data broke convergence: resume
 						} else {
 							q.SetPassive(w)
+							ring()
 						}
-					case <-time.After(50 * time.Microsecond):
+					case <-stopCh:
 					}
-					continue // passivity consumes budget, bounding the loop
+					continue // an event while passive consumes budget, bounding the loop
 				}
 				drain()
 				delta := 0.0
@@ -223,6 +289,7 @@ func RunMessage(cfg Config) (*Result, error) {
 							continue
 						}
 						q.SetPassive(w)
+						ring()
 					}
 				}
 			}
@@ -230,8 +297,28 @@ func RunMessage(cfg Config) (*Result, error) {
 		}(w)
 	}
 
-	// Supervisor: poll for quiescence with the two-phase double collect.
+	// Supervisor: certify an end state with the two-phase double collect,
+	// sleeping on the doorbell between attempts. The collect treats an
+	// exited worker as parked — it can publish nothing further — so the
+	// run also ends when every worker is passive-or-exited with nothing in
+	// flight; Converged is then decided by the strict all-passive collect.
 	if cfg.Tol > 0 {
+		observePark := func() Observation {
+			o := Observation{AllPassive: true}
+			for w := 0; w < p; w++ {
+				// Flags before counters, the Tracker.Observe collect order
+				// the protocol's soundness argument relies on.
+				if !q.passive[w].Load() && !exited[w].Load() {
+					o.AllPassive = false
+					break
+				}
+			}
+			o.Epoch = q.epoch.Load()
+			o.Sent = q.sent.Load()
+			o.Delivered = q.delivered.Load()
+			o.Dropped = q.dropped.Load()
+			return o
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -239,15 +326,25 @@ func RunMessage(cfg Config) (*Result, error) {
 				if doneWorkers.Load() == int64(p) {
 					return // every worker hit its update bound
 				}
-				if q.Quiescent(nil) {
-					stop.Store(true)
+				if DoubleCollect(observePark, nil) {
+					// The system is frozen: nobody computes, nothing is in
+					// flight. Converged only if every worker is genuinely
+					// passive (locally converged) — an exited-active worker
+					// means a budget ran out first.
+					converged.Store(q.Observe().AllPassive)
+					halt()
 					return
 				}
-				time.Sleep(50 * time.Microsecond)
+				select {
+				case <-wake:
+				case <-time.After(supervisorFallback):
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	halt() // release reapers (and make stop state final) on every path
+	reaperWg.Wait()
 
 	x := make([]float64, n)
 	for w, b := range blocks {
@@ -257,7 +354,7 @@ func RunMessage(cfg Config) (*Result, error) {
 	}
 	return &Result{
 		X:                x,
-		Converged:        stop.Load(),
+		Converged:        converged.Load(),
 		UpdatesPerWorker: updates,
 		Elapsed:          time.Since(start),
 		MessagesSent:     q.Sent(),

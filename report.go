@@ -63,8 +63,12 @@ type Report struct {
 	// MessagesSent / MessagesDropped / MessagesStale count transport
 	// events (simulated, message and dist engines).
 	MessagesSent, MessagesDropped, MessagesStale int64
-	// MessagesReordered counts out-of-order link deliveries (dist engine).
-	MessagesReordered int64
+	// MessagesReordered counts frames discarded at a directed link because
+	// a later-sequenced frame from the same source had already been
+	// delivered there; MessagesDuplicate counts link discards of frames
+	// whose sequence number exactly matched the newest delivered (dist
+	// engine — disjoint from each other and from MessagesStale/Dropped).
+	MessagesReordered, MessagesDuplicate int64
 	// BytesSent / BytesReceived count wire bytes through the coordinator
 	// (dist engine).
 	BytesSent, BytesReceived int64
@@ -111,6 +115,9 @@ func (r *Report) ConcurrentDetail() (*ConcurrentResult, bool) {
 	return r.concurrent, r.concurrent != nil
 }
 
-// DistDetail returns the TCP engine's full result (per-link fault and
-// probe-round accounting) when this report came from EngineDist.
+// DistDetail returns the TCP engine's full result when this report came
+// from EngineDist: the topology that ran, probe-round accounting, and the
+// per-link byte counters (DistResult.LinkBytes[i][j] is the data-plane
+// wire bytes shipped from worker i to worker j — through the coordinator's
+// relay on "star", directly over the worker-to-worker link on "mesh").
 func (r *Report) DistDetail() (*DistResult, bool) { return r.dist, r.dist != nil }

@@ -58,6 +58,12 @@ type Dynamics struct {
 	// Flexible publishes partial updates mid-phase on the simulated and
 	// shared-memory engines (the hatched arrows of Fig. 2).
 	Flexible FlexSchedule
+	// DeltaThreshold enables flexible communication on the wire (dist
+	// engine): a broadcast ships one frame covering the span of shard
+	// components that moved by more than the threshold since last shipped,
+	// and nothing when nothing moved; the reliable final re-broadcast
+	// always carries the whole shard. Choose it at or below Tol.
+	DeltaThreshold float64
 	// ValidateConstraint3 checks inequality (3) at every read when XStar is
 	// known (model engine with Theta > 0).
 	ValidateConstraint3 bool
@@ -89,6 +95,11 @@ type Execution struct {
 	// MaxLinkDelay adds a uniform random transit delay in [0, MaxLinkDelay]
 	// to every relayed block (dist engine fault injection).
 	MaxLinkDelay time.Duration
+	// Topology selects the dist engine's data plane: "star" (default —
+	// every shard frame relayed through the coordinator) or "mesh" (direct
+	// worker-to-worker TCP links; the coordinator keeps only the control
+	// plane).
+	Topology string
 	// ApplyStale lets late messages carrying older labels overwrite the
 	// receiver's view (asynchronous simulator).
 	ApplyStale bool
@@ -202,6 +213,19 @@ func WithReorderProb(p float64) Option { return func(s *Spec) { s.ReorderProb = 
 // WithMaxLinkDelay sets the maximum injected per-message transit delay
 // (dist engine).
 func WithMaxLinkDelay(d time.Duration) Option { return func(s *Spec) { s.MaxLinkDelay = d } }
+
+// WithTopology selects the dist engine's data plane: "star" (coordinator
+// relay, the default) or "mesh" (direct worker-to-worker TCP links).
+func WithTopology(topology string) Option { return func(s *Spec) { s.Topology = topology } }
+
+// WithDeltaThreshold enables flexible communication on the dist engine's
+// wire: a broadcast ships one frame covering the span of shard components
+// that moved by more than the threshold since last shipped, and nothing
+// when nothing moved. Choose it at or below Tol; the reliable final
+// re-broadcast always carries the whole shard.
+func WithDeltaThreshold(threshold float64) Option {
+	return func(s *Spec) { s.DeltaThreshold = threshold }
+}
 
 // WithApplyStale lets stale messages overwrite the receiver's view
 // (asynchronous simulator).

@@ -178,9 +178,12 @@ func TestScenariosBuildAndSolve(t *testing.T) {
 }
 
 // TestDistScenarioParity is the distributed acceptance test: every
-// registered scenario converges on the dist engine over localhost TCP —
-// both on clean links and with drop + reorder + delay injection enabled —
-// to the same fixed point the in-process message engine reaches.
+// registered scenario converges on the dist engine over localhost TCP, on
+// BOTH topologies (star relay and worker-to-worker mesh), with multi-
+// component shards (Workers < n wherever the scenario allows), both on
+// clean links and with drop + reorder + delay injection enabled under the
+// same seeds — each run reaching the same fixed point the in-process
+// message engine reaches.
 func TestDistScenarioParity(t *testing.T) {
 	sizes := map[string]int{
 		"lasso":     16,
@@ -210,41 +213,86 @@ func TestDistScenarioParity(t *testing.T) {
 			if !ref.Converged {
 				t.Fatalf("message reference for %s did not converge", sc.Name)
 			}
-			for _, faulty := range []bool{false, true} {
-				opts := []repro.Option{
-					repro.WithEngine(repro.EngineDist),
-					repro.WithWorkers(4),
-					repro.WithSeed(9),
-				}
-				label := "clean"
-				if faulty {
-					label = "faulty"
-					opts = append(opts,
-						repro.WithDropProb(0.05),
-						repro.WithReorderProb(0.25),
-						repro.WithMaxLinkDelay(100*time.Microsecond),
-					)
-				}
-				res, err := repro.Solve(inst.Spec, opts...)
-				if err != nil {
-					t.Fatalf("%s links: %v", label, err)
-				}
-				if !res.Converged {
-					t.Fatalf("dist (%s links) did not converge on %s", label, sc.Name)
-				}
-				// Both engines stop on the same per-block displacement
-				// tolerance; for a contraction both iterates are within
-				// O(tol/(1-alpha)) of the fixed point, so compare with
-				// generous slack relative to the scenario tolerances.
-				if e := repro.DistInf(res.X, ref.X); e > 1e-5 {
-					t.Errorf("dist (%s links) deviates from message engine by %v on %s",
-						label, e, sc.Name)
-				}
-				if faulty && res.MessagesSent == 0 {
-					t.Errorf("dist (%s links) reported no TCP traffic", label)
+			for _, topology := range []string{"star", "mesh"} {
+				for _, faulty := range []bool{false, true} {
+					opts := []repro.Option{
+						repro.WithEngine(repro.EngineDist),
+						repro.WithTopology(topology),
+						repro.WithWorkers(4),
+						repro.WithSeed(9),
+					}
+					label := topology + "/clean"
+					if faulty {
+						label = topology + "/faulty"
+						opts = append(opts,
+							repro.WithDropProb(0.05),
+							repro.WithReorderProb(0.25),
+							repro.WithMaxLinkDelay(100*time.Microsecond),
+						)
+					}
+					res, err := repro.Solve(inst.Spec, opts...)
+					if err != nil {
+						t.Fatalf("%s links: %v", label, err)
+					}
+					if !res.Converged {
+						t.Fatalf("dist (%s links) did not converge on %s", label, sc.Name)
+					}
+					// Both engines stop on the same per-block displacement
+					// tolerance; for a contraction both iterates are within
+					// O(tol/(1-alpha)) of the fixed point, so compare with
+					// generous slack relative to the scenario tolerances.
+					if e := repro.DistInf(res.X, ref.X); e > 1e-5 {
+						t.Errorf("dist (%s links) deviates from message engine by %v on %s",
+							label, e, sc.Name)
+					}
+					if faulty && res.MessagesSent == 0 {
+						t.Errorf("dist (%s links) reported no TCP traffic", label)
+					}
+					detail, ok := res.DistDetail()
+					if !ok {
+						t.Fatalf("dist (%s links) lacks DistDetail", label)
+					}
+					if detail.Topology != topology {
+						t.Errorf("DistDetail.Topology = %q, want %q", detail.Topology, topology)
+					}
 				}
 			}
 		})
+	}
+}
+
+// TestDistDeltaThresholdParity runs the flexible-communication knob through
+// the public API: a delta threshold at the scenario tolerance must still
+// reach the message engine's fixed point on both topologies.
+func TestDistDeltaThresholdParity(t *testing.T) {
+	inst, err := repro.BuildScenario("lasso", 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := repro.Solve(inst.Spec,
+		repro.WithEngine(repro.EngineMessage), repro.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topology := range []string{"star", "mesh"} {
+		res, err := repro.Solve(inst.Spec,
+			repro.WithEngine(repro.EngineDist),
+			repro.WithTopology(topology),
+			repro.WithWorkers(4),
+			repro.WithDeltaThreshold(inst.Spec.Tol),
+			repro.WithDropProb(0.05),
+			repro.WithReorderProb(0.25),
+			repro.WithSeed(3),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", topology, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s delta-threshold run did not converge", topology)
+		}
+		if e := repro.DistInf(res.X, ref.X); e > 1e-5 {
+			t.Errorf("%s delta-threshold run deviates by %v", topology, e)
+		}
 	}
 }
 
