@@ -43,6 +43,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/asyncsolve bench
 
+# Gate the block-evaluation fast path: re-measure the BlockEval pairs and
+# fail if any block-vs-per-component speedup multiple regressed more than
+# 20% against the committed baseline capture. Multiples, not raw ns/op, are
+# compared, so the gate is machine-independent.
+bench-compare:
+	$(GO) run ./cmd/asyncsolve bench -match '^BlockEval' -experiments=false \
+		-benchtime 250ms -rev current -out BENCH_current.json
+	$(GO) run ./cmd/asyncsolve bench-compare \
+		-baseline BENCH_baseline.json -current BENCH_current.json
+	rm -f BENCH_current.json
+
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -53,7 +64,13 @@ lint:
 fmt:
 	gofmt -w .
 
-check: lint build test race smoke-examples smoke-dist bench
+check: lint build test race smoke-examples smoke-dist bench bench-compare
 
+# Committed captures (the baseline and the recorded performance trajectory)
+# stay; every untracked BENCH json (bench-json / bench-compare output) goes.
 clean:
-	rm -f asyncsolve BENCH_*.json
+	rm -f asyncsolve
+	@for f in BENCH_*.json; do \
+		[ -e "$$f" ] || continue; \
+		git ls-files --error-unmatch "$$f" >/dev/null 2>&1 || rm -f "$$f"; \
+	done

@@ -107,6 +107,32 @@ func BenchmarkProxGradBFApply(b *testing.B) {
 	benchsuite.RunNamed(b, "ProxGradBFApply")
 }
 
+// BenchmarkScenarioSolveLassoLarge solves the lasso scenario at 10x the
+// dimension of BenchmarkScenarioSolve — the scale where the block-evaluation
+// fast path dominates the solve rate.
+func BenchmarkScenarioSolveLassoLarge(b *testing.B) {
+	benchsuite.RunNamed(b, "ScenarioSolveLassoLarge")
+}
+
+// The BlockEval pairs measure one full round of worker-block phases on a
+// ProxGradBF lasso operator through the whole-block fast path vs the forced
+// per-component fallback; the ns/op ratio is the block contract's speedup.
+func BenchmarkBlockEvalN1024(b *testing.B) {
+	benchsuite.RunNamed(b, "BlockEvalN1024")
+}
+
+func BenchmarkBlockEvalN1024PerComponent(b *testing.B) {
+	benchsuite.RunNamed(b, "BlockEvalN1024PerComponent")
+}
+
+func BenchmarkBlockEvalN4096(b *testing.B) {
+	benchsuite.RunNamed(b, "BlockEvalN4096")
+}
+
+func BenchmarkBlockEvalN4096PerComponent(b *testing.B) {
+	benchsuite.RunNamed(b, "BlockEvalN4096PerComponent")
+}
+
 // BenchmarkMacroTracker measures Definition 2 bookkeeping throughput (the
 // tracker construction is the measured object, so nothing is hoisted).
 func BenchmarkMacroTracker(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"time"
 
 	"repro/internal/benchsuite"
@@ -20,6 +21,7 @@ func runBench(args []string) {
 	rev := fs.String("rev", "", "revision label; default: short git revision, else \"dev\"")
 	benchtime := fs.Duration("benchtime", time.Second, "minimum measuring time per micro-benchmark")
 	quick := fs.Bool("quick", false, "single repetition per case (CI smoke mode)")
+	match := fs.String("match", "", "run only cases whose name matches this regexp (e.g. ^BlockEval)")
 	withExperiments := fs.Bool("experiments", true, "also time the full F1-E17 experiment suite (once each)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: asyncsolve bench [flags]
@@ -57,6 +59,24 @@ package documentation for the JSON schema.
 	cases := benchsuite.MicroCases()
 	if *withExperiments {
 		cases = append(cases, benchsuite.ExperimentCases()...)
+	}
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asyncsolve bench: bad -match regexp: %v\n", err)
+			os.Exit(2)
+		}
+		kept := cases[:0]
+		for _, c := range cases {
+			if re.MatchString(c.Name) {
+				kept = append(kept, c)
+			}
+		}
+		cases = kept
+		if len(cases) == 0 {
+			fmt.Fprintf(os.Stderr, "asyncsolve bench: -match %q selects no cases\n", *match)
+			os.Exit(2)
+		}
 	}
 
 	results := make([]benchsuite.Result, 0, len(cases))

@@ -43,6 +43,9 @@ func main() {
 		case "bench":
 			runBench(os.Args[2:])
 			return
+		case "bench-compare":
+			runBenchCompare(os.Args[2:])
+			return
 		case "dist-coordinator":
 			runDistCoordinator(os.Args[2:])
 			return

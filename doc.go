@@ -140,8 +140,41 @@
 // (NewOperatorScratch, EvalComponent, ApplyOperator) that every engine
 // threads one per-worker scratch through, the discrete-event simulator
 // pools its events and messages, and the message-passing transport pools
-// its payload buffers. Repeated Solves of the same shape can additionally
-// share buffers across runs:
+// its payload buffers.
+//
+// On top of the scratch contract sits the BLOCK-EVALUATION contract: the
+// paper's iterations update a worker's whole block per phase, so operators
+// whose evaluation has work shared across components implement BlockOperator
+// (EvalBlockScratch(scr, lo, hi, x, out)) and every engine phase loop calls
+// EvalBlock, which dispatches to the block fast path and falls back to the
+// per-component loop for operators that do not implement it (or when the
+// scratch is nil). For ProxGradBF this turns a b-component phase from
+// O(b*n) — each component materializing the full prox vector — into one
+// shared prox pass plus a gradient range (O(n + b) when the smooth part is
+// separable); InnerIterated runs its prox + K gradient iterations once per
+// block instead of once per component; Linear/SparseLinear evaluate the row
+// slab in one MulRangeTo.
+//
+// Implementations and their Vec scratch-slot budgets: ProxGradBF 1,
+// InnerIterated 2, ProxGradFB 0, GradOp 0, Linear/SparseLinear 0; Relaxed
+// consumes no slots and forwards the scratch to its inner operator. Smooth
+// functions share their whole-gradient work across a component range
+// through RangeGradSmooth (GradRange): Quadratic and LeastSquares compute
+// the Hessian/Gram row slab in one pass, the logistic loss computes its
+// m margins and sigmoid coefficients once per range. RangeGradSmooth
+// implementations may use scratch Aux slots >= 1; Aux slot 0 is reserved
+// for the Residual fast path. Block and per-component paths are
+// componentwise bit-identical — the deterministic engines produce identical
+// Report trajectories whichever path runs (pinned by blockpath_test.go).
+//
+// OperatorResidual (and the internal ResidualWith the engines use for
+// stopping and certification) routes through ONE full operator application
+// plus a subtract whenever the operator can apply itself wholesale,
+// keeping the per-component loop only as the fallback — the fixed-point
+// residual of a coupled operator is O(n + apply), not O(n^2).
+//
+// Repeated Solves of the same shape can additionally share buffers across
+// runs:
 //
 //	scr := repro.NewScratch()
 //	for _, seed := range seeds {
@@ -179,6 +212,19 @@
 // hoist workload generation into untimed setup, so ns/op measures solving.
 // The full reproduction suite itself runs in parallel via
 // experiments.RunAll (CLI: cmd/experiments -parallel N).
+//
+// The BlockEval cases come in pairs — BlockEvalN1024 and
+// BlockEvalN1024PerComponent run the identical workload and block partition
+// through the block fast path and the forced per-component fallback — so
+// every capture records the block contract's speedup multiple. CI gates it:
+//
+//	asyncsolve bench -match '^BlockEval' -experiments=false -out BENCH_new.json
+//	asyncsolve bench-compare -baseline BENCH_baseline.json -current BENCH_new.json
+//
+// (make bench-compare) fails when any pair's multiple regresses more than
+// 20% below the committed BENCH_baseline.json. Multiples within one
+// capture, never raw ns/op across captures, are compared, so the gate holds
+// across machines of different absolute speed.
 //
 // The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
 // RunMessage remain as deprecated shims over Solve for one release; see

@@ -248,6 +248,49 @@ func MicroCases() []Case {
 			},
 		},
 		{
+			// End-to-end lasso solve at 10x the dimension of
+			// ScenarioSolveLasso: large enough that the block path's shared
+			// prox/gradient work dominates the solve rate.
+			Name: "ScenarioSolveLassoLarge", Kind: "micro", UnitsPerOp: 0,
+			Setup: func() (func() error, error) {
+				inst, err := repro.BuildScenario("lasso", 320, 1)
+				if err != nil {
+					return nil, err
+				}
+				return func() error {
+					res, err := repro.Solve(inst.Spec,
+						repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}))
+					if err != nil {
+						return err
+					}
+					if !res.Converged {
+						return fmt.Errorf("did not converge")
+					}
+					return nil
+				}, nil
+			},
+		},
+		// BlockEval pairs: identical workload and block partition, evaluated
+		// through the whole-block fast path vs the forced per-component
+		// fallback. The solve-rate ratio within one capture is the block
+		// contract's measured multiple (CI gates on it via bench-compare).
+		{
+			Name: "BlockEvalN1024", Kind: "micro", UnitsPerOp: 1024,
+			Setup: blockSweepCase(blockLassoOp, 1024, 128, false),
+		},
+		{
+			Name: "BlockEvalN1024PerComponent", Kind: "micro", UnitsPerOp: 1024,
+			Setup: blockSweepCase(blockLassoOp, 1024, 128, true),
+		},
+		{
+			Name: "BlockEvalN4096", Kind: "micro", UnitsPerOp: 4096,
+			Setup: blockSweepCase(blockSeparableLassoOp, 4096, 512, false),
+		},
+		{
+			Name: "BlockEvalN4096PerComponent", Kind: "micro", UnitsPerOp: 4096,
+			Setup: blockSweepCase(blockSeparableLassoOp, 4096, 512, true),
+		},
+		{
 			Name: "ProxGradBFApply", Kind: "micro", UnitsPerOp: 1,
 			Setup: func() (func() error, error) {
 				reg, err := repro.NewRegression(repro.RegressionConfig{
@@ -267,6 +310,86 @@ func MicroCases() []Case {
 				}, nil
 			},
 		},
+	}
+}
+
+// perComponent forwards the componentwise and scratch fast paths of its
+// inner operator but hides BlockScratchOperator, so EvalBlock takes the
+// per-component fallback — the exact pre-block-contract hot loop, measured
+// as the baseline of every BlockEval pair.
+type perComponent struct{ inner repro.Operator }
+
+func (w perComponent) Dim() int                             { return w.inner.Dim() }
+func (w perComponent) Component(i int, x []float64) float64 { return w.inner.Component(i, x) }
+func (w perComponent) Name() string                         { return w.inner.Name() }
+
+func (w perComponent) ComponentScratch(scr *repro.OperatorScratch, i int, x []float64) float64 {
+	return repro.EvalComponent(w.inner, scr, i, x)
+}
+
+func (w perComponent) ApplyScratch(scr *repro.OperatorScratch, dst, x []float64) {
+	repro.ApplyOperator(w.inner, scr, dst, x)
+}
+
+// blockLassoOp builds the n-dim ProxGradBF lasso operator of the BlockEval
+// cases. The design matrix keeps a thin slab of dense coupling rows so the
+// Gram matrix stays genuinely coupled without the O(samples*n^2) assembly
+// cost of the default 4n-sample generator at this scale.
+func blockLassoOp(n int) (repro.Operator, error) {
+	reg, err := repro.NewRegression(repro.RegressionConfig{
+		N: n, Samples: n + 32, Coupling: 0.2, Sparsity: 0.5, Noise: 0.01, Reg: 0.1, Seed: 17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := reg.Smooth()
+	return repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f)), nil
+}
+
+// blockSeparableLassoOp builds the n-dim ProxGradBF operator over the
+// paper's Section V separable smooth model — O(n) memory, so the BlockEval
+// case can scale to dimensions where a dense Gram matrix would not fit.
+// This is the regime where a block phase is O(n + b) against the
+// per-component path's O(b*n).
+func blockSeparableLassoOp(n int) (repro.Operator, error) {
+	rng := repro.NewRNG(18)
+	a := make([]float64, n)
+	t := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + rng.Float64()
+		t[i] = rng.Normal()
+	}
+	f := repro.NewSeparable(a, t)
+	return repro.NewProxGradBF(f, repro.L1{Lambda: 0.02}, repro.MaxStep(f)), nil
+}
+
+// blockSweepCase measures one full round of block phases — every contiguous
+// worker block of the n-dim lasso operator evaluated once — through the
+// block fast path or (perComp) the forced per-component fallback.
+// UnitsPerOp is n, so solve_rate_per_sec is component updates per second
+// and the pair's ratio is the block contract's speedup multiple.
+func blockSweepCase(build func(int) (repro.Operator, error), n, blockSize int, perComp bool) func() (func() error, error) {
+	return func() (func() error, error) {
+		op, err := build(n)
+		if err != nil {
+			return nil, err
+		}
+		if perComp {
+			op = perComponent{op}
+		}
+		scr := repro.NewOperatorScratch()
+		x := repro.NewRNG(19).NormalVector(n)
+		out := make([]float64, blockSize)
+		return func() error {
+			for lo := 0; lo < n; lo += blockSize {
+				hi := lo + blockSize
+				if hi > n {
+					hi = n
+				}
+				repro.EvalBlock(op, scr, lo, hi, x, out[:hi-lo])
+			}
+			return nil
+		}, nil
 	}
 }
 

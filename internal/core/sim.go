@@ -70,6 +70,7 @@ type RunScratch struct {
 	Op            *operators.Scratch
 	xread, xlabel []float64
 	gsSnap        []float64 // residual-aware steering's snapshot buffer
+	blockOut      []float64 // block-evaluation output buffer
 	seenWorkers   []bool
 }
 
@@ -85,6 +86,14 @@ func (s *RunScratch) vecs(n int) (xread, xlabel []float64) {
 		s.xlabel = make([]float64, n)
 	}
 	return s.xread[:n], s.xlabel[:n]
+}
+
+// blockVec returns the block-evaluation output buffer resized to n.
+func (s *RunScratch) blockVec(n int) []float64 {
+	if cap(s.blockOut) < n {
+		s.blockOut = make([]float64, n)
+	}
+	return s.blockOut[:n]
 }
 
 // workersSeen returns a cleared bool slice of length w.
@@ -269,8 +278,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Relax the selected components; others keep x_i(j-1) implicitly.
-		for _, i := range S {
-			hist.Set(i, j, operators.EvalComponent(cfg.Op, scratch.Op, i, xread))
+		// Maximal contiguous ascending runs of S are evaluated as blocks so
+		// coupled operators amortize their shared work across the run (a
+		// block-steered worker phase is exactly one such run); scattered
+		// components degrade to length-1 runs, which EvalBlock routes
+		// through the same code path with identical results.
+		for s := 0; s < len(S); {
+			e := s + 1
+			for e < len(S) && S[e] == S[e-1]+1 {
+				e++
+			}
+			lo, hi := S[s], S[e-1]+1
+			out := scratch.blockVec(hi - lo)
+			operators.EvalBlock(cfg.Op, scratch.Op, lo, hi, xread, out)
+			for c := lo; c < hi; c++ {
+				hist.Set(c, j, out[c-lo])
+			}
+			s = e
 		}
 
 		// Bookkeeping: macro-iterations (Definition 2), epochs, records.

@@ -452,9 +452,10 @@ func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*ev
 	for bi, c := range wk.comps {
 		wk.phaseOld[bi] = wk.view[c]
 	}
-	for bi, c := range wk.comps {
-		wk.phaseOut[bi] = operators.EvalComponent(cfg.Op, wk.scr, c, wk.view)
-	}
+	// comps is the worker's contiguous block [comps[0], comps[0]+len), so
+	// the whole phase is one coupled-operator block pass.
+	lo := wk.comps[0]
+	operators.EvalBlock(cfg.Op, wk.scr, lo, lo+len(wk.comps), wk.view, wk.phaseOut)
 	d := cfg.Cost(wk.id, wk.phaseK)
 	if d <= 0 {
 		d = 1e-9

@@ -110,9 +110,7 @@ func RunSync(cfg Config) (*SyncResult, error) {
 			if c > maxCost {
 				maxCost = c
 			}
-			for i := b[0]; i < b[1]; i++ {
-				next[i] = operators.EvalComponent(cfg.Op, scrs[w], i, x)
-			}
+			operators.EvalBlock(cfg.Op, scrs[w], b[0], b[1], x, next[b[0]:b[1]])
 		}
 		// Exchange phase: all-to-all; the barrier completes when the
 		// slowest message lands.

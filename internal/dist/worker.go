@@ -54,6 +54,7 @@ type workerState struct {
 
 	view     []float64
 	out      []float64
+	chk      []float64 // blockDelta's evaluation buffer
 	lastSent []float64 // per own component: value last shipped to peers
 	lastSeq  []uint64  // per source: highest applied block sequence
 	op       operators.Operator
@@ -115,6 +116,7 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 		return fmt.Errorf("dist: worker operator dim %d, coordinator says %d", op.Dim(), ws.n)
 	}
 	ws.out = make([]float64, ws.hi-ws.lo)
+	ws.chk = make([]float64, ws.hi-ws.lo)
 	ws.lastSent = append([]float64(nil), ws.view[ws.lo:ws.hi]...)
 	ws.lastSeq = make([]uint64, ws.p)
 
@@ -212,9 +214,10 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 // blockDelta is the worker's local convergence measure: the max displacement
 // |F_c(view) - view_c| over its own shard, evaluated on its current view.
 func (ws *workerState) blockDelta() float64 {
+	operators.EvalBlock(ws.op, ws.scr, ws.lo, ws.hi, ws.view, ws.chk)
 	d := 0.0
-	for c := ws.lo; c < ws.hi; c++ {
-		v := operators.EvalComponent(ws.op, ws.scr, c, ws.view) - ws.view[c]
+	for i, v := range ws.chk {
+		v -= ws.view[ws.lo+i]
 		if v < 0 {
 			v = -v
 		}
@@ -421,11 +424,12 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 			}
 			continue // passivity consumes budget, bounding the loop
 		}
-		// Active updating phase over the current view.
+		// Active updating phase over the current view: the whole shard in
+		// one coupled-operator pass (shared prox/gradient work amortized).
+		operators.EvalBlock(ws.op, ws.scr, ws.lo, ws.hi, ws.view, ws.out)
 		delta := 0.0
-		for c := ws.lo; c < ws.hi; c++ {
-			ws.out[c-ws.lo] = operators.EvalComponent(ws.op, ws.scr, c, ws.view)
-			if d := ws.out[c-ws.lo] - ws.view[c]; d > delta {
+		for i, v := range ws.out {
+			if d := v - ws.view[ws.lo+i]; d > delta {
 				delta = d
 			} else if -d > delta {
 				delta = -d

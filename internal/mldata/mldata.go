@@ -232,16 +232,48 @@ func (f *Logistic) Grad(dst, x []float64) {
 	}
 }
 
-// GradComponent implements operators.Smooth.
+// GradComponent implements operators.Smooth. The per-sample coefficient is
+// formed exactly as in Grad/GradRange (coef = -z*sigma/m, then coef*a), so
+// the three evaluation granularities are bit-identical.
 func (f *Logistic) GradComponent(i int, x []float64) float64 {
 	g := f.Reg * x[i]
 	m := f.A.Rows
 	for h := 0; h < m; h++ {
 		t := -f.Z[h] * f.A.RowDotAt(h, x)
 		sig := 1 / (1 + math.Exp(-t))
-		g += -f.Z[h] * sig * f.A.At(h, i) / float64(m)
+		coef := -f.Z[h] * sig / float64(m)
+		g += coef * f.A.At(h, i)
 	}
 	return g
+}
+
+// GradRange implements operators.RangeGradSmooth: the m margins and sigmoid
+// coefficients — the part of every logistic gradient that does not depend
+// on which component is asked for — are computed ONCE per call (O(m*n)) and
+// each component in [lo, hi) then costs one m-length column pass. The
+// per-component path pays the full O(m*n) margin pass per component, so a
+// b-component block drops from O(b*m*n) to O(m*n + b*m). Uses Aux slot 1
+// (slot 0 is reserved for ResidualWith).
+func (f *Logistic) GradRange(scr *operators.Scratch, dst, x []float64, lo, hi int) {
+	m := f.A.Rows
+	var coef []float64
+	if scr != nil {
+		coef = scr.Aux(1, m)
+	} else {
+		coef = make([]float64, m)
+	}
+	for h := 0; h < m; h++ {
+		t := -f.Z[h] * f.A.RowDotAt(h, x)
+		sig := 1 / (1 + math.Exp(-t))
+		coef[h] = -f.Z[h] * sig / float64(m)
+	}
+	for c := lo; c < hi; c++ {
+		g := f.Reg * x[c]
+		for h := 0; h < m; h++ {
+			g += coef[h] * f.A.At(h, c)
+		}
+		dst[c-lo] = g
+	}
 }
 
 // LMu implements operators.Smooth.

@@ -79,6 +79,35 @@ func TestScratchEvaluationAllocationFree(t *testing.T) {
 	}
 }
 
+// A warmed block evaluation must allocate nothing: it runs once per worker
+// phase in every engine hot loop.
+func TestEvalBlockAllocationFree(t *testing.T) {
+	const n = 48
+	lin := allocTestLinear(n)
+	bf, inner := allocTestProxGrad(n)
+	x := vec.NewRNG(15).NormalVector(n)
+	out := make([]float64, 8)
+
+	cases := []struct {
+		name string
+		op   Operator
+	}{
+		{"Linear", lin},
+		{"ProxGradBF", bf},
+		{"InnerIterated", inner},
+		{"Relaxed(ProxGradBF)", &Relaxed{Inner: bf, Omega: 0.7}},
+	}
+	for _, tc := range cases {
+		scr := NewScratch()
+		EvalBlock(tc.op, scr, 8, 16, x, out) // warm up lazily created buffers
+		if avg := testing.AllocsPerRun(100, func() {
+			EvalBlock(tc.op, scr, 8, 16, x, out)
+		}); avg != 0 {
+			t.Errorf("%s: EvalBlock allocated %.1f/run, want 0", tc.name, avg)
+		}
+	}
+}
+
 // The scratch fast paths must agree exactly with the plain evaluations.
 func TestScratchEvaluationMatchesPlain(t *testing.T) {
 	const n = 32

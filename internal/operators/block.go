@@ -1,0 +1,162 @@
+package operators
+
+import "repro/internal/prox"
+
+// Block evaluation is the whole-block fast path of the engine hot loops.
+// The paper's iterations update one worker's whole block per phase, but a
+// componentwise contract forces coupled operators to redo their shared work
+// (the prox vector, the gradient pass, the inner iterations) once per
+// component: a b-component phase of ProxGradBF costs O(b*n) while one
+// shared pass costs O(n + b * per-component-work). BlockScratchOperator
+// lets an operator evaluate a contiguous component range in one pass, and
+// EvalBlock is the dispatcher every engine phase loop calls.
+//
+// Contract: EvalBlockScratch must produce, componentwise bit-identical
+// results to ComponentScratch/Component — the deterministic engines rely on
+// identical trajectories whichever path runs (block_test.go and the root
+// blockpath_test.go pin this). Implementations must stay read-only on x and
+// on shared operator state; the scratch is the only mutable memory.
+//
+// Scratch-slot budget (Vec slots): ProxGradBF 1, InnerIterated 2,
+// ProxGradFB 0, GradOp 0, Linear/SparseLinear 0; Relaxed consumes no slots
+// and forwards the scratch to its inner operator. RangeGradSmooth
+// implementations may additionally use Aux slots >= 1 (Aux slot 0 is
+// reserved for ResidualWith's full-application buffer).
+type BlockScratchOperator interface {
+	Operator
+	// EvalBlockScratch writes F_c(x) for c in [lo, hi) into out[c-lo]
+	// (len(out) == hi-lo), using scr for temporaries.
+	EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64)
+}
+
+// EvalBlock evaluates the component range [lo, hi) of F at x into out,
+// routing through the operator's block fast path when both the operator
+// supports it and scr is non-nil, and falling back to the per-component
+// loop (itself routed through the scratch fast path) otherwise. It is the
+// phase-evaluation call of every engine hot loop.
+func EvalBlock(op Operator, scr *Scratch, lo, hi int, x, out []float64) {
+	if len(out) != hi-lo {
+		panic("operators: EvalBlock out length does not match [lo, hi)")
+	}
+	if bo, ok := op.(BlockScratchOperator); ok && scr != nil {
+		bo.EvalBlockScratch(scr, lo, hi, x, out)
+		return
+	}
+	for c := lo; c < hi; c++ {
+		out[c-lo] = EvalComponent(op, scr, c, x)
+	}
+}
+
+// RangeGradSmooth is an optional fast path on Smooth: GradRange writes
+// (grad f(x))_c for c in [lo, hi) into dst[c-lo], computing whatever whole-
+// gradient work is shareable (the Gram/Hessian row slab, the residual and
+// sigmoid pass of logistic regression) once per call instead of once per
+// component. Implementations must be componentwise bit-identical to
+// GradComponent and may use scratch Aux slots >= 1; scr may be nil, in
+// which case the implementation either works without temporaries or
+// allocates.
+type RangeGradSmooth interface {
+	GradRange(scr *Scratch, dst, x []float64, lo, hi int)
+}
+
+// gradRange evaluates the gradient range through the fast path when f
+// supports it, falling back to per-component evaluation.
+func gradRange(f Smooth, scr *Scratch, dst, x []float64, lo, hi int) {
+	if rg, ok := f.(RangeGradSmooth); ok {
+		rg.GradRange(scr, dst, x, lo, hi)
+		return
+	}
+	for c := lo; c < hi; c++ {
+		dst[c-lo] = f.GradComponent(c, x)
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator (1 scratch slot): the
+// prox vector is materialized ONCE for the whole block, then the gradient
+// range shares its pass through gradRange — O(n + block gradient) instead
+// of the per-component path's O(b*n) prox work alone.
+func (o *ProxGradBF) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	p := scr.Vec(0, len(x))
+	prox.ApplyVec(o.G, p, x, o.Gamma)
+	gradRange(o.F, scr, out, p, lo, hi)
+	for i := range out {
+		out[i] = p[lo+i] - o.Gamma*out[i]
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator (0 scratch slots): one
+// shared gradient-range pass, then the componentwise prox.
+func (o *ProxGradFB) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	gradRange(o.F, scr, out, x, lo, hi)
+	for i := range out {
+		out[i] = o.G.Apply(lo+i, x[lo+i]-o.Gamma*out[i], o.Gamma)
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator (2 scratch slots): the
+// prox + K full gradient iterations run ONCE for the whole block instead of
+// once per component — the largest single win of the block contract.
+func (o *InnerIterated) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	p := scr.Vec(0, len(x))
+	o.applyWith(p, scr.Vec(1, len(x)), x)
+	copy(out, p[lo:hi])
+}
+
+// EvalBlockScratch implements BlockScratchOperator by delegating the block
+// (and the whole scratch slot space) to the inner operator.
+func (r *Relaxed) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	EvalBlock(r.Inner, scr, lo, hi, x, out)
+	for i := range out {
+		out[i] = (1-r.Omega)*x[lo+i] + r.Omega*out[i]
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator via the row-slab matvec.
+func (l *Linear) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	l.A.MulRangeTo(out, x, lo, hi)
+	for i := range out {
+		out[i] += l.B[lo+i]
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator via the sparse row-slab
+// matvec.
+func (l *SparseLinear) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	l.A.MulRangeTo(out, x, lo, hi)
+	for i := range out {
+		out[i] += l.B[lo+i]
+	}
+}
+
+// EvalBlockScratch implements BlockScratchOperator (0 scratch slots): one
+// shared gradient-range pass, then the explicit step.
+func (g *GradOp) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
+	gradRange(g.F, scr, out, x, lo, hi)
+	for i := range out {
+		out[i] = x[lo+i] - g.Gamma*out[i]
+	}
+}
+
+// GradRange implements RangeGradSmooth via the Hessian row slab.
+func (f *Quadratic) GradRange(scr *Scratch, dst, x []float64, lo, hi int) {
+	f.Q.MulRangeTo(dst, x, lo, hi)
+	for i := range dst {
+		dst[i] -= f.B[lo+i]
+	}
+}
+
+// GradRange implements RangeGradSmooth via the Gram row slab.
+func (f *LeastSquares) GradRange(scr *Scratch, dst, x []float64, lo, hi int) {
+	f.gram.MulRangeTo(dst, x, lo, hi)
+	for i := range dst {
+		// Same association order as GradComponent: (s + reg*x_i) - aty_i.
+		dst[i] = dst[i] + f.Reg*x[lo+i] - f.aty[lo+i]
+	}
+}
+
+// GradRange implements RangeGradSmooth; each coordinate is independent.
+func (f *Separable) GradRange(scr *Scratch, dst, x []float64, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		dst[c-lo] = f.A[c] * (x[c] - f.T[c])
+	}
+}

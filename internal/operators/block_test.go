@@ -1,0 +1,220 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prox"
+	"repro/internal/vec"
+)
+
+// blockTestOps builds one operator of every block-implementing kind over a
+// shared dimension.
+func blockTestOps(n int) []struct {
+	name string
+	op   Operator
+} {
+	rng := vec.NewRNG(21)
+	bf, inner := allocTestProxGrad(n)
+	lin := allocTestLinear(n)
+
+	// Sparse tridiagonal contraction.
+	var entries []vec.COOEntry
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			entries = append(entries, vec.COOEntry{Row: i, Col: i - 1, Val: 0.3})
+		}
+		if i < n-1 {
+			entries = append(entries, vec.COOEntry{Row: i, Col: i + 1, Val: 0.3})
+		}
+	}
+	sp := NewSparseLinear(vec.NewCSR(n, n, entries), rng.NormalVector(n))
+
+	// Dense least-squares pieces for FB / GradOp / separable variants.
+	q := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1.5+rng.Float64())
+		if i > 0 {
+			q.Set(i, i-1, 0.1)
+			q.Set(i-1, i, 0.1)
+		}
+	}
+	quad := NewQuadratic(q, rng.NormalVector(n), 0)
+	a := make([]float64, n)
+	t := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + rng.Float64()
+		t[i] = rng.Normal()
+	}
+	sep := NewSeparable(a, t)
+
+	return []struct {
+		name string
+		op   Operator
+	}{
+		{"ProxGradBF", bf},
+		{"ProxGradBF(Quadratic)", NewProxGradBF(quad, prox.L1{Lambda: 0.05}, MaxStep(quad))},
+		{"ProxGradBF(Separable)", NewProxGradBF(sep, prox.L1{Lambda: 0.05}, MaxStep(sep))},
+		{"ProxGradFB", NewProxGradFB(quad, prox.L1{Lambda: 0.05}, MaxStep(quad))},
+		{"InnerIterated", inner},
+		{"Relaxed(ProxGradBF)", &Relaxed{Inner: bf, Omega: 0.7}},
+		{"Relaxed(Linear)", &Relaxed{Inner: lin, Omega: 0.7}},
+		{"Linear", lin},
+		{"SparseLinear", sp},
+		{"GradOp", NewGradOp(quad, MaxStep(quad))},
+		{"GradOp(Separable)", NewGradOp(sep, MaxStep(sep))},
+	}
+}
+
+// The block fast path must be componentwise bit-identical to the
+// per-component path for every block size and offset — the deterministic
+// engines rely on identical trajectories whichever path runs.
+func TestEvalBlockMatchesPerComponent(t *testing.T) {
+	const n = 48
+	x := vec.NewRNG(22).NormalVector(n)
+	for _, tc := range blockTestOps(n) {
+		scr := NewScratch()
+		for _, blk := range [][2]int{{0, n}, {0, 1}, {5, 13}, {40, 48}, {7, 8}, {0, 8}} {
+			lo, hi := blk[0], blk[1]
+			out := make([]float64, hi-lo)
+			EvalBlock(tc.op, scr, lo, hi, x, out)
+			for c := lo; c < hi; c++ {
+				want := EvalComponent(tc.op, NewScratch(), c, x)
+				if out[c-lo] != want {
+					t.Errorf("%s: block [%d,%d) component %d: block %v != per-component %v",
+						tc.name, lo, hi, c, out[c-lo], want)
+				}
+			}
+		}
+	}
+}
+
+// The fallback (no block implementation, or nil scratch) must agree with the
+// per-component path too, through the same dispatcher.
+func TestEvalBlockFallback(t *testing.T) {
+	const n = 16
+	bf, _ := allocTestProxGrad(n)
+	hidden := componentOnly{bf}
+	x := vec.NewRNG(23).NormalVector(n)
+	out := make([]float64, 8)
+	EvalBlock(hidden, NewScratch(), 4, 12, x, out)
+	for c := 4; c < 12; c++ {
+		if want := bf.Component(c, x); out[c-4] != want {
+			t.Errorf("fallback component %d: %v != %v", c, out[c-4], want)
+		}
+	}
+	// nil scratch: dispatcher must not take the block path.
+	EvalBlock(bf, nil, 4, 12, x, out)
+	for c := 4; c < 12; c++ {
+		if want := bf.Component(c, x); out[c-4] != want {
+			t.Errorf("nil-scratch component %d: %v != %v", c, out[c-4], want)
+		}
+	}
+}
+
+func TestEvalBlockOutLengthPanics(t *testing.T) {
+	bf, _ := allocTestProxGrad(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalBlock with mismatched out length should panic")
+		}
+	}()
+	EvalBlock(bf, NewScratch(), 0, 4, make([]float64, 8), make([]float64, 3))
+}
+
+// componentOnly hides every fast-path interface, exposing only the plain
+// Operator contract.
+type componentOnly struct{ inner Operator }
+
+func (w componentOnly) Dim() int                             { return w.inner.Dim() }
+func (w componentOnly) Component(i int, x []float64) float64 { return w.inner.Component(i, x) }
+func (w componentOnly) Name() string                         { return w.inner.Name() }
+
+// Residual and ResidualWith must agree between the one-full-application fast
+// path and the per-component fallback to 1e-15 on ProxGradBF (the coupled
+// operator whose per-component residual was O(n^2)).
+func TestResidualFastPathAgreesOnProxGradBF(t *testing.T) {
+	const n = 40
+	bf, _ := allocTestProxGrad(n)
+	x := vec.NewRNG(24).NormalVector(n)
+
+	fast := Residual(bf, x)
+	slow := Residual(componentOnly{bf}, x) // fallback loop: no FullApplier
+	if d := math.Abs(fast - slow); d > 1e-15 {
+		t.Errorf("Residual fast %v vs per-component %v: diff %g > 1e-15", fast, slow, d)
+	}
+
+	scr := NewScratch()
+	fastW := ResidualWith(bf, scr, x)
+	slowW := ResidualWith(componentOnly{bf}, scr, x)
+	if d := math.Abs(fastW - slowW); d > 1e-15 {
+		t.Errorf("ResidualWith fast %v vs per-component %v: diff %g > 1e-15", fastW, slowW, d)
+	}
+	if fast != fastW {
+		t.Errorf("Residual %v != ResidualWith %v on the same operator", fast, fastW)
+	}
+}
+
+// GradRange must be bit-identical to GradComponent for every Smooth that
+// implements it.
+func TestGradRangeMatchesGradComponent(t *testing.T) {
+	const n = 32
+	rng := vec.NewRNG(25)
+	q := vec.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				q.Set(i, j, 4+rng.Float64())
+			} else {
+				q.Set(i, j, 0.05*rng.Normal())
+			}
+		}
+	}
+	design := vec.NewDense(2*n, n)
+	for i := 0; i < 2*n; i++ {
+		for j := 0; j < n; j++ {
+			design.Set(i, j, rng.Normal())
+		}
+	}
+	y := rng.NormalVector(2 * n)
+	a := make([]float64, n)
+	tt := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + rng.Float64()
+		tt[i] = rng.Normal()
+	}
+
+	fs := []struct {
+		name string
+		f    Smooth
+	}{
+		{"Quadratic", NewQuadratic(q, rng.NormalVector(n), 0)},
+		{"LeastSquares", NewLeastSquares(design, y, 0.1)},
+		{"Separable", NewSeparable(a, tt)},
+	}
+	x := rng.NormalVector(n)
+	for _, tc := range fs {
+		rg, ok := tc.f.(RangeGradSmooth)
+		if !ok {
+			t.Fatalf("%s does not implement RangeGradSmooth", tc.name)
+		}
+		for _, blk := range [][2]int{{0, n}, {3, 17}, {n - 1, n}} {
+			lo, hi := blk[0], blk[1]
+			dst := make([]float64, hi-lo)
+			rg.GradRange(NewScratch(), dst, x, lo, hi)
+			for c := lo; c < hi; c++ {
+				if want := tc.f.GradComponent(c, x); dst[c-lo] != want {
+					t.Errorf("%s: GradRange[%d] %v != GradComponent %v", tc.name, c, dst[c-lo], want)
+				}
+			}
+		}
+		// Full Grad must agree bit-identically too (Residual fast path).
+		full := make([]float64, n)
+		tc.f.Grad(full, x)
+		for c := 0; c < n; c++ {
+			if want := tc.f.GradComponent(c, x); full[c] != want {
+				t.Errorf("%s: Grad[%d] %v != GradComponent %v", tc.name, c, full[c], want)
+			}
+		}
+	}
+}

@@ -69,7 +69,16 @@ func FixedPoint(op Operator, x0 []float64, tol float64, maxIter int) ([]float64,
 }
 
 // Residual returns ||F(x) - x||_inf, the standard fixed-point residual.
+// Operators with a whole-vector application (FullApplier) are evaluated with
+// ONE application plus a subtract; the per-component loop — O(n^2) on
+// coupled operators like ProxGradBF, whose every component materializes the
+// full prox vector — remains only as the fallback.
 func Residual(op Operator, x []float64) float64 {
+	if fa, ok := op.(FullApplier); ok {
+		fx := make([]float64, op.Dim())
+		fa.Apply(fx, x)
+		return maxAbsDiff(fx, x)
+	}
 	m := 0.0
 	for i := 0; i < op.Dim(); i++ {
 		d := op.Component(i, x) - x[i]

@@ -14,6 +14,7 @@ package operators
 // allocates again for the same shape.
 type Scratch struct {
 	bufs [][]float64
+	aux  [][]float64
 }
 
 // NewScratch returns an empty Scratch. Buffers grow on demand, so one
@@ -33,6 +34,22 @@ func (s *Scratch) Vec(slot, n int) []float64 {
 		s.bufs[slot] = make([]float64, n)
 	}
 	return s.bufs[slot][:n]
+}
+
+// Aux returns the harness-side scratch vector registered under slot, resized
+// to length n. Aux slots live in a slot space separate from Vec, so helpers
+// that wrap an operator evaluation (ResidualWith's full-application buffer,
+// RangeGradSmooth temporaries) can never collide with the slots the operator
+// itself consumes. Slot 0 is reserved for ResidualWith; RangeGradSmooth
+// implementations use slots >= 1.
+func (s *Scratch) Aux(slot, n int) []float64 {
+	for len(s.aux) <= slot {
+		s.aux = append(s.aux, nil)
+	}
+	if cap(s.aux[slot]) < n {
+		s.aux[slot] = make([]float64, n)
+	}
+	return s.aux[slot][:n]
 }
 
 // ScratchOperator is an optional fast path: operators whose evaluation needs
@@ -67,12 +84,37 @@ func ApplyInto(op Operator, scr *Scratch, dst, x []float64) {
 	Apply(op, dst, x)
 }
 
-// ResidualWith returns ||F(x) - x||_inf like Residual, threading scr through
-// the componentwise evaluations.
+// ResidualWith returns ||F(x) - x||_inf like Residual. When the operator
+// has a whole-vector application (ScratchOperator or FullApplier) the
+// residual is ONE application into an Aux buffer plus a subtract — O(n +
+// apply) instead of the O(n * component) the per-component loop costs on
+// coupled operators — and stays allocation-free once scr is warmed. The
+// componentwise loop remains as the fallback.
 func ResidualWith(op Operator, scr *Scratch, x []float64) float64 {
+	_, isScratch := op.(ScratchOperator)
+	_, isFull := op.(FullApplier)
+	if scr != nil && (isScratch || isFull) {
+		fx := scr.Aux(0, op.Dim())
+		ApplyInto(op, scr, fx, x)
+		return maxAbsDiff(fx, x)
+	}
 	m := 0.0
 	for i := 0; i < op.Dim(); i++ {
 		d := EvalComponent(op, scr, i, x) - x[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i, v := range a {
+		d := v - b[i]
 		if d < 0 {
 			d = -d
 		}

@@ -198,7 +198,9 @@ func (f *LeastSquares) Value(x []float64) float64 {
 func (f *LeastSquares) Grad(dst, x []float64) {
 	f.gram.MulVecTo(dst, x)
 	for i := range dst {
-		dst[i] += f.Reg*x[i] - f.aty[i]
+		// Same association order as GradComponent: (s + reg*x_i) - aty_i,
+		// so full, range and componentwise gradients are bit-identical.
+		dst[i] = dst[i] + f.Reg*x[i] - f.aty[i]
 	}
 }
 

@@ -149,6 +149,7 @@ func RunMessage(cfg Config) (*Result, error) {
 			view := make([]float64, n)
 			copy(view, x0)
 			out := make([]float64, hi-lo)
+			chk := make([]float64, hi-lo) // blockDelta's evaluation buffer
 			scr := cfg.workerScratch(w)
 
 			receive := func(m blockMsg) {
@@ -175,9 +176,10 @@ func RunMessage(cfg Config) (*Result, error) {
 				}
 			}
 			blockDelta := func() float64 {
+				operators.EvalBlock(cfg.Op, scr, lo, hi, view, chk)
 				d := 0.0
-				for c := lo; c < hi; c++ {
-					v := operators.EvalComponent(cfg.Op, scr, c, view) - view[c]
+				for i, v := range chk {
+					v -= view[lo+i]
 					if v < 0 {
 						v = -v
 					}
@@ -245,10 +247,12 @@ func RunMessage(cfg Config) (*Result, error) {
 					continue // an event while passive consumes budget, bounding the loop
 				}
 				drain()
+				// Phase evaluation: the whole block in one coupled-operator
+				// pass (shared prox/gradient work amortized across the block).
+				operators.EvalBlock(cfg.Op, scr, lo, hi, view, out)
 				delta := 0.0
-				for c := lo; c < hi; c++ {
-					out[c-lo] = operators.EvalComponent(cfg.Op, scr, c, view)
-					if d := out[c-lo] - view[c]; d > delta {
+				for i, v := range out {
+					if d := v - view[lo+i]; d > delta {
 						delta = d
 					} else if -d > delta {
 						delta = -d

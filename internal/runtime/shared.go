@@ -132,19 +132,17 @@ func RunShared(cfg Config) (*Result, error) {
 			cert := make([]float64, n)
 			out := make([]float64, hi-lo)
 			old := make([]float64, hi-lo)
+			chk := make([]float64, hi-lo) // watch-sweep evaluation buffer
 			scr := cfg.workerScratch(w)
 
 			// certify re-snapshots the full vector and re-checks the
 			// fixed-point residual; it runs between the two collects of the
 			// double collect, when the vector is a candidate frozen state.
+			// ResidualWith routes through ONE full operator application, not
+			// n componentwise evaluations each redoing the shared work.
 			certify := func() bool {
 				sv.Snapshot(cert)
-				for c := 0; c < n; c++ {
-					if math.Abs(operators.EvalComponent(cfg.Op, scr, c, cert)-cert[c]) > cfg.Tol {
-						return false
-					}
-				}
-				return true
+				return operators.ResidualWith(cfg.Op, scr, cert) <= cfg.Tol
 			}
 
 			streak := 0
@@ -157,9 +155,10 @@ func RunShared(cfg Config) (*Result, error) {
 					// convergence against the live vector. No stores, so a
 					// fully passive system is frozen and certifiable.
 					sv.Snapshot(snap)
+					operators.EvalBlock(cfg.Op, scr, lo, hi, snap, chk)
 					delta := 0.0
-					for c := lo; c < hi; c++ {
-						if d := math.Abs(operators.EvalComponent(cfg.Op, scr, c, snap) - snap[c]); d > delta {
+					for i, v := range chk {
+						if d := math.Abs(v - snap[lo+i]); d > delta {
 							delta = d
 						}
 					}
@@ -180,11 +179,13 @@ func RunShared(cfg Config) (*Result, error) {
 					continue // watch sweeps consume budget, bounding the loop
 				}
 				sv.Snapshot(snap)
+				copy(old, snap[lo:hi])
+				// Phase evaluation: the whole block in one coupled-operator
+				// pass (shared prox/gradient work amortized across the block).
+				operators.EvalBlock(cfg.Op, scr, lo, hi, snap, out)
 				delta := 0.0
-				for c := lo; c < hi; c++ {
-					old[c-lo] = snap[c]
-					out[c-lo] = operators.EvalComponent(cfg.Op, scr, c, snap)
-					if d := math.Abs(out[c-lo] - snap[c]); d > delta {
+				for i, v := range out {
+					if d := math.Abs(v - snap[lo+i]); d > delta {
 						delta = d
 					}
 				}

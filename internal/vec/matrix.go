@@ -99,6 +99,29 @@ func (m *Dense) MulVecTransTo(y, x Vector) {
 	}
 }
 
+// MulRangeTo computes the row range y[i-lo] = (M x)_i for i in [lo, hi) —
+// the row-slab matvec the block-evaluation fast path runs once per worker
+// phase instead of hi-lo independent RowDotAt calls. The per-row summation
+// order is identical to RowDotAt, so range and componentwise evaluation are
+// bit-identical.
+func (m *Dense) MulRangeTo(y, x Vector, lo, hi int) {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("vec: MulRangeTo range [%d,%d) outside %d rows", lo, hi, m.Rows))
+	}
+	if len(x) != m.Cols || len(y) != hi-lo {
+		panic(fmt.Sprintf("vec: MulRangeTo dimension mismatch (%dx%d)*%d -> %d (range %d)",
+			m.Rows, m.Cols, len(x), len(y), hi-lo))
+	}
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i-lo] = s
+	}
+}
+
 // RowDotAt returns the dot product of row i with x; used for componentwise
 // residual evaluation without touching other rows.
 func (m *Dense) RowDotAt(i int, x Vector) float64 {

@@ -1,0 +1,94 @@
+package vec
+
+import "testing"
+
+func randomDense(rows, cols int, seed uint64) *Dense {
+	rng := NewRNG(seed)
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Normal()
+	}
+	return m
+}
+
+func randomCSRMatrix(rows, cols int, nnzPerRow int, seed uint64) *CSR {
+	rng := NewRNG(seed)
+	var entries []COOEntry
+	for r := 0; r < rows; r++ {
+		for k := 0; k < nnzPerRow; k++ {
+			entries = append(entries, COOEntry{
+				Row: r, Col: int(rng.Uint64() % uint64(cols)), Val: rng.Normal(),
+			})
+		}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+// MulRangeTo must agree bit-identically with the corresponding rows of a
+// full MulVecTo on random matrices, for every range.
+func TestDenseMulRangeToMatchesMulVecTo(t *testing.T) {
+	const rows, cols = 23, 17
+	m := randomDense(rows, cols, 31)
+	x := NewRNG(32).NormalVector(cols)
+	full := make([]float64, rows)
+	m.MulVecTo(full, x)
+	for _, blk := range [][2]int{{0, rows}, {0, 0}, {0, 1}, {5, 14}, {rows - 1, rows}} {
+		lo, hi := blk[0], blk[1]
+		y := make([]float64, hi-lo)
+		m.MulRangeTo(y, x, lo, hi)
+		for i := range y {
+			if y[i] != full[lo+i] {
+				t.Errorf("dense range [%d,%d) row %d: %v != %v", lo, hi, lo+i, y[i], full[lo+i])
+			}
+		}
+	}
+}
+
+func TestCSRMulRangeToMatchesMulVecTo(t *testing.T) {
+	const rows, cols = 29, 29
+	m := randomCSRMatrix(rows, cols, 4, 33)
+	x := NewRNG(34).NormalVector(cols)
+	full := make([]float64, rows)
+	m.MulVecTo(full, x)
+	for _, blk := range [][2]int{{0, rows}, {0, 0}, {0, 1}, {7, 20}, {rows - 1, rows}} {
+		lo, hi := blk[0], blk[1]
+		y := make([]float64, hi-lo)
+		m.MulRangeTo(y, x, lo, hi)
+		for i := range y {
+			if y[i] != full[lo+i] {
+				t.Errorf("csr range [%d,%d) row %d: %v != %v", lo, hi, lo+i, y[i], full[lo+i])
+			}
+		}
+	}
+}
+
+func TestMulRangeToBoundsPanics(t *testing.T) {
+	dense := randomDense(8, 8, 35)
+	csr := randomCSRMatrix(8, 8, 2, 36)
+	x := make([]float64, 8)
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"dense lo<0", func() { dense.MulRangeTo(make([]float64, 3), x, -1, 2) }},
+		{"dense hi>rows", func() { dense.MulRangeTo(make([]float64, 3), x, 6, 9) }},
+		{"dense lo>hi", func() { dense.MulRangeTo(make([]float64, 0), x, 5, 3) }},
+		{"dense bad y", func() { dense.MulRangeTo(make([]float64, 2), x, 0, 3) }},
+		{"dense bad x", func() { dense.MulRangeTo(make([]float64, 3), x[:5], 0, 3) }},
+		{"csr lo<0", func() { csr.MulRangeTo(make([]float64, 3), x, -1, 2) }},
+		{"csr hi>rows", func() { csr.MulRangeTo(make([]float64, 3), x, 6, 9) }},
+		{"csr lo>hi", func() { csr.MulRangeTo(make([]float64, 0), x, 5, 3) }},
+		{"csr bad y", func() { csr.MulRangeTo(make([]float64, 2), x, 0, 3) }},
+		{"csr bad x", func() { csr.MulRangeTo(make([]float64, 3), x[:5], 0, 3) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}

@@ -83,6 +83,26 @@ func (m *CSR) MulVec(x Vector) Vector {
 	return y
 }
 
+// MulRangeTo computes the row range y[i-lo] = (M x)_i for i in [lo, hi) —
+// the sparse row-slab matvec behind the block-evaluation fast path of the
+// grid/graph operators. Per-row summation order matches RowDotAt exactly, so
+// range and componentwise evaluation are bit-identical.
+func (m *CSR) MulRangeTo(y, x Vector, lo, hi int) {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("vec: CSR MulRangeTo range [%d,%d) outside %d rows", lo, hi, m.Rows))
+	}
+	if len(x) != m.Cols || len(y) != hi-lo {
+		panic("vec: CSR MulRangeTo dimension mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i-lo] = s
+	}
+}
+
 // RowDotAt returns (M x)_i touching only row i; this is the per-component
 // evaluation the asynchronous engines call.
 func (m *CSR) RowDotAt(i int, x Vector) float64 {

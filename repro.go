@@ -76,6 +76,14 @@ type (
 	// OperatorScratch is a per-worker bundle of reusable work vectors for
 	// allocation-free operator evaluation (see NewOperatorScratch).
 	OperatorScratch = operators.Scratch
+	// BlockOperator is the whole-block evaluation fast path coupled
+	// operators implement so engine phases amortize shared work (the prox
+	// vector, the gradient pass) across a worker's block; see EvalBlock.
+	BlockOperator = operators.BlockScratchOperator
+	// RangeGradSmooth is the gradient-range fast path a Smooth implements
+	// so block evaluation shares the whole-gradient work (Hessian/Gram row
+	// slab, logistic residual pass) across a component range.
+	RangeGradSmooth = operators.RangeGradSmooth
 )
 
 // Constructors re-exported from the operators package.
@@ -103,6 +111,10 @@ var (
 	// EvalComponent evaluates F_i(x) using the operator's scratch fast path
 	// when available.
 	EvalComponent = operators.EvalComponent
+	// EvalBlock evaluates the component range [lo, hi) of F at x into out,
+	// using the operator's whole-block fast path when available and the
+	// per-component loop otherwise — the call every engine phase makes.
+	EvalBlock = operators.EvalBlock
 	// ApplyOperator evaluates F(x) into dst using the scratch (or full-apply)
 	// fast path when available.
 	ApplyOperator = operators.ApplyInto
