@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race smoke-examples bench bench-json lint fmt check clean
+.PHONY: all build test race smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint fmt check clean
 
 all: build
 
@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # The race job covers the goroutine and TCP engines (both dist
-# topologies), the parallel experiment harness and the facade that drives
-# them.
+# topologies), the parallel experiment harness, the facade that drives
+# them, and the HTTP job server (concurrent workers + scratch pool).
 race:
-	$(GO) test -race . ./internal/runtime/... ./internal/dist/... ./internal/experiments/...
+	$(GO) test -race . ./internal/runtime/... ./internal/dist/... ./internal/experiments/... ./internal/server/...
 
 # Every example program must actually run, not just compile (CI smoke-runs
 # them on every push).
@@ -34,6 +34,34 @@ smoke-dist:
 	$(GO) run ./cmd/asyncsolve -scenario lasso -engine dist -workers 4 -topology mesh >/dev/null
 	$(GO) run ./cmd/asyncsolve -scenario routing -engine dist -workers 4 -topology mesh -delta 1e-9 >/dev/null
 
+# Serve smoke: stand up the HTTP job server with admission capacity (queue
+# depth + workers) deliberately below the offered closed-loop concurrency,
+# drive it for 2s with a three-scenario mix, and require BOTH outcomes the
+# design promises: every accepted job converged (load's exit code) and at
+# least one job was 503-rejected, i.e. admission control actually engaged.
+# Finishes with a SIGTERM drain, which must exit cleanly.
+serve-smoke:
+	$(GO) build -o asyncsolve ./cmd/asyncsolve
+	@./asyncsolve serve -addr 127.0.0.1:18080 -queue 1 -concurrency 1 -quiet & \
+	pid=$$!; \
+	trap 'kill "$$pid" 2>/dev/null' EXIT; \
+	sleep 1; \
+	out=$$(./asyncsolve load -addr http://127.0.0.1:18080 -duration 2s \
+		-concurrency 8 -scenarios lasso,ridge,routing); \
+	status=$$?; \
+	echo "$$out"; \
+	if [ "$$status" -ne 0 ]; then \
+		echo "serve-smoke: load failed (an accepted job did not converge)" >&2; \
+		exit "$$status"; \
+	fi; \
+	echo "$$out" | grep -q 'rejected=[1-9]' || { \
+		echo "serve-smoke: no 503 rejection observed (queue never filled)" >&2; \
+		exit 1; }; \
+	kill -TERM "$$pid"; \
+	wait "$$pid"; \
+	trap - EXIT; \
+	echo "serve-smoke: ok"
+
 # Benchmark smoke: every benchmark compiles and runs once, with allocation
 # reporting (what the CI benchmark job runs before capturing BENCH json).
 bench:
@@ -43,12 +71,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/asyncsolve bench
 
-# Gate the block-evaluation fast path: re-measure the BlockEval pairs and
-# fail if any block-vs-per-component speedup multiple regressed more than
-# 20% against the committed baseline capture. Multiples, not raw ns/op, are
-# compared, so the gate is machine-independent.
+# Gate the block-evaluation fast path and the serving layer: re-measure the
+# BlockEval pairs plus the ServeSustained/ScenarioSolveLasso pair and fail
+# if any block-vs-per-component speedup multiple (or the serving-efficiency
+# ratio) regressed against the committed baseline capture. Ratios within
+# one capture, not raw ns/op, are compared, so the gate is
+# machine-independent.
 bench-compare:
-	$(GO) run ./cmd/asyncsolve bench -match '^BlockEval' -experiments=false \
+	$(GO) run ./cmd/asyncsolve bench \
+		-match '^(BlockEval|ServeSustained$$|ScenarioSolveLasso$$)' -experiments=false \
 		-benchtime 250ms -rev current -out BENCH_current.json
 	$(GO) run ./cmd/asyncsolve bench-compare \
 		-baseline BENCH_baseline.json -current BENCH_current.json
@@ -64,7 +95,7 @@ lint:
 fmt:
 	gofmt -w .
 
-check: lint build test race smoke-examples smoke-dist bench bench-compare
+check: lint build test race smoke-examples smoke-dist serve-smoke bench bench-compare
 
 # Committed captures (the baseline and the recorded performance trajectory)
 # stay; every untracked BENCH json (bench-json / bench-compare output) goes.

@@ -1,0 +1,144 @@
+package repro_test
+
+// Tests of solve cancellation (WithContext) and live progress observation
+// (WithProgress): a cancelled solve must return the context's error
+// promptly instead of burning through its whole budget, and an attached
+// Progress must see phases complete while the solve runs.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// cancellableEngines are the engines that honour Spec.Ctx mid-run.
+func cancellableEngines() []repro.Engine {
+	return []repro.Engine{
+		repro.EngineModel, repro.EngineSim, repro.EngineSimSync,
+		repro.EngineShared, repro.EngineMessage,
+	}
+}
+
+// TestWithContextCancelStopsSolve starts an effectively unbounded solve
+// (tolerance too tight to reach quickly, huge budgets) and cancels it after
+// a few milliseconds; every cancellable engine must return promptly with
+// the context error.
+func TestWithContextCancelStopsSolve(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	for _, engine := range cancellableEngines() {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			time.AfterFunc(5*time.Millisecond, cancel)
+			start := time.Now()
+			res, err := repro.Solve(spec,
+				repro.WithEngine(engine),
+				repro.WithContext(ctx),
+				repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+				repro.WithWorkers(4),
+				repro.WithSeed(3),
+				repro.WithTol(0), // stopping disabled: the run can only be cancelled
+				repro.WithMaxIter(1<<30),
+				repro.WithMaxUpdates(1<<30),
+			)
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatalf("cancelled solve returned a report (converged=%v)", res.Converged)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancel took %v to take effect", elapsed)
+			}
+		})
+	}
+}
+
+// TestWithContextDeadlinePreCancelled: a context that is already done must
+// fail fast without running the engine at all.
+func TestWithContextDeadlinePreCancelled(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := repro.Solve(spec, repro.WithContext(ctx), repro.WithTol(1e-9))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestWithContextUncancelledRunsUnchanged: attaching a context that never
+// fires must not perturb the deterministic engines' trajectories.
+func TestWithContextUncancelledRunsUnchanged(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	for _, engine := range []repro.Engine{repro.EngineModel, repro.EngineSim, repro.EngineSimSync} {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			opts := func(extra ...repro.Option) []repro.Option {
+				return append([]repro.Option{
+					repro.WithEngine(engine),
+					repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+					repro.WithWorkers(4),
+					repro.WithSeed(3),
+					repro.WithTol(1e-9),
+					repro.WithMaxIter(2000000),
+					repro.WithMaxUpdates(2000000),
+				}, extra...)
+			}
+			plain, err := repro.Solve(spec, opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withCtx, err := repro.Solve(spec, opts(repro.WithContext(context.Background()))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withCtx.Iterations != plain.Iterations || withCtx.Updates != plain.Updates {
+				t.Fatalf("context changed the trajectory: iters %d/%d updates %d/%d",
+					withCtx.Iterations, plain.Iterations, withCtx.Updates, plain.Updates)
+			}
+			for i := range plain.X {
+				if withCtx.X[i] != plain.X[i] {
+					t.Fatalf("component %d differs with context: %v != %v", i, withCtx.X[i], plain.X[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWithProgressObservesUpdates runs a bounded solve with a Progress
+// attached and checks the final counter matches the report's update count
+// (and for a concurrent engine, that the counter is live, not just final).
+func TestWithProgressObservesUpdates(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	for _, engine := range []repro.Engine{repro.EngineModel, repro.EngineSim, repro.EngineShared} {
+		engine := engine
+		t.Run(engine.Name(), func(t *testing.T) {
+			p := new(repro.Progress)
+			res, err := repro.Solve(spec,
+				repro.WithEngine(engine),
+				repro.WithProgress(p),
+				repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+				repro.WithWorkers(4),
+				repro.WithSeed(3),
+				repro.WithTol(1e-9),
+				repro.WithMaxIter(2000000),
+				repro.WithMaxUpdates(2000000),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(res.Updates)
+			if engine == repro.EngineModel {
+				want = int64(res.Iterations)
+			}
+			if got := p.Updates(); got != want {
+				t.Fatalf("Progress.Updates() = %d, want %d", got, want)
+			}
+		})
+	}
+}

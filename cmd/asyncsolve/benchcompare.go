@@ -20,11 +20,15 @@ func runBenchCompare(args []string) {
 	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline capture")
 	currentPath := fs.String("current", "", "fresh capture to check (required)")
 	tolerance := fs.Float64("tolerance", 0.2, "allowed fractional regression of each speedup multiple")
+	serveTolerance := fs.Float64("serve-tolerance", 0.5, "allowed fractional regression of the ServeSustained/ScenarioSolveLasso ratio (looser: it includes HTTP and scheduler noise)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: asyncsolve bench-compare -baseline BENCH_baseline.json -current BENCH_new.json [-tolerance 0.2]
 
 Fails (exit 1) when any BlockEval case's block-vs-per-component speedup
-multiple in the current capture is more than tolerance below the baseline's.
+multiple in the current capture is more than tolerance below the
+baseline's, or when the serving-efficiency ratio (ServeSustained solves/sec
+normalized by ScenarioSolveLasso within the same capture) is more than
+serve-tolerance below the baseline's.
 
 `)
 		fs.PrintDefaults()
@@ -36,8 +40,8 @@ multiple in the current capture is more than tolerance below the baseline's.
 		fmt.Fprintln(os.Stderr, "asyncsolve bench-compare: -current is required")
 		os.Exit(2)
 	}
-	if *tolerance < 0 || *tolerance >= 1 {
-		fmt.Fprintln(os.Stderr, "asyncsolve bench-compare: -tolerance must be in [0, 1)")
+	if *tolerance < 0 || *tolerance >= 1 || *serveTolerance < 0 || *serveTolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "asyncsolve bench-compare: tolerances must be in [0, 1)")
 		os.Exit(2)
 	}
 
@@ -58,14 +62,26 @@ multiple in the current capture is more than tolerance below the baseline's.
 	baseline := read(*baselinePath)
 	current := read(*currentPath)
 
+	failed := false
 	lines, err := benchsuite.CompareBlockEval(baseline, current, *tolerance)
 	for _, l := range lines {
 		fmt.Println(l)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		failed = true
+	}
+	serveLines, serveErr := benchsuite.CompareServeSustained(baseline, current, *serveTolerance)
+	for _, l := range serveLines {
+		fmt.Println(l)
+	}
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, serveErr)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("bench-compare: block-evaluation speedups within %.0f%% of baseline (%s)\n",
-		*tolerance*100, baseline.Revision)
+	fmt.Printf("bench-compare: block-evaluation speedups within %.0f%% and serving efficiency within %.0f%% of baseline (%s)\n",
+		*tolerance*100, *serveTolerance*100, baseline.Revision)
 }

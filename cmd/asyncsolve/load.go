@@ -1,0 +1,211 @@
+package main
+
+// The load subcommand drives a running solve server (asyncsolve serve) and
+// reports sustained throughput and latency:
+//
+//	asyncsolve load -addr http://127.0.0.1:8080 -duration 10s -concurrency 8
+//	asyncsolve load -rate 50 -scenarios lasso,ridge,routing -duration 5s
+//
+// Closed loop (default): -concurrency workers each issue the next job as
+// soon as the previous finishes — throughput finds the server's capacity.
+// Open loop (-rate R): jobs are offered at R per second regardless of
+// completions — admission control (503 + Retry-After) absorbs the excess.
+// Scenarios from the -scenarios list are assigned round-robin.
+//
+// The exit code is 0 only if every ACCEPTED job converged; rejections are
+// the admission-control design working and do not fail the run.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+type loadStats struct {
+	mu          sync.Mutex
+	latencies   []time.Duration
+	converged   int
+	unconverged int
+	jobErrs     []string
+	rejected    int
+	transport   []string
+	perScenario map[string]int
+}
+
+func (st *loadStats) record(scenario string, out *server.Outcome, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case err != nil:
+		st.transport = append(st.transport, err.Error())
+	case out.Rejected:
+		st.rejected++
+	case out.JobErr != "":
+		st.jobErrs = append(st.jobErrs, out.JobErr)
+	default:
+		st.latencies = append(st.latencies, out.Latency)
+		st.perScenario[scenario]++
+		if out.Report != nil && out.Report.Converged {
+			st.converged++
+		} else {
+			st.unconverged++
+		}
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	duration := fs.Duration("duration", 10*time.Second, "how long to offer jobs")
+	concurrency := fs.Int("concurrency", 4, "closed-loop workers (ignored with -rate)")
+	rate := fs.Float64("rate", 0, "open-loop offered jobs per second (0 = closed loop)")
+	scenarioList := fs.String("scenarios", "lasso", "comma-separated scenario mix, assigned round-robin")
+	n := fs.Int("n", 16, "problem size for every job (0 = scenario defaults)")
+	engineName := fs.String("engine", "model", "engine for every job")
+	workers := fs.Int("workers", 0, "per-job worker count (0 = engine default)")
+	seed := fs.Uint64("seed", 1, "base seed; job i uses seed+i")
+	timeoutMS := fs.Int64("timeout-ms", 30000, "per-job timeout_ms sent to the server")
+	fs.Parse(args)
+
+	scenarios := strings.Split(*scenarioList, ",")
+	for i := range scenarios {
+		scenarios[i] = strings.TrimSpace(scenarios[i])
+	}
+	c := &server.Client{Base: strings.TrimRight(*addr, "/")}
+	if _, err := c.Health(context.Background()); err != nil {
+		log.Fatalf("server not reachable at %s: %v", *addr, err)
+	}
+
+	st := &loadStats{perScenario: make(map[string]int)}
+	var jobIdx atomic.Int64
+	oneJob := func(ctx context.Context) {
+		i := jobIdx.Add(1) - 1
+		scenario := scenarios[int(i)%len(scenarios)]
+		out, err := c.Solve(ctx, server.JobRequest{
+			Scenario:  scenario,
+			N:         *n,
+			Seed:      *seed + uint64(i),
+			Engine:    *engineName,
+			Workers:   *workers,
+			TimeoutMS: *timeoutMS,
+		})
+		st.record(scenario, out, err)
+	}
+
+	// In-flight jobs run to completion after the offering window closes, so
+	// the tail is measured, not truncated; the context only guards against
+	// a wedged server.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		*duration+time.Duration(*timeoutMS)*time.Millisecond+30*time.Second)
+	defer cancel()
+	begin := time.Now()
+	deadline := begin.Add(*duration)
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		// Open loop: offer at a fixed rate, completions be damned.
+		tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			<-tick.C
+			wg.Add(1)
+			go func() { defer wg.Done(); oneJob(ctx) }()
+		}
+	} else {
+		// Closed loop: each worker issues its next job on completion.
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					oneJob(ctx)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	done := st.converged + st.unconverged
+	offered := done + st.rejected + len(st.jobErrs) + len(st.transport)
+	mode := fmt.Sprintf("closed-loop concurrency=%d", *concurrency)
+	if *rate > 0 {
+		mode = fmt.Sprintf("open-loop rate=%.1f/s", *rate)
+	}
+	fmt.Printf("load: %s over %v (%s)\n", *scenarioList, elapsed.Round(time.Millisecond), mode)
+	fmt.Printf("offered=%d completed=%d converged=%d rejected=%d errors=%d transport=%d\n",
+		offered, done, st.converged, st.rejected, len(st.jobErrs), len(st.transport))
+	fmt.Printf("solves/sec=%.2f\n", float64(st.converged)/elapsed.Seconds())
+	if len(st.latencies) > 0 {
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+			percentile(st.latencies, 0.50).Round(time.Microsecond),
+			percentile(st.latencies, 0.90).Round(time.Microsecond),
+			percentile(st.latencies, 0.99).Round(time.Microsecond),
+			st.latencies[len(st.latencies)-1].Round(time.Microsecond))
+		// Power-of-two latency histogram.
+		buckets := map[int]int{}
+		for _, l := range st.latencies {
+			b := 0
+			for ms := l.Milliseconds(); ms > 0; ms >>= 1 {
+				b++
+			}
+			buckets[b]++
+		}
+		keys := make([]int, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			lo, hi := 0, 1
+			if k > 0 {
+				lo, hi = 1<<(k-1), 1<<k
+			}
+			fmt.Printf("  %5d-%dms %d\n", lo, hi, buckets[k])
+		}
+	}
+	names := make([]string, 0, len(st.perScenario))
+	for name := range st.perScenario {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  scenario %-10s completed=%d\n", name, st.perScenario[name])
+	}
+	for i, e := range st.jobErrs {
+		if i == 3 {
+			fmt.Printf("  ... and %d more job errors\n", len(st.jobErrs)-3)
+			break
+		}
+		fmt.Printf("  job error: %s\n", e)
+	}
+	for i, e := range st.transport {
+		if i == 3 {
+			fmt.Printf("  ... and %d more transport errors\n", len(st.transport)-3)
+			break
+		}
+		fmt.Printf("  transport error: %s\n", e)
+	}
+	if st.unconverged > 0 || len(st.jobErrs) > 0 || len(st.transport) > 0 || st.converged == 0 {
+		os.Exit(1)
+	}
+}

@@ -26,6 +26,13 @@
 //	asyncsolve dist-coordinator -listen 127.0.0.1:7000 -workers 2 -scenario lasso &
 //	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso &
 //	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso
+//
+// The serve subcommand runs solver-as-a-service (see serve.go): an HTTP job
+// server with admission control and NDJSON-streamed reports; load (load.go)
+// drives it and reports sustained solves/sec with a latency histogram:
+//
+//	asyncsolve serve -addr 127.0.0.1:8080 -queue 16 &
+//	asyncsolve load  -addr http://127.0.0.1:8080 -duration 10s -scenarios lasso,ridge,routing
 package main
 
 import (
@@ -51,6 +58,12 @@ func main() {
 			return
 		case "dist-worker":
 			runDistWorker(os.Args[2:])
+			return
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "load":
+			runLoad(os.Args[2:])
 			return
 		}
 	}

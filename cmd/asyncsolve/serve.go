@@ -1,0 +1,67 @@
+package main
+
+// The serve subcommand runs solver-as-a-service: the internal/server HTTP
+// job server over the unified Solve facade.
+//
+//	asyncsolve serve -addr 127.0.0.1:8080 -queue 16 -concurrency 4
+//
+// POST /v1/solve takes a JSON job (scenario, n, seed, engine, delay, ...)
+// and streams NDJSON events ending in the terminal Report; GET /v1/scenarios
+// lists workloads; GET /healthz reports queue/worker state. SIGINT/SIGTERM
+// drains gracefully: running and queued jobs finish, new jobs get 503.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	queue := fs.Int("queue", 16, "admission-control queue depth; a full queue answers 503")
+	concurrency := fs.Int("concurrency", 0, "concurrent solves (0 = GOMAXPROCS)")
+	maxJobTime := fs.Duration("max-job-time", 60*time.Second, "hard cap on any job's run time")
+	progressEvery := fs.Duration("progress-every", 500*time.Millisecond, "NDJSON progress event period")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 503 rejections")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	fs.Parse(args)
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		Addr:          *addr,
+		QueueDepth:    *queue,
+		Workers:       *concurrency,
+		MaxJobTime:    *maxJobTime,
+		ProgressEvery: *progressEvery,
+		RetryAfter:    *retryAfter,
+		Logf:          logf,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// The one line scripts scrape for the bound address.
+	fmt.Printf("serving on http://%s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately instead of draining
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+}

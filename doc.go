@@ -127,6 +127,39 @@
 // or from the CLI: asyncsolve -scenario lasso -engine sim -delay bounded:8.
 // Custom workloads join the registry via RegisterScenario.
 //
+// # Serving
+//
+// The internal/server package (CLI: asyncsolve serve) exposes the scenario
+// x engine matrix as a multi-tenant HTTP job service. POST /v1/solve takes
+// one JSON job — scenario, n, seed, engine, delay, tolerance and the
+// flexible-communication knobs, mirroring the CLI flags — and streams
+// NDJSON events: accepted, started, periodic progress (live update counts
+// via WithProgress), then exactly one terminal event carrying the full
+// Report verbatim. Report is JSON-round-trippable for exactly this use;
+// non-finite values (routing's Bellman-Ford starts at +Inf) encode as
+// "Infinity"/"-Infinity"/"NaN" strings. A bounded job queue provides
+// admission control — a full queue answers 503 with a Retry-After hint
+// instead of queueing without bound — and every job runs under a
+// per-request deadline delivered to the engines as context cancellation
+// (WithContext), so an abandoned or overlong request frees its worker.
+// Solves reuse Scratch buffers from a pool keyed by problem signature
+// (scenario, engine, n, workers), safe because scratch reuse is
+// bit-identical by contract. Every in-process engine is served; only
+// EngineDist is refused (it spans OS processes and cannot be cancelled
+// mid-run). GET /v1/scenarios lists the registry, GET /healthz reports
+// queue/worker/pool state, and SIGINT/SIGTERM drains gracefully: running
+// and queued jobs finish their streams, new jobs get 503.
+//
+// asyncsolve load drives a running server (closed- or open-loop, mixed
+// scenario round-robin) and reports sustained solves/sec with a latency
+// histogram; make serve-smoke stands the pair up with admission capacity
+// below the offered load and requires both that every accepted job
+// converges and that at least one job is 503-rejected. The benchsuite's
+// ServeSustained case records served throughput in every BENCH capture,
+// and bench-compare gates the ServeSustained/ScenarioSolveLasso ratio
+// within one capture — serving efficiency, machine-independent like the
+// BlockEval multiples.
+//
 // Beyond solving, the package exposes the paper's analysis apparatus:
 // macro-iteration sequences (Definition 2), epoch sequences (Mishchenko et
 // al.), Theorem 1 bound checking (inequality (5)), delay-condition and

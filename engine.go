@@ -41,6 +41,7 @@ package repro
 // taken around an optional re-certification.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -118,6 +119,26 @@ func (s Spec) workers() int {
 	return defaultWorkers
 }
 
+// done returns the cancellation channel of Spec.Ctx (nil when no context is
+// attached, which the engines treat as "never cancelled").
+func (s Spec) done() <-chan struct{} {
+	if s.Ctx == nil {
+		return nil
+	}
+	return s.Ctx.Done()
+}
+
+// ctxErr is the error a cancelled solve returns: the context's own error
+// when one is attached, context.Canceled as the fallback.
+func (s Spec) ctxErr() error {
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
+}
+
 // ensureReference fills in spec.XStar with a synchronous reference solution
 // when an engine needs it for error-based stopping. The reference is solved
 // an order of magnitude tighter than the requested tolerance.
@@ -177,6 +198,8 @@ func (modelEngine) Solve(spec Spec) (*Report, error) {
 		ResidualEvery:    spec.ResidualEvery,
 		CheckConstraint3: spec.ValidateConstraint3,
 		Scratch:          spec.Scratch.modelScratch(),
+		Done:             spec.done(),
+		Progress:         spec.Progress.counter(),
 	}
 	// Unified Workers semantics: a machine count without an explicit
 	// component-to-machine map means the same contiguous block partition
@@ -187,6 +210,9 @@ func (modelEngine) Solve(spec Spec) (*Report, error) {
 	r, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if r.Cancelled {
+		return nil, spec.ctxErr()
 	}
 	rep := &Report{
 		Engine:           "model",
@@ -231,6 +257,8 @@ func (s Spec) desConfig() des.Config {
 		Seed:       s.Seed,
 		Trace:      s.Trace,
 		Scratches:  s.Scratch.workerScratches(s.workers()),
+		Done:       s.done(),
+		Progress:   s.Progress.counter(),
 	}
 }
 
@@ -241,6 +269,9 @@ func (simEngine) Solve(spec Spec) (*Report, error) {
 	r, err := des.Run(spec.desConfig())
 	if err != nil {
 		return nil, err
+	}
+	if r.Cancelled {
+		return nil, spec.ctxErr()
 	}
 	rep := &Report{
 		Engine:           "sim",
@@ -279,6 +310,9 @@ func (simSyncEngine) Solve(spec Spec) (*Report, error) {
 	r, err := des.RunSync(spec.desConfig())
 	if err != nil {
 		return nil, err
+	}
+	if r.Cancelled {
+		return nil, spec.ctxErr()
 	}
 	rep := &Report{
 		Engine:     "simsync",
@@ -322,6 +356,8 @@ func (s Spec) runtimeConfig() runtime.Config {
 		MaxUpdatesPerWorker: maxPerWorker,
 		Flexible:            s.Flexible,
 		Scratches:           s.Scratch.workerScratches(s.workers()),
+		Done:                s.done(),
+		Progress:            s.Progress.counter(),
 	}
 }
 
@@ -354,6 +390,11 @@ func (sharedEngine) Solve(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A run that certified convergence before the cancel landed is a
+	// result; only a genuinely cut-short run reports the context error.
+	if r.Cancelled && !r.Converged {
+		return nil, spec.ctxErr()
+	}
 	return concurrentReport("shared", r, spec), nil
 }
 
@@ -365,6 +406,9 @@ func (messageEngine) Solve(spec Spec) (*Report, error) {
 	r, err := runtime.RunMessage(spec.runtimeConfig())
 	if err != nil {
 		return nil, err
+	}
+	if r.Cancelled && !r.Converged {
+		return nil, spec.ctxErr()
 	}
 	return concurrentReport("message", r, spec), nil
 }

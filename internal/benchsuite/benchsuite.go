@@ -7,12 +7,15 @@
 package benchsuite
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 // Case is one benchmark: Setup builds the workload (untimed) and returns
@@ -228,7 +231,10 @@ func MicroCases() []Case {
 			Setup: distTopologyCase("mesh"),
 		},
 		{
-			Name: "ScenarioSolveLasso", Kind: "micro", UnitsPerOp: 0,
+			// One op is one complete lasso solve, so solve_rate_per_sec is
+			// end-to-end solves per second — the denominator ServeSustained
+			// is normalized against in bench-compare.
+			Name: "ScenarioSolveLasso", Kind: "micro", UnitsPerOp: 1,
 			Setup: func() (func() error, error) {
 				inst, err := repro.BuildScenario("lasso", 32, 1)
 				if err != nil {
@@ -251,7 +257,7 @@ func MicroCases() []Case {
 			// End-to-end lasso solve at 10x the dimension of
 			// ScenarioSolveLasso: large enough that the block path's shared
 			// prox/gradient work dominates the solve rate.
-			Name: "ScenarioSolveLassoLarge", Kind: "micro", UnitsPerOp: 0,
+			Name: "ScenarioSolveLassoLarge", Kind: "micro", UnitsPerOp: 1,
 			Setup: func() (func() error, error) {
 				inst, err := repro.BuildScenario("lasso", 320, 1)
 				if err != nil {
@@ -289,6 +295,18 @@ func MicroCases() []Case {
 		{
 			Name: "BlockEvalN4096PerComponent", Kind: "micro", UnitsPerOp: 4096,
 			Setup: blockSweepCase(blockSeparableLassoOp, 4096, 512, true),
+		},
+		{
+			// One op pushes a batch of lasso jobs through a real HTTP solve
+			// server (internal/server) over localhost TCP — admission,
+			// queueing, scratch-pool checkout, NDJSON streaming and report
+			// marshalling all inside the timed region. UnitsPerOp is the
+			// batch size, so solve_rate_per_sec is sustained served
+			// solves/sec; bench-compare normalizes it against
+			// ScenarioSolveLasso (the same solve without the server) within
+			// the same capture.
+			Name: "ServeSustained", Kind: "micro", UnitsPerOp: serveBatch,
+			Setup: serveSustainedCase,
 		},
 		{
 			Name: "ProxGradBFApply", Kind: "micro", UnitsPerOp: 1,
@@ -391,6 +409,65 @@ func blockSweepCase(build func(int) (repro.Operator, error), n, blockSize int, p
 			return nil
 		}, nil
 	}
+}
+
+// ServeSustained batch shape: serveClients closed-loop clients push
+// serveBatch jobs total through the server per op. The jobs are identical
+// (same signature), so after the warm-up op the scratch pool serves every
+// checkout from its free lists — the steady state of a real deployment.
+const (
+	serveBatch   = 32
+	serveClients = 4
+)
+
+// serveSustainedCase starts an in-process solve server on an ephemeral
+// port (it lives for the remainder of the benchmark process) and returns
+// an op that pushes one closed-loop batch through it.
+func serveSustainedCase() (func() error, error) {
+	srv := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		QueueDepth: 2 * serveClients,
+		Workers:    serveClients,
+	})
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	c := &server.Client{Base: "http://" + srv.Addr()}
+	req := server.JobRequest{Scenario: "lasso", N: 32, Seed: 1, Engine: "model"}
+	return func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, serveClients)
+		for w := 0; w < serveClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < serveBatch/serveClients; i++ {
+					out, err := c.Solve(context.Background(), req)
+					switch {
+					case err != nil:
+						errCh <- err
+						return
+					case out.Rejected:
+						errCh <- fmt.Errorf("closed-loop job rejected (queue misconfigured)")
+						return
+					case out.JobErr != "":
+						errCh <- fmt.Errorf("job failed: %s", out.JobErr)
+						return
+					case out.Report == nil || !out.Report.Converged:
+						errCh <- fmt.Errorf("served solve did not converge")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}, nil
 }
 
 // distTopologyCase builds the 8-worker × 100-phase end-to-end TCP solve

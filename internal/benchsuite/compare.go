@@ -48,6 +48,79 @@ func BlockEvalSpeedups(f *File) []Speedup {
 	return out
 }
 
+// ServeCaseName / ServeSoloCaseName are the pair behind the serving-
+// efficiency gate: the sustained served solves/sec of the HTTP job server
+// and the same solve run directly through the facade.
+const (
+	ServeCaseName     = "ServeSustained"
+	ServeSoloCaseName = "ScenarioSolveLasso"
+)
+
+// ServeRatio is one capture's serving efficiency: sustained served
+// solves/sec normalized by direct (unserved) solves/sec on the same
+// machine in the same capture — machine-independent like the BlockEval
+// multiples.
+type ServeRatio struct {
+	ServeRate float64
+	SoloRate  float64
+	Ratio     float64
+}
+
+// ServeSustainedRatio extracts the serving-efficiency ratio from a capture;
+// ok is false when either case is absent, errored or rate-less.
+func ServeSustainedRatio(f *File) (ServeRatio, bool) {
+	var serve, solo *Result
+	for i := range f.Results {
+		switch f.Results[i].Name {
+		case ServeCaseName:
+			serve = &f.Results[i]
+		case ServeSoloCaseName:
+			solo = &f.Results[i]
+		}
+	}
+	if serve == nil || solo == nil || serve.Err != "" || solo.Err != "" ||
+		serve.SolveRate <= 0 || solo.SolveRate <= 0 {
+		return ServeRatio{}, false
+	}
+	return ServeRatio{
+		ServeRate: serve.SolveRate,
+		SoloRate:  solo.SolveRate,
+		Ratio:     serve.SolveRate / solo.SolveRate,
+	}, true
+}
+
+// CompareServeSustained gates serving efficiency against the baseline
+// capture: the current ServeSustained/ScenarioSolveLasso ratio must not
+// fall more than tolerance below the baseline's. When neither capture has
+// the pair there is nothing to gate (nil, nil); a baseline without the
+// pair reports the current ratio as new coverage; a baseline WITH the pair
+// whose current capture lacks it is shrunk coverage, which fails.
+func CompareServeSustained(baseline, current *File, tolerance float64) ([]string, error) {
+	cur, curOK := ServeSustainedRatio(current)
+	base, baseOK := ServeSustainedRatio(baseline)
+	switch {
+	case !curOK && !baseOK:
+		return nil, nil
+	case !curOK:
+		return nil, fmt.Errorf("benchsuite: %s/%s ratio present in baseline (%.3fx) but missing from current capture",
+			ServeCaseName, ServeSoloCaseName, base.Ratio)
+	case !baseOK:
+		return []string{fmt.Sprintf("%-28s %8.3fx of solo solve rate (new case, no baseline)",
+			ServeCaseName, cur.Ratio)}, nil
+	}
+	floor := base.Ratio * (1 - tolerance)
+	status := "ok"
+	var err error
+	if cur.Ratio < floor {
+		status = "REGRESSION"
+		err = fmt.Errorf("benchsuite: serving efficiency regressed: %s %.3fx < %.3fx (baseline %.3fx - %.0f%%)",
+			ServeCaseName, cur.Ratio, floor, base.Ratio, tolerance*100)
+	}
+	line := fmt.Sprintf("%-28s %8.3fx vs baseline %8.3fx (floor %.3fx) %s",
+		ServeCaseName, cur.Ratio, base.Ratio, floor, status)
+	return []string{line}, err
+}
+
 // CompareBlockEval gates the block-evaluation fast path against a committed
 // baseline capture: for every BlockEval pair present in both files, the
 // current speedup multiple must not regress more than tolerance (e.g. 0.2 =

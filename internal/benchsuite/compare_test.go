@@ -90,3 +90,84 @@ func TestCompareBlockEvalNoCommonPairs(t *testing.T) {
 		t.Fatal("expected an error when no pairs are comparable")
 	}
 }
+
+func servePair(serveRate, soloRate float64) []Result {
+	return []Result{
+		{Name: ServeCaseName, Kind: "micro", SolveRate: serveRate},
+		{Name: ServeSoloCaseName, Kind: "micro", SolveRate: soloRate},
+	}
+}
+
+func TestServeSustainedRatio(t *testing.T) {
+	f := captureWith(servePair(400, 2000)...)
+	r, ok := ServeSustainedRatio(f)
+	if !ok || r.Ratio != 0.2 {
+		t.Fatalf("ratio = %+v ok=%v, want 0.2", r, ok)
+	}
+	if _, ok := ServeSustainedRatio(captureWith(Result{Name: ServeCaseName, SolveRate: 400})); ok {
+		t.Fatal("ratio extracted without the solo case")
+	}
+	if _, ok := ServeSustainedRatio(captureWith(
+		Result{Name: ServeCaseName, SolveRate: 400, Err: "boom"},
+		Result{Name: ServeSoloCaseName, SolveRate: 2000},
+	)); ok {
+		t.Fatal("ratio extracted from an errored case")
+	}
+}
+
+func TestCompareServeSustainedPassesWithinTolerance(t *testing.T) {
+	baseline := captureWith(servePair(400, 2000)...) // 0.20
+	current := captureWith(servePair(240, 2000)...)  // 0.12 > 0.20*0.5
+	lines, err := CompareServeSustained(baseline, current, 0.5)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "ok") {
+		t.Fatalf("want one ok line, got %v", lines)
+	}
+}
+
+func TestCompareServeSustainedFailsOnRegression(t *testing.T) {
+	baseline := captureWith(servePair(400, 2000)...) // 0.20
+	current := captureWith(servePair(150, 2000)...)  // 0.075 < 0.10 floor
+	_, err := CompareServeSustained(baseline, current, 0.5)
+	if err == nil {
+		t.Fatal("expected a serving-efficiency regression failure")
+	}
+	if !strings.Contains(err.Error(), ServeCaseName) {
+		t.Errorf("error should name the case: %v", err)
+	}
+}
+
+func TestCompareServeSustainedNewCoverage(t *testing.T) {
+	baseline := captureWith(pair("BlockEvalN1024", 4000, 1000)...) // no serve pair
+	current := captureWith(servePair(400, 2000)...)
+	lines, err := CompareServeSustained(baseline, current, 0.5)
+	if err != nil {
+		t.Fatalf("new coverage must not fail the gate: %v", err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "no baseline") {
+		t.Fatalf("want a baseline-less report line, got %v", lines)
+	}
+}
+
+func TestCompareServeSustainedFailsWhenCoverageShrinks(t *testing.T) {
+	baseline := captureWith(servePair(400, 2000)...)
+	current := captureWith(pair("BlockEvalN1024", 4000, 1000)...) // serve pair gone
+	_, err := CompareServeSustained(baseline, current, 0.5)
+	if err == nil {
+		t.Fatal("vanished serve pair must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error should say the pair is missing: %v", err)
+	}
+}
+
+func TestCompareServeSustainedAbsentEverywhere(t *testing.T) {
+	baseline := captureWith(pair("BlockEvalN1024", 4000, 1000)...)
+	current := captureWith(pair("BlockEvalN1024", 4000, 1000)...)
+	lines, err := CompareServeSustained(baseline, current, 0.5)
+	if err != nil || lines != nil {
+		t.Fatalf("nothing to gate must be a clean no-op, got %v / %v", lines, err)
+	}
+}

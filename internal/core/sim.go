@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/delay"
 	"repro/internal/flexible"
@@ -60,7 +61,20 @@ type Config struct {
 	// single-threaded, so one RunScratch serves a whole run; it must not be
 	// shared by concurrent Runs.
 	Scratch *RunScratch
+	// Done, when non-nil, cancels the run: the iteration loop stops at the
+	// next doneCheckEvery boundary and the result reports Cancelled and
+	// not Converged. Cancellation never perturbs the trajectory computed
+	// so far — the model engine stays deterministic.
+	Done <-chan struct{}
+	// Progress, when non-nil, is incremented once per global iteration so
+	// external observers can watch the run live.
+	Progress *atomic.Int64
 }
+
+// doneCheckEvery is how many iterations pass between Done-channel polls: a
+// non-blocking select is cheap but not free, and model iterations can be
+// as small as one component relaxation.
+const doneCheckEvery = 256
 
 // RunScratch bundles the model engine's reusable buffers: the operator
 // evaluation scratch and the read vectors assembled every iteration.
@@ -159,6 +173,9 @@ type Result struct {
 	Constraint3Violations int
 	// FinalResidual is ||F(x)-x||_inf at the final iterate.
 	FinalResidual float64
+	// Cancelled reports that Config.Done fired before the run converged or
+	// exhausted MaxIter.
+	Cancelled bool
 }
 
 // ResidualSample pairs an iteration with its fixed-point residual.
@@ -252,6 +269,16 @@ func Run(cfg Config) (*Result, error) {
 	converged := false
 
 	for j := 1; j <= cfg.MaxIter; j++ {
+		if cfg.Done != nil && j%doneCheckEvery == 0 {
+			select {
+			case <-cfg.Done:
+				res.Cancelled = true
+			default:
+			}
+			if res.Cancelled {
+				break
+			}
+		}
 		S := cfg.Steering.Select(j)
 
 		// Assemble the read vector: labelled values, optionally blended
@@ -315,6 +342,9 @@ func Run(cfg Config) (*Result, error) {
 
 		if cfg.XStar != nil {
 			res.Errors = append(res.Errors, distInfLatest(hist, cfg.XStar))
+		}
+		if cfg.Progress != nil {
+			cfg.Progress.Add(1)
 		}
 
 		// Stopping.

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/flexible"
 	"repro/internal/macroiter"
@@ -119,6 +120,15 @@ type Config struct {
 	// hot-path buffers. Missing or short slices fall back to fresh
 	// per-worker scratches.
 	Scratches []*operators.Scratch
+	// Done, when non-nil, cancels the run: the event loop stops at the
+	// next event and the result reports Cancelled and not Converged.
+	// Cancellation does not perturb the trajectory up to the stopping
+	// point — a run that is not cancelled is bit-identical to one executed
+	// without Done.
+	Done <-chan struct{}
+	// Progress, when non-nil, is incremented once per completed updating
+	// phase so external observers can watch the run live.
+	Progress *atomic.Int64
 }
 
 // Result reports a simulated run.
@@ -144,12 +154,15 @@ type Result struct {
 	UpdatesPerWorker []int
 	// ErrorTrace samples (time, error) after each completion (XStar given).
 	ErrorTrace []TimedError
+	// Cancelled reports that Config.Done fired before the run converged or
+	// exhausted its budgets.
+	Cancelled bool
 }
 
 // TimedError is an (virtual time, max-norm error) sample.
 type TimedError struct {
-	Time  float64
-	Error float64
+	Time  float64 `json:"time"`
+	Error float64 `json:"error"`
 }
 
 type eventKind int
@@ -329,6 +342,17 @@ func Run(cfg Config) (*Result, error) {
 	seq := 0
 	stopped := false
 	for h.Len() > 0 && !stopped {
+		if cfg.Done != nil {
+			select {
+			case <-cfg.Done:
+				res.Cancelled = true
+				stopped = true
+			default:
+			}
+			if stopped {
+				break
+			}
+		}
 		e := heap.Pop(&h).(*event)
 		if cfg.MaxTime > 0 && e.time > cfg.MaxTime {
 			res.Time = cfg.MaxTime
@@ -347,6 +371,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 			res.Updates++
 			res.UpdatesPerWorker[wk.id]++
+			if cfg.Progress != nil {
+				cfg.Progress.Add(1)
+			}
 			// wk.comps is immutable after init, so Records can share it
 			// instead of copying it once per update.
 			res.Records = append(res.Records, macroiter.Record{

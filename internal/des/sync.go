@@ -32,6 +32,9 @@ type SyncResult struct {
 	// Records allows macro-iteration analysis (every round is one
 	// macro-iteration: all components, fresh labels).
 	Records []macroiter.Record
+	// Cancelled reports that Config.Done fired before the run converged or
+	// exhausted its budgets.
+	Cancelled bool
 }
 
 // RunSync executes the barrier-synchronous Jacobi baseline under the same
@@ -99,6 +102,16 @@ func RunSync(cfg Config) (*SyncResult, error) {
 		maxRounds = 1
 	}
 	for r := 1; r <= maxRounds; r++ {
+		if cfg.Done != nil {
+			select {
+			case <-cfg.Done:
+				res.Cancelled = true
+			default:
+			}
+			if res.Cancelled {
+				break
+			}
+		}
 		// Compute phase: every worker relaxes its block from x(r-1).
 		maxCost := 0.0
 		for w, b := range blocks {
@@ -133,6 +146,9 @@ func RunSync(cfg Config) (*SyncResult, error) {
 		}
 		copy(x, next)
 		res.Rounds = r
+		if cfg.Progress != nil {
+			cfg.Progress.Add(int64(p))
+		}
 		res.Records = append(res.Records, macroiter.Record{
 			J: r, S: allComps, MinLabel: r - 1, Worker: 0,
 		})

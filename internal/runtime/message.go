@@ -84,11 +84,24 @@ func RunMessage(cfg Config) (*Result, error) {
 
 	var stop atomic.Bool
 	var converged atomic.Bool
+	var cancelled atomic.Bool
 	stopCh := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() {
 		stop.Store(true)
 		stopOnce.Do(func() { close(stopCh) })
+	}
+	// Cancellation monitor: Done becomes the same halt broadcast the
+	// supervisor uses, waking passive workers off their inboxes.
+	if cfg.Done != nil {
+		go func() {
+			select {
+			case <-cfg.Done:
+				cancelled.Store(true)
+				halt()
+			case <-stopCh:
+			}
+		}()
 	}
 	// wake is the supervisor's doorbell: non-blocking, capacity one —
 	// a pending ring is as good as many.
@@ -260,6 +273,9 @@ func RunMessage(cfg Config) (*Result, error) {
 				}
 				copy(view[lo:hi], out)
 				updates[w]++
+				if cfg.Progress != nil {
+					cfg.Progress.Add(1)
+				}
 				// Lossy broadcast while active.
 				for qi := 0; qi < p; qi++ {
 					if qi == w {
@@ -363,5 +379,6 @@ func RunMessage(cfg Config) (*Result, error) {
 		Elapsed:          time.Since(start),
 		MessagesSent:     q.Sent(),
 		MessagesDropped:  q.Dropped(),
+		Cancelled:        cancelled.Load(),
 	}, nil
 }

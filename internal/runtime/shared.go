@@ -41,6 +41,12 @@ type Config struct {
 	// worker (index = worker id) so repeated runs of the same shape share
 	// hot-path buffers. Missing entries fall back to fresh scratches.
 	Scratches []*operators.Scratch
+	// Done, when non-nil, cancels the run: every worker stops at its next
+	// phase boundary, the result reports Cancelled and not Converged.
+	Done <-chan struct{}
+	// Progress, when non-nil, is incremented once per completed updating
+	// phase so external observers can watch the run live.
+	Progress *atomic.Int64
 }
 
 // workerScratch returns the caller-supplied scratch for worker w or a fresh
@@ -60,6 +66,9 @@ type Result struct {
 	Elapsed          time.Duration
 	// MessagesSent/MessagesDropped are populated by the message transport.
 	MessagesSent, MessagesDropped int64
+	// Cancelled reports that Config.Done fired before the run converged or
+	// exhausted its budgets.
+	Cancelled bool
 }
 
 func (c *Config) validate() (n int, err error) {
@@ -117,9 +126,24 @@ func RunShared(cfg Config) (*Result, error) {
 	blocks := vec.Blocks(n, cfg.Workers)
 	p := len(blocks)
 
-	var stop atomic.Bool
+	var stop, converged, cancelled atomic.Bool
 	q := NewTracker(p)
 	updates := make([]int, p)
+
+	// Cancellation monitor: Done turns into the same stop broadcast the
+	// certification path uses, so workers exit at their next loop check.
+	if cfg.Done != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-cfg.Done:
+				cancelled.Store(true)
+				stop.Store(true)
+			case <-finished:
+			}
+		}()
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -170,6 +194,7 @@ func RunShared(cfg Config) (*Result, error) {
 						continue
 					}
 					if q.Quiescent(certify) {
+						converged.Store(true)
 						stop.Store(true)
 						return
 					}
@@ -203,6 +228,9 @@ func RunShared(cfg Config) (*Result, error) {
 					sv.Store(c, out[c-lo])
 				}
 				updates[w]++
+				if cfg.Progress != nil {
+					cfg.Progress.Add(1)
+				}
 
 				if cfg.Tol > 0 {
 					if delta <= cfg.Tol {
@@ -228,9 +256,10 @@ func RunShared(cfg Config) (*Result, error) {
 
 	res := &Result{
 		X:                sv.Copy(),
-		Converged:        stop.Load(),
+		Converged:        converged.Load(),
 		UpdatesPerWorker: updates,
 		Elapsed:          time.Since(start),
+		Cancelled:        cancelled.Load(),
 	}
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"sync"
+
+	"repro"
+)
+
+// PoolKey is the problem signature a Scratch is pooled under. A repro.Scratch
+// grows its buffers on demand and is shape-agnostic, so pooling by signature
+// is an affinity optimization, not a correctness requirement: a scratch
+// checked out for the signature it was warmed on finds every buffer already
+// sized, and the steady state of a mixed workload allocates nothing.
+type PoolKey struct {
+	// Scenario and Engine name the workload and execution regime.
+	Scenario string
+	Engine   string
+	// N is the requested problem size (scenario default resolved in).
+	N int
+	// Workers is the requested processor count (0 = engine default) — it
+	// decides how many per-worker operator scratches the engine slices out.
+	Workers int
+}
+
+// ScratchPool hands out repro.Scratch values keyed by problem signature.
+// Get never blocks: a miss allocates. Put returns a scratch for reuse.
+// A checked-out scratch is owned exclusively by one solve — the facade's
+// bit-identical-reuse guarantee (scratch_test.go) is what makes serving
+// N concurrent jobs from one pool safe.
+type ScratchPool struct {
+	mu      sync.Mutex
+	free    map[PoolKey][]*repro.Scratch
+	created int64
+	reused  int64
+}
+
+// NewScratchPool returns an empty pool.
+func NewScratchPool() *ScratchPool {
+	return &ScratchPool{free: make(map[PoolKey][]*repro.Scratch)}
+}
+
+// Get checks a scratch out for signature k, allocating on a miss.
+func (p *ScratchPool) Get(k PoolKey) *repro.Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if list := p.free[k]; len(list) > 0 {
+		scr := list[len(list)-1]
+		p.free[k] = list[:len(list)-1]
+		p.reused++
+		return scr
+	}
+	p.created++
+	return repro.NewScratch()
+}
+
+// Put returns a checked-out scratch to signature k's free list. Put after
+// a failed or cancelled solve is fine: scratch buffers carry no
+// cross-solve state, only capacity.
+func (p *ScratchPool) Put(k PoolKey, scr *repro.Scratch) {
+	if scr == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[k] = append(p.free[k], scr)
+}
+
+// Stats reports lifetime checkout counters: fresh allocations and reuses.
+func (p *ScratchPool) Stats() (created, reused int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, p.reused
+}
+
+// Idle reports how many scratches are currently parked under signature k.
+func (p *ScratchPool) Idle(k PoolKey) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free[k])
+}

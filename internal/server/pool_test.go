@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestScratchPoolCheckout: basic miss/hit accounting per signature.
+func TestScratchPoolCheckout(t *testing.T) {
+	p := NewScratchPool()
+	a := PoolKey{Scenario: "lasso", Engine: "sim", N: 16, Workers: 2}
+	b := PoolKey{Scenario: "lasso", Engine: "sim", N: 32, Workers: 2}
+
+	s1 := p.Get(a)
+	s2 := p.Get(a)
+	if s1 == s2 {
+		t.Fatal("two live checkouts share one scratch")
+	}
+	p.Put(a, s1)
+	if got := p.Get(a); got != s1 {
+		t.Fatal("returned scratch was not reused for its signature")
+	}
+	if got := p.Get(b); got == s2 {
+		t.Fatal("signature b received signature a's live scratch")
+	}
+	created, reused := p.Stats()
+	if created != 3 || reused != 1 {
+		t.Fatalf("stats created=%d reused=%d, want 3 and 1", created, reused)
+	}
+	if p.Idle(a) != 0 {
+		t.Fatalf("idle(a) = %d, want 0", p.Idle(a))
+	}
+}
+
+// TestScratchPoolConcurrentBitIdentical is the serving-layer safety
+// argument for scratch reuse: race-run many parallel solves that all check
+// scratch state out of ONE pool, across several signatures, and require
+// every result to be bit-identical to the same solve run fresh. Run under
+// -race this also proves checkout exclusivity.
+func TestScratchPoolConcurrentBitIdentical(t *testing.T) {
+	type variant struct {
+		engine  repro.Engine
+		n       int
+		workers int
+	}
+	variants := []variant{
+		{repro.EngineModel, 16, 0},
+		{repro.EngineSim, 16, 3},
+		{repro.EngineSim, 24, 2},
+		{repro.EngineSimSync, 16, 2},
+	}
+	solveOnce := func(v variant, scr *repro.Scratch) *repro.Report {
+		inst, err := repro.BuildScenario("lasso", v.n, 7)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		opts := []repro.Option{
+			repro.WithEngine(v.engine),
+			repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+			repro.WithSeed(3),
+			repro.WithTol(1e-9),
+		}
+		if v.workers > 0 {
+			opts = append(opts, repro.WithWorkers(v.workers))
+		}
+		if scr != nil {
+			opts = append(opts, repro.WithScratch(scr))
+		}
+		rep, err := repro.Solve(inst.Spec, opts...)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return rep
+	}
+
+	// Reference: each variant solved once with fresh scratch state.
+	want := make([]*repro.Report, len(variants))
+	for i, v := range variants {
+		want[i] = solveOnce(v, nil)
+		if want[i] == nil {
+			t.FailNow()
+		}
+	}
+
+	pool := NewScratchPool()
+	const rounds = 4
+	var wg sync.WaitGroup
+	got := make([]*repro.Report, rounds*len(variants))
+	for r := 0; r < rounds; r++ {
+		for i, v := range variants {
+			wg.Add(1)
+			go func(slot int, v variant, i int) {
+				defer wg.Done()
+				k := PoolKey{
+					Scenario: "lasso", Engine: v.engine.Name(),
+					N: v.n, Workers: v.workers,
+				}
+				scr := pool.Get(k)
+				defer pool.Put(k, scr)
+				got[slot] = solveOnce(v, scr)
+			}(r*len(variants)+i, v, i)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for slot, rep := range got {
+		v := variants[slot%len(variants)]
+		ref := want[slot%len(variants)]
+		label := fmt.Sprintf("slot %d (%s n=%d w=%d)", slot, v.engine.Name(), v.n, v.workers)
+		if rep.Iterations != ref.Iterations || rep.Updates != ref.Updates {
+			t.Fatalf("%s: trajectory drifted: iters %d/%d updates %d/%d",
+				label, rep.Iterations, ref.Iterations, rep.Updates, ref.Updates)
+		}
+		if !reflect.DeepEqual(rep.X, ref.X) {
+			t.Fatalf("%s: pooled solve is not bit-identical to the fresh solve", label)
+		}
+	}
+	created, _ := pool.Stats()
+	if created > int64(len(variants)*rounds) {
+		t.Fatalf("pool created %d scratches for %d solves", created, len(variants)*rounds)
+	}
+}

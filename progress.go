@@ -1,0 +1,41 @@
+package repro
+
+// Live observation of a running Solve. A server streaming results back to a
+// client (internal/server) wants to report "how far along is this job"
+// while the engine is still iterating; Progress is the minimal
+// concurrency-safe window the engines can afford to maintain on their hot
+// paths — a single atomic counter of completed relaxation phases.
+
+import "sync/atomic"
+
+// Progress is a live, concurrency-safe view of a running Solve. Attach one
+// with WithProgress and read it from any goroutine while the solve runs:
+//
+//	p := new(repro.Progress)
+//	go func() { res, err = repro.Solve(spec, repro.WithProgress(p)) }()
+//	for { fmt.Println(p.Updates()); ... }
+//
+// The engines bump the counter once per completed updating phase (model:
+// per global iteration), so the cost of observation is one atomic add on a
+// path that already does O(block) floating-point work. A Progress may be
+// reused across sequential Solves (the counter keeps growing) but must not
+// be shared by concurrent ones if per-solve counts matter.
+type Progress struct {
+	updates atomic.Int64
+}
+
+// Updates returns the number of updating phases completed so far.
+func (p *Progress) Updates() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.updates.Load()
+}
+
+// counter exposes the raw atomic for the engine configs; nil-safe.
+func (p *Progress) counter() *atomic.Int64 {
+	if p == nil {
+		return nil
+	}
+	return &p.updates
+}

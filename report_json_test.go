@@ -1,0 +1,193 @@
+package repro_test
+
+// Report JSON round-trip tests: the serving layer (internal/server) streams
+// the terminal Report verbatim as JSON, so the encoding must be stable —
+// snake_case keys, Elapsed as integer nanoseconds, engine-specific detail
+// never leaked — and decoding must restore every exported field.
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// goldenReport exercises every exported Report field at once (no real
+// engine produces all of them together, but the encoding must handle it).
+func goldenReport() repro.Report {
+	return repro.Report{
+		Engine:            "sim",
+		X:                 []float64{1.5, -2.25, 0},
+		Converged:         true,
+		Iterations:        42,
+		Updates:           126,
+		FinalResidual:     3.5e-10,
+		FinalError:        1.25e-9,
+		Errors:            []float64{1, 0.5, 0.25},
+		ErrorTrace:        []repro.TimedError{{Time: 1.5, Error: 0.5}, {Time: 3, Error: 0.25}},
+		Boundaries:        []int{3, 7, 12},
+		StrictBoundaries:  []int{3, 8},
+		Epochs:            []int{4, 9},
+		Records:           []repro.IterationRecord{{J: 1, S: []int{0, 1}, MinLabel: 0, Worker: 2}},
+		UpdatesPerWorker:  []int{40, 43, 43},
+		MessagesSent:      100,
+		MessagesDropped:   3,
+		MessagesStale:     7,
+		MessagesReordered: 2,
+		MessagesDuplicate: 1,
+		BytesSent:         4096,
+		BytesReceived:     4000,
+		Time:              17.5,
+		Elapsed:           1500 * time.Millisecond,
+	}
+}
+
+// TestReportJSONRoundTrip: marshal -> unmarshal must reproduce every
+// exported field exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := goldenReport()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got repro.Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReportJSONGoldenKeys pins the wire keys: stable snake_case names,
+// elapsed as integer nanoseconds, and no unexported-detail leakage.
+func TestReportJSONGoldenKeys(t *testing.T) {
+	data, err := json.Marshal(goldenReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{
+		"boundaries", "bytes_received", "bytes_sent", "converged",
+		"elapsed_ns", "engine", "epochs", "error_trace", "errors",
+		"final_error", "final_residual", "iterations",
+		"messages_dropped", "messages_duplicate", "messages_reordered",
+		"messages_sent", "messages_stale", "records",
+		"strict_boundaries", "time", "updates", "updates_per_worker",
+		"x",
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("wire keys drifted:\n got %v\nwant %v", keys, want)
+	}
+	// Elapsed must be integer nanoseconds, not a formatted duration string.
+	if string(m["elapsed_ns"]) != "1500000000" {
+		t.Fatalf("elapsed_ns = %s, want 1500000000", m["elapsed_ns"])
+	}
+	// Nested records use snake_case too.
+	if s := string(m["records"]); !strings.Contains(s, `"min_label"`) {
+		t.Fatalf("records lack snake_case keys: %s", s)
+	}
+	if s := string(m["error_trace"]); !strings.Contains(s, `"time"`) || !strings.Contains(s, `"error"`) {
+		t.Fatalf("error_trace keys drifted: %s", s)
+	}
+}
+
+// TestReportJSONOmitsUnproduced: a minimal report (the shape the model
+// engine emits without XStar) must not serialize fields it never produced.
+func TestReportJSONOmitsUnproduced(t *testing.T) {
+	r := repro.Report{Engine: "model", X: []float64{0}, Iterations: 1, Updates: 1}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{
+		"errors", "error_trace", "records", "messages_sent",
+		"bytes_sent", "elapsed_ns", "updates_per_worker",
+	} {
+		if _, ok := m[absent]; ok {
+			t.Fatalf("unproduced field %q serialized: %s", absent, data)
+		}
+	}
+	// converged:false and final_residual:0 must survive (no omitempty):
+	// a non-converged report must say so explicitly.
+	for _, present := range []string{"converged", "final_residual", "engine", "x"} {
+		if _, ok := m[present]; !ok {
+			t.Fatalf("required field %q missing: %s", present, data)
+		}
+	}
+}
+
+// TestReportJSONNonFinite: non-finite floats (routing iterates from +Inf
+// distances) encode as the protobuf-JSON strings and decode back exactly.
+func TestReportJSONNonFinite(t *testing.T) {
+	r := repro.Report{
+		Engine:        "model",
+		X:             []float64{1, math.Inf(1)},
+		FinalResidual: math.Inf(1),
+		FinalError:    math.Inf(-1),
+		Errors:        []float64{math.Inf(1), 2, 0.5},
+		ErrorTrace:    []repro.TimedError{{Time: 1, Error: math.Inf(1)}},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("non-finite report failed to marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"Infinity"`) || !strings.Contains(string(data), `"-Infinity"`) {
+		t.Fatalf("non-finite floats not string-encoded: %s", data)
+	}
+	var got repro.Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("non-finite round trip drifted:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// TestReportJSONFromSolve: a real engine report round-trips and the decoded
+// copy carries no engine detail.
+func TestReportJSONFromSolve(t *testing.T) {
+	spec, _ := lassoSpec(t)
+	res, err := repro.Solve(spec,
+		repro.WithEngine(repro.EngineSim),
+		repro.WithDelay(repro.BoundedRandomDelay{B: 8, Seed: 2}),
+		repro.WithWorkers(4),
+		repro.WithSeed(3),
+		repro.WithTol(1e-9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got repro.Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != res.Engine || got.Converged != res.Converged ||
+		got.Updates != res.Updates || !reflect.DeepEqual(got.X, res.X) {
+		t.Fatalf("decoded report drifted from original")
+	}
+	if _, ok := got.SimDetail(); ok {
+		t.Fatal("decoded report claims engine detail")
+	}
+}

@@ -21,6 +21,7 @@ package repro
 // ignored (see the Engine docs in engine.go for the per-engine contract).
 
 import (
+	"context"
 	"errors"
 	"time"
 )
@@ -115,6 +116,16 @@ type Execution struct {
 	// hot-path buffers (operator temporaries, read vectors). See NewScratch;
 	// a Scratch must not be shared by concurrent Solves.
 	Scratch *Scratch
+	// Ctx, when non-nil, cancels the solve: when the context is done the
+	// engine stops at the next phase boundary and Solve returns the
+	// context's error (the report is discarded — a cancelled trajectory is
+	// not a result). Honoured by the model, sim, simsync, shared and
+	// message engines; the dist engine checks it only before starting.
+	Ctx context.Context
+	// Progress, when non-nil, is bumped once per completed updating phase
+	// so concurrent observers (a serving layer streaming progress events)
+	// can watch the solve live. See Progress.
+	Progress *Progress
 }
 
 // Stopping bounds the run and sets the convergence tolerance.
@@ -246,6 +257,15 @@ func WithTrace(lg *TraceLog) Option { return func(s *Spec) { s.Trace = lg } }
 // Solves sharing one Scratch.
 func WithScratch(scr *Scratch) Option { return func(s *Spec) { s.Scratch = scr } }
 
+// WithContext makes the solve cancellable: when ctx is done the engine
+// stops at the next phase boundary and Solve returns ctx's error. This is
+// how a serving layer stops abandoned jobs from burning workers.
+func WithContext(ctx context.Context) Option { return func(s *Spec) { s.Ctx = ctx } }
+
+// WithProgress attaches a live progress counter bumped once per completed
+// updating phase, readable from other goroutines while the solve runs.
+func WithProgress(p *Progress) Option { return func(s *Spec) { s.Progress = p } }
+
 // WithTol sets the convergence tolerance.
 func WithTol(tol float64) Option { return func(s *Spec) { s.Tol = tol } }
 
@@ -286,6 +306,11 @@ func Solve(spec Spec, opts ...Option) (*Report, error) {
 	}
 	if spec.Engine == nil {
 		spec.Engine = EngineModel
+	}
+	if spec.Ctx != nil {
+		if err := spec.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return spec.Engine.Solve(spec)
 }

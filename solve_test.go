@@ -310,9 +310,16 @@ func TestScenarioRegistryValidation(t *testing.T) {
 	}); err == nil {
 		t.Error("expected error for duplicate scenario")
 	}
-	if _, err := repro.BuildScenario("no-such-scenario", 8, 1); err == nil ||
-		!strings.Contains(err.Error(), "unknown scenario") {
-		t.Errorf("expected unknown-scenario error, got %v", err)
+	// The unknown-scenario error doubles as the discovery surface (it is
+	// the serve endpoint's 400 body), so it must list every registered name.
+	_, err := repro.BuildScenario("no-such-scenario", 8, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("expected unknown-scenario error, got %v", err)
+	}
+	for _, s := range repro.Scenarios() {
+		if !strings.Contains(err.Error(), s.Name) {
+			t.Errorf("unknown-scenario error does not list registered scenario %q: %v", s.Name, err)
+		}
 	}
 }
 
