@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint fmt check clean
+.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint fmt check clean
 
 all: build
 
@@ -15,9 +15,19 @@ test:
 
 # The race job covers the goroutine and TCP engines (both dist
 # topologies), the parallel experiment harness, the facade that drives
-# them, and the HTTP job server (concurrent workers + scratch pool).
+# them, the HTTP job server (concurrent workers + scratch pool), and the
+# operators package (intra-block lane fan-out + sharded Gram assembly).
 race:
-	$(GO) test -race . ./internal/runtime/... ./internal/dist/... ./internal/experiments/... ./internal/server/...
+	$(GO) test -race . ./internal/operators/... ./internal/runtime/... ./internal/dist/... ./internal/experiments/... ./internal/server/...
+
+# Tuned smoke: the cache-blocked + multi-goroutine kernels exercised end to
+# end with the knobs on and GOMAXPROCS=4 — the combination a
+# single-threaded box never covers incidentally. The gram-precompute=false
+# run exercises the lean LeastSquares gradient form.
+smoke-tuned:
+	GOMAXPROCS=4 $(GO) run ./cmd/asyncsolve -scenario lasso -n 320 -block-size 64 -intra-parallel 2 >/dev/null
+	GOMAXPROCS=4 $(GO) run ./cmd/asyncsolve -scenario ridge -n 320 -intra-parallel 2 -gram-precompute=false >/dev/null
+	GOMAXPROCS=4 $(GO) test -race -run 'Tuning|Knob|Tiled|Lean' . ./internal/operators/ ./internal/vec/ ./internal/server/
 
 # Every example program must actually run, not just compile (CI smoke-runs
 # them on every push).
@@ -71,15 +81,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/asyncsolve bench
 
-# Gate the block-evaluation fast path and the serving layer: re-measure the
-# BlockEval pairs plus the ServeSustained/ScenarioSolveLasso pair and fail
-# if any block-vs-per-component speedup multiple (or the serving-efficiency
-# ratio) regressed against the committed baseline capture. Ratios within
-# one capture, not raw ns/op, are compared, so the gate is
+# Gate the block-evaluation fast path, the serving layer AND the solve-rate
+# trajectory: re-measure the BlockEval pairs, the ServeSustained /
+# ScenarioSolveLasso pair, the scenario solves and both dist deployments,
+# and fail if any speedup multiple, the serving-efficiency ratio, or any
+# normalized solve rate regressed against the committed baseline capture.
+# Ratios within one capture, not raw ns/op, are compared, so the gate is
 # machine-independent.
 bench-compare:
 	$(GO) run ./cmd/asyncsolve bench \
-		-match '^(BlockEval|ServeSustained$$|ScenarioSolveLasso$$)' -experiments=false \
+		-match '^(BlockEval|ServeSustained$$|ScenarioSolveLasso|Dist(Star|Mesh)Workers$$)' -experiments=false \
 		-benchtime 250ms -rev current -out BENCH_current.json
 	$(GO) run ./cmd/asyncsolve bench-compare \
 		-baseline BENCH_baseline.json -current BENCH_current.json
@@ -95,7 +106,7 @@ lint:
 fmt:
 	gofmt -w .
 
-check: lint build test race smoke-examples smoke-dist serve-smoke bench bench-compare
+check: lint build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-compare
 
 # Committed captures (the baseline and the recorded performance trajectory)
 # stay; every untracked BENCH json (bench-json / bench-compare output) goes.

@@ -21,14 +21,21 @@ func runBenchCompare(args []string) {
 	currentPath := fs.String("current", "", "fresh capture to check (required)")
 	tolerance := fs.Float64("tolerance", 0.2, "allowed fractional regression of each speedup multiple")
 	serveTolerance := fs.Float64("serve-tolerance", 0.5, "allowed fractional regression of the ServeSustained/ScenarioSolveLasso ratio (looser: it includes HTTP and scheduler noise)")
+	solveTolerance := fs.Float64("solve-tolerance", 0.3, "allowed fractional regression of each normalized solve-rate case (Scenario*, ServeSustained)")
+	distTolerance := fs.Float64("dist-tolerance", 0.5, "allowed fractional regression of the Dist* solve-rate cases (looser: real TCP sockets and OS scheduling)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: asyncsolve bench-compare -baseline BENCH_baseline.json -current BENCH_new.json [-tolerance 0.2]
 
 Fails (exit 1) when any BlockEval case's block-vs-per-component speedup
 multiple in the current capture is more than tolerance below the
-baseline's, or when the serving-efficiency ratio (ServeSustained solves/sec
+baseline's, when the serving-efficiency ratio (ServeSustained solves/sec
 normalized by ScenarioSolveLasso within the same capture) is more than
-serve-tolerance below the baseline's.
+serve-tolerance below the baseline's, or when any solve-rate case
+(Scenario*, DistStarWorkers, DistMeshWorkers, ServeSustained) — normalized
+by the within-capture geometric mean of the cases common to both files —
+is more than solve-tolerance (dist-tolerance for Dist*) below the
+baseline's. Every gate compares within-capture ratios, never raw ns/op
+across captures, so it holds across machines of different absolute speed.
 
 `)
 		fs.PrintDefaults()
@@ -40,7 +47,8 @@ serve-tolerance below the baseline's.
 		fmt.Fprintln(os.Stderr, "asyncsolve bench-compare: -current is required")
 		os.Exit(2)
 	}
-	if *tolerance < 0 || *tolerance >= 1 || *serveTolerance < 0 || *serveTolerance >= 1 {
+	if *tolerance < 0 || *tolerance >= 1 || *serveTolerance < 0 || *serveTolerance >= 1 ||
+		*solveTolerance < 0 || *solveTolerance >= 1 || *distTolerance < 0 || *distTolerance >= 1 {
 		fmt.Fprintln(os.Stderr, "asyncsolve bench-compare: tolerances must be in [0, 1)")
 		os.Exit(2)
 	}
@@ -79,9 +87,17 @@ serve-tolerance below the baseline's.
 		fmt.Fprintln(os.Stderr, serveErr)
 		failed = true
 	}
+	rateLines, rateErr := benchsuite.CompareSolveRates(baseline, current, *solveTolerance, *distTolerance)
+	for _, l := range rateLines {
+		fmt.Println(l)
+	}
+	if rateErr != nil {
+		fmt.Fprintln(os.Stderr, rateErr)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("bench-compare: block-evaluation speedups within %.0f%% and serving efficiency within %.0f%% of baseline (%s)\n",
-		*tolerance*100, *serveTolerance*100, baseline.Revision)
+	fmt.Printf("bench-compare: block-evaluation speedups within %.0f%%, serving efficiency within %.0f%% and normalized solve rates within %.0f%% (dist %.0f%%) of baseline (%s)\n",
+		*tolerance*100, *serveTolerance*100, *solveTolerance*100, *distTolerance*100, baseline.Revision)
 }

@@ -46,11 +46,18 @@ func runDistCoordinator(args []string) {
 	tol := fs.Float64("tol", -1, "convergence tolerance; negative = scenario default")
 	deltaThr := fs.Float64("delta", 0, "flexible-communication threshold: ship only components that moved more than this")
 	maxUpdates := fs.Int("maxupdates", 0, "per-worker update budget; 0 = default")
-	drop := fs.Float64("drop", 0, "per-link message drop probability")
-	reorder := fs.Float64("reorder", 0, "per-link message reorder probability")
-	maxDelay := fs.Duration("maxdelay", 0, "per-link max injected transit delay")
+	// -drop, -reorder and -maxdelay come from the shared knob table so the
+	// coordinator accepts the same fault spellings as every other surface.
+	knobs := repro.RegisterKnobFlags(fs, "faults")
 	timeout := fs.Duration("timeout", 2*time.Minute, "run timeout")
 	fs.Parse(args)
+
+	knobSpec, err := knobs.Spec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults := knobSpec.Faults()
 
 	inst, err := distScenario(*scenario, *n, *seed)
 	if err != nil {
@@ -84,9 +91,9 @@ func runDistCoordinator(args []string) {
 		MaxUpdatesPerWorker: *maxUpdates,
 		DeltaThreshold:      *deltaThr,
 		Fault: dist.Fault{
-			DropProb:    *drop,
-			ReorderProb: *reorder,
-			MaxDelay:    *maxDelay,
+			DropProb:    faults.DropProb,
+			ReorderProb: faults.ReorderProb,
+			MaxDelay:    faults.MaxLinkDelay,
 			Seed:        *seed,
 		},
 		Timeout: *timeout,

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/server"
 )
 
@@ -82,7 +83,16 @@ func runLoad(args []string) {
 	workers := fs.Int("workers", 0, "per-job worker count (0 = engine default)")
 	seed := fs.Uint64("seed", 1, "base seed; job i uses seed+i")
 	timeoutMS := fs.Int64("timeout-ms", 30000, "per-job timeout_ms sent to the server")
+	// Tuning and fault knobs come from the shared knob table; explicitly-set
+	// flags travel to the server as the matching JSON job fields.
+	knobs := repro.RegisterKnobFlags(fs)
 	fs.Parse(args)
+
+	knobVals, err := knobs.Values()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	scenarios := strings.Split(*scenarioList, ",")
 	for i := range scenarios {
@@ -105,6 +115,7 @@ func runLoad(args []string) {
 			Engine:    *engineName,
 			Workers:   *workers,
 			TimeoutMS: *timeoutMS,
+			Knobs:     knobVals,
 		})
 		st.record(scenario, out, err)
 	}

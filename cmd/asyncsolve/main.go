@@ -82,6 +82,11 @@ func main() {
 	maxIter := flag.Int("maxiter", 0, "iteration budget; 0 = scenario default")
 	seed := flag.Uint64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
+	// Tuning (-block-size, -intra-parallel, -gram-precompute) and fault
+	// (-drop, -reorder, -maxdelay) knobs come from the shared knob table,
+	// so this command, the dist coordinator, the server and the load
+	// generator cannot drift apart.
+	knobs := repro.RegisterKnobFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -122,7 +127,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	inst, err := repro.BuildScenario(name, *n, *seed)
+	knobOpts, err := knobs.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	knobSpec, err := knobs.Spec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Build with the requested tuning so build-time choices (Gram form,
+	// sharded precompute) see the knobs; the solve options re-apply the
+	// same values plus any fault knobs.
+	inst, err := repro.BuildScenarioTuned(name, *n, *seed, knobSpec.Tuning)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -132,6 +151,7 @@ func main() {
 		repro.WithDelay(dm),
 		repro.WithSeed(*seed),
 	}
+	opts = append(opts, knobOpts...)
 	dim := inst.Spec.Op.Dim()
 	// The mode switch is engine-aware: each regime maps onto the knob the
 	// selected engine actually honours, and combinations the engine cannot

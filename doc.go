@@ -216,6 +216,45 @@
 //
 // A Scratch must not be shared by concurrent Solve calls.
 //
+// # Tuning knobs
+//
+// The kernel-level performance knobs live in one group, Tuning, set with
+// WithTuning (or the per-knob WithBlockSize, WithIntraParallelism,
+// WithGramPrecompute); the fault-injection knobs form a second group,
+// Faults, set with WithFaults. Both groups are declared exactly once in the
+// knob table (KnobTable): the asyncsolve CLI flags, the dist coordinator's
+// flags, the server's /v1/solve JSON fields and the load generator all
+// derive from the same entries, so the surfaces cannot drift.
+//
+//	knob               flag              JSON              default  effect
+//	Tuning.BlockSize   -block-size       block_size        0        column-tile width of dense row-slab
+//	                                                                matvecs (0 = untiled); helps when rows
+//	                                                                stop fitting in cache (n in the thousands)
+//	Tuning.IntraParallelism
+//	                   -intra-parallel   intra_parallel    0        goroutine lanes for block evaluations
+//	                                                                at least 64 rows tall; helps when blocks
+//	                                                                are tall and cores are otherwise idle
+//	Tuning.GramPrecompute
+//	                   -gram-precompute  gram_precompute   true     false = lean LeastSquares residual form:
+//	                                                                no n^2 Gram memory, O(m(b+n)) slabs
+//	Faults.DropProb    -drop             drop_prob         0        iid per-link message loss
+//	Faults.ReorderProb -reorder          reorder_prob      0        per-link hold-back reordering
+//	Faults.MaxLinkDelay
+//	                   -maxdelay         max_link_delay    0s       uniform per-link transit delay
+//
+// BlockSize and IntraParallelism are BIT-IDENTICAL to the scalar reference
+// and never change a trajectory: every dot product in the tree reduces in
+// one canonical 4-accumulator order (s0..s3 over j mod 4, sequential tail,
+// fixed combine), tiling carries the accumulator quartet across tiles, and
+// parallel lanes write disjoint output rows. GramPrecompute is the one
+// knob that changes bits — it selects a different (internally consistent,
+// mathematically equivalent) gradient form at scenario build, for problems
+// where the n x n Gram matrix is the memory bottleneck. Engines install
+// Spec.Tuning on every worker scratch at solve start, so pooled scratches
+// reused across jobs always run with the current job's knobs. The knob
+// matrix is pinned by tuning_test.go (trajectory equality per engine per
+// combination) and internal/operators (per-block bit identity).
+//
 // # Measuring performance
 //
 // The benchmark suite is defined once in internal/benchsuite and runs two
@@ -255,9 +294,14 @@
 //	asyncsolve bench-compare -baseline BENCH_baseline.json -current BENCH_new.json
 //
 // (make bench-compare) fails when any pair's multiple regresses more than
-// 20% below the committed BENCH_baseline.json. Multiples within one
-// capture, never raw ns/op across captures, are compared, so the gate holds
-// across machines of different absolute speed.
+// 20% below the committed BENCH_baseline.json. The same command gates the
+// serving-efficiency ratio (ServeSustained/ScenarioSolveLasso) and the
+// solve-rate trajectory: every Scenario*, DistStarWorkers, DistMeshWorkers
+// and ServeSustained case, normalized by the within-capture geometric mean
+// of the cases common to both files, must stay within its tolerance of the
+// baseline's normalized rate. Ratios within one capture, never raw ns/op
+// across captures, are compared, so every gate holds across machines of
+// different absolute speed.
 //
 // The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
 // RunMessage remain as deprecated shims over Solve for one release; see

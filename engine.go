@@ -198,6 +198,7 @@ func (modelEngine) Solve(spec Spec) (*Report, error) {
 		ResidualEvery:    spec.ResidualEvery,
 		CheckConstraint3: spec.ValidateConstraint3,
 		Scratch:          spec.Scratch.modelScratch(),
+		Tuning:           spec.Tuning.operatorTuning(),
 		Done:             spec.done(),
 		Progress:         spec.Progress.counter(),
 	}
@@ -257,6 +258,7 @@ func (s Spec) desConfig() des.Config {
 		Seed:       s.Seed,
 		Trace:      s.Trace,
 		Scratches:  s.Scratch.workerScratches(s.workers()),
+		Tuning:     s.Tuning.operatorTuning(),
 		Done:       s.done(),
 		Progress:   s.Progress.counter(),
 	}
@@ -356,6 +358,7 @@ func (s Spec) runtimeConfig() runtime.Config {
 		MaxUpdatesPerWorker: maxPerWorker,
 		Flexible:            s.Flexible,
 		Scratches:           s.Scratch.workerScratches(s.workers()),
+		Tuning:              s.Tuning.operatorTuning(),
 		Done:                s.done(),
 		Progress:            s.Progress.counter(),
 	}
@@ -438,6 +441,7 @@ func (distEngine) Solve(spec Spec) (*Report, error) {
 			Seed:        spec.Seed,
 		},
 		Scratches: rc.Scratches,
+		Tuning:    rc.Tuning,
 	})
 	if err != nil {
 		return nil, err

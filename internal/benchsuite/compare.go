@@ -2,6 +2,7 @@ package benchsuite
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -119,6 +120,114 @@ func CompareServeSustained(baseline, current *File, tolerance float64) ([]string
 	line := fmt.Sprintf("%-28s %8.3fx vs baseline %8.3fx (floor %.3fx) %s",
 		ServeCaseName, cur.Ratio, base.Ratio, floor, status)
 	return []string{line}, err
+}
+
+// IsSolveRateCase reports whether a benchmark case participates in the
+// solve-rate trajectory gate: the end-to-end scenario solves, the two
+// dist-engine deployments and the sustained serving case.
+func IsSolveRateCase(name string) bool {
+	return strings.HasPrefix(name, "Scenario") ||
+		name == "DistStarWorkers" || name == "DistMeshWorkers" ||
+		name == ServeCaseName
+}
+
+// solveRates extracts every clean solve-rate case from a capture.
+func solveRates(f *File) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range f.Results {
+		if IsSolveRateCase(r.Name) && r.Err == "" && r.SolveRate > 0 {
+			out[r.Name] = r.SolveRate
+		}
+	}
+	return out
+}
+
+// geomean returns the geometric mean of the named cases' rates.
+func geomean(rates map[string]float64, names []string) float64 {
+	if len(names) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, name := range names {
+		s += math.Log(rates[name])
+	}
+	return math.Exp(s / float64(len(names)))
+}
+
+// solveRateTolerance is the per-case allowed fractional regression: the
+// dist cases ride real TCP sockets and OS scheduling, so they gate looser
+// than the in-process scenario and serve cases.
+func solveRateTolerance(name string, tolerance, distTolerance float64) float64 {
+	if strings.HasPrefix(name, "Dist") {
+		return distTolerance
+	}
+	return tolerance
+}
+
+// CompareSolveRates gates end-to-end solve throughput against a committed
+// baseline capture. Raw solves/sec are never compared across captures —
+// machines differ. Instead each case's rate is normalized by the geometric
+// mean of the cases COMMON to both captures within its own capture, so the
+// compared quantity is "this case relative to this machine's overall solve
+// speed": machine-independent, like the BlockEval multiples. A case whose
+// normalized rate falls more than its tolerance below the baseline's fails;
+// dist cases use the looser distTolerance. New cases report as info;
+// baseline cases missing from the current capture are shrunk coverage and
+// fail.
+func CompareSolveRates(baseline, current *File, tolerance, distTolerance float64) ([]string, error) {
+	base := solveRates(baseline)
+	cur := solveRates(current)
+	var common, fresh []string
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			common = append(common, name)
+		} else {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(fresh)
+
+	var lines []string
+	var failures []string
+	if len(common) > 0 {
+		baseMean := geomean(base, common)
+		curMean := geomean(cur, common)
+		for _, name := range common {
+			b := base[name] / baseMean
+			c := cur[name] / curMean
+			tol := solveRateTolerance(name, tolerance, distTolerance)
+			floor := b * (1 - tol)
+			status := "ok"
+			if c < floor {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.3f < %.3f (baseline %.3f - %.0f%%)",
+					name, c, floor, b, tol*100))
+			}
+			lines = append(lines, fmt.Sprintf("%-28s %8.3f vs baseline %8.3f (floor %.3f) %s",
+				name, c, b, floor, status))
+		}
+	}
+	for _, name := range fresh {
+		lines = append(lines, fmt.Sprintf("%-28s %8.1f solves/s (new case, no baseline)", name, cur[name]))
+	}
+	var missing []string
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from current capture", name))
+	}
+	if len(common) == 0 && len(failures) == 0 && len(fresh) == 0 {
+		return lines, fmt.Errorf("benchsuite: no solve-rate cases in either capture")
+	}
+	if len(failures) > 0 {
+		return lines, fmt.Errorf("benchsuite: solve rate regressed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return lines, nil
 }
 
 // CompareBlockEval gates the block-evaluation fast path against a committed

@@ -171,3 +171,77 @@ func TestCompareServeSustainedAbsentEverywhere(t *testing.T) {
 		t.Fatalf("nothing to gate must be a clean no-op, got %v / %v", lines, err)
 	}
 }
+
+func rateCase(name string, rate float64) Result {
+	return Result{Name: name, Kind: "micro", SolveRate: rate}
+}
+
+func TestCompareSolveRatesPassesWithinTolerance(t *testing.T) {
+	baseline := captureWith(rateCase("ScenarioSolveLasso", 2000), rateCase("ServeSustained", 400))
+	// The whole machine is 2x slower — every normalized rate is unchanged.
+	current := captureWith(rateCase("ScenarioSolveLasso", 1000), rateCase("ServeSustained", 200))
+	lines, err := CompareSolveRates(baseline, current, 0.3, 0.5)
+	if err != nil {
+		t.Fatalf("uniformly slower machine must not fail: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareSolveRatesFailsOnRelativeRegression(t *testing.T) {
+	baseline := captureWith(rateCase("ScenarioSolveLasso", 2000), rateCase("ServeSustained", 2000))
+	// Lasso collapsed 10x relative to the other case: a real regression even
+	// though the serve case got faster in absolute terms.
+	current := captureWith(rateCase("ScenarioSolveLasso", 200), rateCase("ServeSustained", 2200))
+	_, err := CompareSolveRates(baseline, current, 0.3, 0.5)
+	if err == nil {
+		t.Fatal("expected a regression failure")
+	}
+	if !strings.Contains(err.Error(), "ScenarioSolveLasso") {
+		t.Errorf("error should name the regressed case: %v", err)
+	}
+}
+
+func TestCompareSolveRatesDistUsesLooserTolerance(t *testing.T) {
+	baseline := captureWith(rateCase("DistStarWorkers", 1000), rateCase("ScenarioSolveLasso", 1000))
+	// A relative shift that breaks a 0.3 tolerance but survives the dist 0.5:
+	// geomeans are sqrt(1000*1000)=1000 vs sqrt(620*1000)~787, so the dist
+	// case normalizes to 620/787 ~ 0.79 vs baseline 1.0 — a 21% relative
+	// fall, within the dist band. Make it larger to straddle the two bands.
+	current := captureWith(rateCase("DistStarWorkers", 450), rateCase("ScenarioSolveLasso", 1000))
+	if _, err := CompareSolveRates(baseline, current, 0.3, 0.5); err != nil {
+		t.Fatalf("dist case within its looser tolerance must pass: %v", err)
+	}
+	if _, err := CompareSolveRates(baseline, current, 0.3, 0.1); err == nil {
+		t.Fatal("same shift must fail once the dist tolerance tightens")
+	}
+}
+
+func TestCompareSolveRatesCoverage(t *testing.T) {
+	baseline := captureWith(rateCase("ScenarioSolveLasso", 1000), rateCase("ServeSustained", 300))
+	// New case: info, not failure.
+	withNew := captureWith(rateCase("ScenarioSolveLasso", 1000), rateCase("ServeSustained", 300),
+		rateCase("ScenarioSolveLassoLarge", 30))
+	lines, err := CompareSolveRates(baseline, withNew, 0.3, 0.5)
+	if err != nil {
+		t.Fatalf("new case must not fail the gate: %v", err)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "LassoLarge") && strings.Contains(l, "new case") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new case not reported: %v", lines)
+	}
+	// Vanished baseline case: shrunk coverage fails.
+	shrunk := captureWith(rateCase("ScenarioSolveLasso", 1000))
+	if _, err := CompareSolveRates(baseline, shrunk, 0.3, 0.5); err == nil {
+		t.Fatal("vanished baseline case must fail the gate")
+	}
+	// Non-solve-rate cases are ignored entirely.
+	noise := captureWith(rateCase("ScenarioSolveLasso", 1000), rateCase("ServeSustained", 300),
+		Result{Name: "DESUpdatePhase", Kind: "micro", SolveRate: 99})
+	if _, err := CompareSolveRates(baseline, noise, 0.3, 0.5); err != nil {
+		t.Fatalf("non-solve-rate case leaked into the gate: %v", err)
+	}
+}

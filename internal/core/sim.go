@@ -61,6 +61,9 @@ type Config struct {
 	// single-threaded, so one RunScratch serves a whole run; it must not be
 	// shared by concurrent Runs.
 	Scratch *RunScratch
+	// Tuning is installed on the operator scratch (supplied or fresh), so
+	// a pooled scratch reused across runs always carries this run's knobs.
+	Tuning operators.Tuning
 	// Done, when non-nil, cancels the run: the iteration loop stops at the
 	// next doneCheckEvery boundary and the result reports Cancelled and
 	// not Converged. Cancellation never perturbs the trajectory computed
@@ -245,6 +248,7 @@ func Run(cfg Config) (*Result, error) {
 	if scratch.Op == nil {
 		scratch.Op = operators.NewScratch()
 	}
+	scratch.Op.SetTuning(cfg.Tuning)
 
 	// Wire residual-aware steering (Gauss–Southwell) to live residuals. The
 	// closure runs once per candidate component per Select, so it reuses a

@@ -120,6 +120,9 @@ type Config struct {
 	// hot-path buffers. Missing or short slices fall back to fresh
 	// per-worker scratches.
 	Scratches []*operators.Scratch
+	// Tuning is installed on every worker scratch (supplied or fresh), so
+	// pooled scratches reused across runs always carry this run's knobs.
+	Tuning operators.Tuning
 	// Done, when non-nil, cancels the run: the event loop stops at the
 	// next event and the result reports Cancelled and not Converged.
 	// Cancellation does not perturb the trajectory up to the stopping
@@ -129,6 +132,17 @@ type Config struct {
 	// Progress, when non-nil, is incremented once per completed updating
 	// phase so external observers can watch the run live.
 	Progress *atomic.Int64
+}
+
+// workerScratch returns the caller-supplied scratch for worker w or a
+// fresh one, with the run's tuning installed.
+func (c *Config) workerScratch(w int) *operators.Scratch {
+	scr := operators.NewScratch()
+	if w < len(c.Scratches) && c.Scratches[w] != nil {
+		scr = c.Scratches[w]
+	}
+	scr.SetTuning(c.Tuning)
+	return scr
 }
 
 // Result reports a simulated run.
@@ -321,10 +335,7 @@ func Run(cfg Config) (*Result, error) {
 		for c := b[0]; c < b[1]; c++ {
 			comps = append(comps, c)
 		}
-		scr := operators.NewScratch()
-		if w < len(cfg.Scratches) && cfg.Scratches[w] != nil {
-			scr = cfg.Scratches[w]
-		}
+		scr := cfg.workerScratch(w)
 		wk := &worker{
 			id:          w,
 			comps:       comps,

@@ -89,11 +89,7 @@ func RunSync(cfg Config) (*SyncResult, error) {
 	// every sync-vs-async comparison would be skewed).
 	scrs := make([]*operators.Scratch, p)
 	for w := range scrs {
-		if w < len(cfg.Scratches) && cfg.Scratches[w] != nil {
-			scrs[w] = cfg.Scratches[w]
-		} else {
-			scrs[w] = operators.NewScratch()
-		}
+		scrs[w] = cfg.workerScratch(w)
 	}
 	costs := make([]float64, p)
 

@@ -124,6 +124,8 @@ type Config struct {
 	// Scratches optionally supplies one reusable operator scratch per
 	// worker, as in runtime.Config.
 	Scratches []*operators.Scratch
+	// Tuning is installed on every worker scratch, as in runtime.Config.
+	Tuning operators.Tuning
 }
 
 // Result reports one distributed run.
@@ -240,10 +242,12 @@ func (f Fault) validate() error {
 
 // workerScratch mirrors runtime.Config.workerScratch.
 func (c *Config) workerScratch(w int) *operators.Scratch {
+	scr := operators.NewScratch()
 	if w < len(c.Scratches) && c.Scratches[w] != nil {
-		return c.Scratches[w]
+		scr = c.Scratches[w]
 	}
-	return operators.NewScratch()
+	scr.SetTuning(c.Tuning)
+	return scr
 }
 
 // Run executes the full distributed solve in-process over localhost TCP:

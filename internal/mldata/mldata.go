@@ -123,6 +123,21 @@ func hessian(a *vec.Dense, reg float64) *vec.Dense {
 
 // Smooth returns the least-squares smooth part f with its (L, mu) bounds.
 func (r *Regression) Smooth() *operators.LeastSquares {
+	return r.SmoothTuned(false, 1)
+}
+
+// SmoothTuned is Smooth with build-time tuning: lean selects the residual
+// gradient form (no precomputed Gram matrix — a bit-different but
+// mathematically equivalent objective evaluation, see
+// operators.NewLeastSquaresLean), and shards > 1 fans the eager Gram
+// assembly over that many concurrent lanes (bit-identical to serial).
+func (r *Regression) SmoothTuned(lean bool, shards int) *operators.LeastSquares {
+	if lean {
+		return operators.NewLeastSquaresLean(r.A, r.Y, r.Reg)
+	}
+	if shards > 1 {
+		return operators.NewLeastSquaresSharded(r.A, r.Y, r.Reg, shards)
+	}
 	return operators.NewLeastSquares(r.A, r.Y, r.Reg)
 }
 

@@ -98,7 +98,7 @@ func (o *ProxGradFB) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64
 // once per component — the largest single win of the block contract.
 func (o *InnerIterated) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
 	p := scr.Vec(0, len(x))
-	o.applyWith(p, scr.Vec(1, len(x)), x)
+	o.applyWithScratch(scr, p, scr.Vec(1, len(x)), x)
 	copy(out, p[lo:hi])
 }
 
@@ -111,18 +111,19 @@ func (r *Relaxed) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
 	}
 }
 
-// EvalBlockScratch implements BlockScratchOperator via the row-slab matvec.
+// EvalBlockScratch implements BlockScratchOperator via the row-slab matvec
+// (tiled and lane-parallel per the scratch's tuning).
 func (l *Linear) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
-	l.A.MulRangeTo(out, x, lo, hi)
+	denseSlab(scr, l.A, out, x, lo, hi)
 	for i := range out {
 		out[i] += l.B[lo+i]
 	}
 }
 
 // EvalBlockScratch implements BlockScratchOperator via the sparse row-slab
-// matvec.
+// matvec (lane-parallel per the scratch's tuning).
 func (l *SparseLinear) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
-	l.A.MulRangeTo(out, x, lo, hi)
+	csrSlab(scr, l.A, out, x, lo, hi)
 	for i := range out {
 		out[i] += l.B[lo+i]
 	}
@@ -137,17 +138,24 @@ func (g *GradOp) EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64) {
 	}
 }
 
-// GradRange implements RangeGradSmooth via the Hessian row slab.
+// GradRange implements RangeGradSmooth via the Hessian row slab (tiled and
+// lane-parallel per the scratch's tuning).
 func (f *Quadratic) GradRange(scr *Scratch, dst, x []float64, lo, hi int) {
-	f.Q.MulRangeTo(dst, x, lo, hi)
+	denseSlab(scr, f.Q, dst, x, lo, hi)
 	for i := range dst {
 		dst[i] -= f.B[lo+i]
 	}
 }
 
-// GradRange implements RangeGradSmooth via the Gram row slab.
+// GradRange implements RangeGradSmooth via the Gram row slab (tiled and
+// lane-parallel per the scratch's tuning), or the shared residual pass in
+// lean mode.
 func (f *LeastSquares) GradRange(scr *Scratch, dst, x []float64, lo, hi int) {
-	f.gram.MulRangeTo(dst, x, lo, hi)
+	if f.gram == nil {
+		f.leanGradRange(scr, dst, x, lo, hi)
+		return
+	}
+	denseSlab(scr, f.gram, dst, x, lo, hi)
 	for i := range dst {
 		// Same association order as GradComponent: (s + reg*x_i) - aty_i.
 		dst[i] = dst[i] + f.Reg*x[lo+i] - f.aty[lo+i]

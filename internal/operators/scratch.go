@@ -15,6 +15,12 @@ package operators
 type Scratch struct {
 	bufs [][]float64
 	aux  [][]float64
+	acc  []float64 // tiled-matvec accumulators (see Acc)
+	tun  Tuning
+	// lanes are the sub-scratches handed to intra-block fan-out goroutines;
+	// each lane is owned by exactly one goroutine for the duration of a
+	// parallelRows call, preserving the single-owner contract.
+	lanes []*Scratch
 }
 
 // NewScratch returns an empty Scratch. Buffers grow on demand, so one

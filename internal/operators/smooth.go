@@ -2,6 +2,8 @@ package operators
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/vec"
 )
@@ -154,11 +156,23 @@ type LeastSquares struct {
 // NewLeastSquares precomputes the Gram structure and Gershgorin (L, mu)
 // bounds for the Hessian (1/m) A^T A + reg I.
 func NewLeastSquares(a *vec.Dense, y []float64, reg float64) *LeastSquares {
+	return newLeastSquaresEager(a, y, reg, 1)
+}
+
+// NewLeastSquaresSharded is NewLeastSquares with the Gram assembly fanned
+// out over shards concurrent lane workers. The per-element sample
+// accumulation order is unchanged (see vec.AtAShard), so the result — and
+// every subsequent trajectory — is bit-identical to NewLeastSquares.
+func NewLeastSquaresSharded(a *vec.Dense, y []float64, reg float64, shards int) *LeastSquares {
+	return newLeastSquaresEager(a, y, reg, shards)
+}
+
+func newLeastSquaresEager(a *vec.Dense, y []float64, reg float64, shards int) *LeastSquares {
 	if a.Rows != len(y) {
 		panic("operators: NewLeastSquares rows != len(y)")
 	}
 	m := float64(a.Rows)
-	g := a.AtA()
+	g := ataSharded(a, shards)
 	for i := range g.Data {
 		g.Data[i] /= m
 	}
@@ -182,6 +196,142 @@ func NewLeastSquares(a *vec.Dense, y []float64, reg float64) *LeastSquares {
 	return &LeastSquares{A: a, Y: y, Reg: reg, gram: g, aty: aty, l: hi, mu: lo}
 }
 
+// ataSharded assembles A^T A, fanning Gram-row shards out over the lane
+// executor when shards > 1. Bit-identical to a.AtA() for any shard count.
+func ataSharded(a *vec.Dense, shards int) *vec.Dense {
+	g := vec.NewDense(a.Cols, a.Cols)
+	if shards > a.Cols {
+		shards = a.Cols
+	}
+	if shards <= 1 {
+		a.AtAShard(g, 0, a.Cols)
+		return g
+	}
+	blocks := vec.Blocks(a.Cols, shards)
+	var wg sync.WaitGroup
+	for k := 1; k < len(blocks); k++ {
+		b := blocks[k]
+		wg.Add(1)
+		submitLane(func() {
+			defer wg.Done()
+			a.AtAShard(g, b[0], b[1])
+		})
+	}
+	a.AtAShard(g, blocks[0][0], blocks[0][1])
+	wg.Wait()
+	return g
+}
+
+// NewLeastSquaresLean builds the same objective WITHOUT precomputing the
+// n x n Gram matrix: gradients run in residual form,
+//
+//	grad f(x)_c = reg*x_c + sum_h coef_h A_hc,  coef_h = ((Ax)_h - y_h)/m,
+//
+// so memory stays O(m·n) and a gradient range costs O(m·(b+n)) instead of
+// the Gram path's O(n·b). L comes from power iteration on the implicit
+// Hessian (with a 5% safety margin) and mu = reg, so the step size — and
+// therefore the trajectory — differs from the Gram-precomputed form; within
+// lean mode, full, range and componentwise gradients remain mutually
+// bit-identical. Prefer this when n is large enough that the n^2 Gram is
+// the memory bottleneck; note the per-component fallback path recomputes
+// the full residual per component, so lean mode wants block evaluation.
+func NewLeastSquaresLean(a *vec.Dense, y []float64, reg float64) *LeastSquares {
+	if a.Rows != len(y) {
+		panic("operators: NewLeastSquares rows != len(y)")
+	}
+	mu := reg
+	if mu <= 0 {
+		mu = 1e-12
+	}
+	l := 1.05 * leanLmax(a, reg, 60)
+	if l < mu {
+		l = mu
+	}
+	return &LeastSquares{A: a, Y: y, Reg: reg, l: l, mu: mu}
+}
+
+// leanLmax estimates the top eigenvalue of (1/m)A^T A + reg I by power
+// iteration on the implicit Hessian (no Gram materialization).
+func leanLmax(a *vec.Dense, reg float64, iters int) float64 {
+	n := a.Cols
+	if n == 0 || a.Rows == 0 {
+		return reg
+	}
+	m := float64(a.Rows)
+	x := vec.Constant(n, 1/math.Sqrt(float64(n)))
+	// Slight asymmetry so we do not start orthogonal to the top eigenvector.
+	for i := range x {
+		x[i] *= 1 + 1e-3*float64(i%7)
+	}
+	r := vec.New(a.Rows)
+	y := vec.New(n)
+	lambda := 0.0
+	for k := 0; k < iters; k++ {
+		a.MulVecTo(r, x)
+		a.MulVecTransTo(y, r)
+		for i := range y {
+			y[i] = y[i]/m + reg*x[i]
+		}
+		nrm := vec.Norm2(y)
+		if nrm == 0 {
+			return reg
+		}
+		for i := range x {
+			x[i] = y[i] / nrm
+		}
+		lambda = nrm
+	}
+	return lambda
+}
+
+// Lean reports whether f runs in residual (Gram-free) form.
+func (f *LeastSquares) Lean() bool { return f.gram == nil }
+
+// leanCoef fills coef[h] = ((Ax)_h - y_h)/m, the shared residual pass of the
+// lean gradient form.
+func (f *LeastSquares) leanCoef(coef, x []float64) {
+	m := float64(f.A.Rows)
+	for h := range coef {
+		coef[h] = (f.A.RowDotAt(h, x) - f.Y[h]) / m
+	}
+}
+
+// leanGradAt returns the lean-form gradient component c given the residual
+// coefficients: reg*x_c first, then the sample terms in ascending h — the
+// one order all three lean gradient granularities share.
+func (f *LeastSquares) leanGradAt(coef, x []float64, c int) float64 {
+	g := f.Reg * x[c]
+	cols := f.A.Cols
+	for h := range coef {
+		g += coef[h] * f.A.Data[h*cols+c]
+	}
+	return g
+}
+
+// leanGradRange is GradRange in residual form: one shared residual pass,
+// then the per-component column accumulation (lane-parallel per the
+// scratch's tuning; components are independent, so fan-out changes no bits).
+func (f *LeastSquares) leanGradRange(scr *Scratch, dst, x []float64, lo, hi int) {
+	var coef []float64
+	if scr != nil {
+		coef = scr.Aux(1, f.A.Rows)
+	} else {
+		coef = make([]float64, f.A.Rows)
+	}
+	f.leanCoef(coef, x)
+	if scr == nil || !scr.fanOut(hi-lo) {
+		for c := lo; c < hi; c++ {
+			dst[c-lo] = f.leanGradAt(coef, x, c)
+		}
+		return
+	}
+	scr.parallelRows(lo, hi, func(_ *Scratch, l, h int) {
+		for c := l; c < h; c++ {
+			dst[c-lo] = f.leanGradAt(coef, x, c)
+		}
+	})
+}
+
 func (f *LeastSquares) Dim() int { return f.A.Cols }
 
 func (f *LeastSquares) Value(x []float64) float64 {
@@ -196,6 +346,14 @@ func (f *LeastSquares) Value(x []float64) float64 {
 }
 
 func (f *LeastSquares) Grad(dst, x []float64) {
+	if f.gram == nil {
+		coef := make([]float64, f.A.Rows)
+		f.leanCoef(coef, x)
+		for c := range dst {
+			dst[c] = f.leanGradAt(coef, x, c)
+		}
+		return
+	}
 	f.gram.MulVecTo(dst, x)
 	for i := range dst {
 		// Same association order as GradComponent: (s + reg*x_i) - aty_i,
@@ -205,14 +363,29 @@ func (f *LeastSquares) Grad(dst, x []float64) {
 }
 
 func (f *LeastSquares) GradComponent(i int, x []float64) float64 {
+	if f.gram == nil {
+		coef := make([]float64, f.A.Rows)
+		f.leanCoef(coef, x)
+		return f.leanGradAt(coef, x, i)
+	}
 	return f.gram.RowDotAt(i, x) + f.Reg*x[i] - f.aty[i]
 }
 
 func (f *LeastSquares) LMu() (float64, float64) { return f.l, f.mu }
 
-// Hessian returns the (constant) Hessian (1/m)A^T A + reg I.
+// Hessian returns the (constant) Hessian (1/m)A^T A + reg I. In lean mode
+// the Gram matrix is materialized on demand (diagnostic/Newton use only).
 func (f *LeastSquares) Hessian() *vec.Dense {
-	h := f.gram.Clone()
+	h := f.gram
+	if h == nil {
+		h = f.A.AtA()
+		m := float64(f.A.Rows)
+		for i := range h.Data {
+			h.Data[i] /= m
+		}
+	} else {
+		h = h.Clone()
+	}
 	for i := 0; i < h.Rows; i++ {
 		h.Set(i, i, h.At(i, i)+f.Reg)
 	}

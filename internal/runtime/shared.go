@@ -41,6 +41,9 @@ type Config struct {
 	// worker (index = worker id) so repeated runs of the same shape share
 	// hot-path buffers. Missing entries fall back to fresh scratches.
 	Scratches []*operators.Scratch
+	// Tuning is installed on every worker scratch (supplied or fresh), so
+	// pooled scratches reused across runs always carry this run's knobs.
+	Tuning operators.Tuning
 	// Done, when non-nil, cancels the run: every worker stops at its next
 	// phase boundary, the result reports Cancelled and not Converged.
 	Done <-chan struct{}
@@ -52,10 +55,12 @@ type Config struct {
 // workerScratch returns the caller-supplied scratch for worker w or a fresh
 // one. Each worker owns its scratch exclusively for the duration of the run.
 func (c *Config) workerScratch(w int) *operators.Scratch {
+	scr := operators.NewScratch()
 	if w < len(c.Scratches) && c.Scratches[w] != nil {
-		return c.Scratches[w]
+		scr = c.Scratches[w]
 	}
-	return operators.NewScratch()
+	scr.SetTuning(c.Tuning)
+	return scr
 }
 
 // Result reports a concurrent run.

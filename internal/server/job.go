@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -38,6 +40,80 @@ type JobRequest struct {
 	// TimeoutMS bounds this job's run time; 0 uses the server maximum, and
 	// values above the server maximum are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Knobs carries the tuning and fault knob fields (block_size,
+	// intra_parallel, gram_precompute, drop_prob, ...) in flag syntax,
+	// keyed by JSON field name. On the wire they are top-level job fields —
+	// DecodeJobRequest splits them off the body and MarshalJSON merges them
+	// back — so the server's JSON schema is the knob table, verbatim.
+	Knobs map[string]string `json:"-"`
+}
+
+// MarshalJSON flattens Knobs into top-level fields, each in the wire form
+// its knob-table entry prescribes (numerics and booleans bare, durations
+// quoted).
+func (r JobRequest) MarshalJSON() ([]byte, error) {
+	type plain JobRequest // methodless alias: plain struct-tag marshaling
+	b, err := json.Marshal(plain(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Knobs) == 0 {
+		return b, nil
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	for name, val := range r.Knobs {
+		k, ok := repro.KnobByJSON(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown knob field %q", name)
+		}
+		raw, err := k.JSONValue(val)
+		if err != nil {
+			return nil, err
+		}
+		m[name] = raw
+	}
+	return json.Marshal(m)
+}
+
+// DecodeJobRequest parses a /v1/solve body: knob-table fields are split
+// into Knobs, every remaining field must be a core JobRequest field
+// (unknown fields stay a 400, exactly as strict as before knobs existed).
+func DecodeJobRequest(body []byte) (JobRequest, error) {
+	var req JobRequest
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		return req, err
+	}
+	var knobs map[string]string
+	for name, raw := range fields {
+		k, ok := repro.KnobByJSON(name)
+		if !ok {
+			continue
+		}
+		val, err := repro.KnobValueFromJSON(k, raw)
+		if err != nil {
+			return req, err
+		}
+		if knobs == nil {
+			knobs = map[string]string{}
+		}
+		knobs[name] = val
+		delete(fields, name)
+	}
+	rest, err := json.Marshal(fields)
+	if err != nil {
+		return req, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(rest))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, err
+	}
+	req.Knobs = knobs
+	return req, nil
 }
 
 // job is one admitted solve: the validated request plus everything the
@@ -48,10 +124,12 @@ type job struct {
 
 	// Resolved at admission so a bad request fails with 400 before it
 	// consumes a queue slot.
-	engine repro.Engine
-	delay  repro.DelayModel
-	n      int // requested size resolved against the scenario default
-	key    PoolKey
+	engine   repro.Engine
+	delay    repro.DelayModel
+	n        int // requested size resolved against the scenario default
+	key      PoolKey
+	knobOpts []repro.Option
+	tuning   repro.Tuning
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -111,6 +189,29 @@ func resolve(req JobRequest, maxJobTime time.Duration) (*job, error) {
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("timeout_ms %d must be >= 0", req.TimeoutMS)
 	}
+	// Knob fields validate at admission like every other field, in table
+	// order for a deterministic first error.
+	var knobOpts []repro.Option
+	for _, k := range repro.KnobTable() {
+		val, ok := req.Knobs[k.JSON]
+		if !ok {
+			continue
+		}
+		opt, err := k.Option(val)
+		if err != nil {
+			return nil, err
+		}
+		knobOpts = append(knobOpts, opt)
+	}
+	for name := range req.Knobs {
+		if _, ok := repro.KnobByJSON(name); !ok {
+			return nil, fmt.Errorf("unknown knob field %q", name)
+		}
+	}
+	var knobSpec repro.Spec
+	for _, o := range knobOpts {
+		o(&knobSpec)
+	}
 	n := req.N
 	if n <= 0 {
 		n = scen.DefaultN
@@ -120,6 +221,8 @@ func resolve(req JobRequest, maxJobTime time.Duration) (*job, error) {
 		engine:   engine,
 		delay:    delay,
 		n:        n,
+		knobOpts: knobOpts,
+		tuning:   knobSpec.Tuning,
 		progress: new(repro.Progress),
 		started:  make(chan struct{}),
 		done:     make(chan struct{}),
@@ -157,7 +260,11 @@ func (j *job) run(pool *ScratchPool) {
 		return
 	}
 	close(j.started)
-	inst, err := repro.BuildScenario(j.req.Scenario, j.req.N, j.req.Seed)
+	// Build with the job's tuning so build-time choices (Gram form, sharded
+	// precompute) see the knobs; pooled scratches are safe across jobs with
+	// different tuning because engines install Spec.Tuning on every scratch
+	// at solve time.
+	inst, err := repro.BuildScenarioTuned(j.req.Scenario, j.req.N, j.req.Seed, j.tuning)
 	if err != nil {
 		j.err = err
 		return
@@ -172,6 +279,7 @@ func (j *job) run(pool *ScratchPool) {
 		repro.WithContext(j.ctx),
 		repro.WithProgress(j.progress),
 	}
+	opts = append(opts, j.knobOpts...)
 	if j.req.Workers > 0 {
 		opts = append(opts, repro.WithWorkers(j.req.Workers))
 	}

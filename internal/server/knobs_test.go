@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// The server's knob surface IS the knob table: every table entry must be
+// accepted as a top-level /v1/solve field under its JSON name, round-trip
+// through the client's marshaling, and validate at admission — while
+// unknown fields keep their strict 400.
+
+func TestDecodeJobRequestSplitsKnobs(t *testing.T) {
+	body := []byte(`{"scenario":"lasso","n":16,"block_size":64,"intra_parallel":4,` +
+		`"gram_precompute":false,"drop_prob":0.25,"max_link_delay":"10ms"}`)
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Scenario != "lasso" || req.N != 16 {
+		t.Fatalf("core fields lost: %+v", req)
+	}
+	want := map[string]string{"block_size": "64", "intra_parallel": "4",
+		"gram_precompute": "false", "drop_prob": "0.25", "max_link_delay": "10ms"}
+	if len(req.Knobs) != len(want) {
+		t.Fatalf("knobs = %v, want %v", req.Knobs, want)
+	}
+	for k, v := range want {
+		if req.Knobs[k] != v {
+			t.Errorf("knob %s = %q, want %q", k, req.Knobs[k], v)
+		}
+	}
+
+	// Unknown fields are still a hard error — knobs did not loosen the
+	// schema.
+	if _, err := DecodeJobRequest([]byte(`{"scenario":"lasso","blocksize":8}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// A bare-number duration is rejected at decode, with the field named.
+	_, err = DecodeJobRequest([]byte(`{"scenario":"lasso","max_link_delay":10}`))
+	if err == nil || !strings.Contains(err.Error(), "max_link_delay") {
+		t.Errorf("bare duration: err = %v", err)
+	}
+}
+
+func TestJobRequestMarshalRoundTrip(t *testing.T) {
+	req := JobRequest{
+		Scenario: "ridge", N: 32, Seed: 9,
+		Knobs: map[string]string{"block_size": "64", "gram_precompute": "false",
+			"max_link_delay": "5ms"},
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knob fields appear as top-level JSON fields in wire syntax.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m["block_size"]) != "64" || string(m["gram_precompute"]) != "false" {
+		t.Errorf("numeric/bool knobs not bare literals: %s", b)
+	}
+	if string(m["max_link_delay"]) != `"5ms"` {
+		t.Errorf("duration knob not a quoted string: %s", b)
+	}
+	back, err := DecodeJobRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != req.Scenario || back.N != req.N || back.Seed != req.Seed {
+		t.Fatalf("core fields did not round-trip: %+v", back)
+	}
+	if len(back.Knobs) != len(req.Knobs) {
+		t.Fatalf("knobs did not round-trip: %v vs %v", back.Knobs, req.Knobs)
+	}
+	for k, v := range req.Knobs {
+		if back.Knobs[k] != v {
+			t.Errorf("knob %s: %q != %q after round-trip", k, back.Knobs[k], v)
+		}
+	}
+}
+
+// Every knob in the table must be accepted end to end over HTTP at its
+// default value — if someone adds a knob whose JSON name the server cannot
+// take, or renames one side, this fails. This is the server half of the
+// flag<->JSON drift gate (the flag half lives in the root package tests).
+func TestEveryTableKnobAcceptedOverHTTP(t *testing.T) {
+	_, c := testServer(t, Config{Workers: 2, QueueDepth: 4})
+	for _, k := range repro.KnobTable() {
+		k := k
+		t.Run(k.JSON, func(t *testing.T) {
+			out, err := c.Solve(context.Background(), JobRequest{
+				Scenario: "lasso", N: 16, Seed: 7,
+				Knobs: map[string]string{k.JSON: k.Default},
+			})
+			if err != nil {
+				t.Fatalf("knob %s at default %q rejected: %v", k.JSON, k.Default, err)
+			}
+			if out.JobErr != "" {
+				t.Fatalf("knob %s job failed: %s", k.JSON, out.JobErr)
+			}
+			if out.Report == nil || !out.Report.Converged {
+				t.Fatalf("knob %s job did not converge", k.JSON)
+			}
+		})
+	}
+}
+
+// A fully tuned job — tiling, fan-out and the lean Gram form — must solve
+// and report bit-identically to the untuned job for the bit-preserving
+// knobs (block_size, intra_parallel), and still converge under the lean
+// form.
+func TestServeTunedJobs(t *testing.T) {
+	_, c := testServer(t, Config{Workers: 2, QueueDepth: 4})
+	base, err := c.Solve(context.Background(), JobRequest{Scenario: "lasso", N: 96, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report == nil || !base.Report.Converged {
+		t.Fatal("untuned job did not converge")
+	}
+	tuned, err := c.Solve(context.Background(), JobRequest{
+		Scenario: "lasso", N: 96, Seed: 7,
+		Knobs: map[string]string{"block_size": "16", "intra_parallel": "4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Report == nil || !tuned.Report.Converged {
+		t.Fatal("tuned job did not converge")
+	}
+	if tuned.Report.Updates != base.Report.Updates ||
+		tuned.Report.FinalResidual != base.Report.FinalResidual {
+		t.Errorf("bit-preserving knobs changed the trajectory: updates %d vs %d, residual %v vs %v",
+			tuned.Report.Updates, base.Report.Updates,
+			tuned.Report.FinalResidual, base.Report.FinalResidual)
+	}
+	lean, err := c.Solve(context.Background(), JobRequest{
+		Scenario: "lasso", N: 96, Seed: 7,
+		Knobs: map[string]string{"gram_precompute": "false"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Report == nil || !lean.Report.Converged {
+		t.Fatal("lean-Gram job did not converge")
+	}
+}
+
+// Invalid knob values are 400s at admission — never a queue slot, never a
+// 200 stream with a late error.
+func TestServeKnobValidation(t *testing.T) {
+	_, c := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"negative block size", `{"scenario":"lasso","block_size":-4}`, "below minimum"},
+		{"drop out of range", `{"scenario":"lasso","drop_prob":1.5}`, "[0,1]"},
+		{"bad bool", `{"scenario":"lasso","gram_precompute":"maybe"}`, "boolean"},
+		{"negative delay", `{"scenario":"lasso","max_link_delay":"-5ms"}`, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := c.http().Post(c.Base+"/v1/solve", "application/json",
+				bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var msg bytes.Buffer
+			msg.ReadFrom(resp.Body)
+			if !strings.Contains(msg.String(), tc.want) {
+				t.Fatalf("body %q does not mention %q", msg.String(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package vec
+
+// This file holds the ONE canonical accumulation order for every dot-product
+// reduction in the library. Floating-point addition is not associative, so
+// the exact order of partial sums is observable in solver trajectories; to
+// keep the full, range and componentwise evaluation paths bit-identical,
+// they must all reduce in the same order. That order is:
+//
+//	s0 accumulates products at indices j ≡ 0 (mod 4)
+//	s1 accumulates products at indices j ≡ 1 (mod 4)
+//	s2 accumulates products at indices j ≡ 2 (mod 4)
+//	s3 accumulates products at indices j ≡ 3 (mod 4)
+//	tail accumulates the last len%4 products sequentially
+//	result = ((s0+s1) + (s2+s3)) + tail
+//
+// The four independent accumulators break the floating-point add dependency
+// chain (instruction-level parallelism the single-accumulator loop cannot
+// reach) and give the compiler a vectorizable shape. Column tiling preserves
+// the order exactly as long as every tile boundary is a multiple of 4 and
+// tiles are visited in ascending order with the accumulators carried across
+// tiles — which is what dot4Acc below provides.
+
+// dot4 returns the canonical dot product of a and x (equal lengths assumed;
+// callers bounds-check).
+func dot4(a, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n4 := len(a) &^ 3
+	for j := 0; j < n4; j += 4 {
+		aj := a[j : j+4 : j+4]
+		xj := x[j : j+4 : j+4]
+		s0 += aj[0] * xj[0]
+		s1 += aj[1] * xj[1]
+		s2 += aj[2] * xj[2]
+		s3 += aj[3] * xj[3]
+	}
+	tail := 0.0
+	for j := n4; j < len(a); j++ {
+		tail += a[j] * x[j]
+	}
+	return ((s0 + s1) + (s2 + s3)) + tail
+}
+
+// dot4Acc accumulates the products of a[lo:hi] and x[lo:hi] into the four
+// strided accumulators acc (len 4). lo and hi must be multiples of 4 except
+// that hi may equal the true vector length on the final tile, in which case
+// the caller finishes with dot4Tail. Carrying acc across ascending tiles
+// reproduces dot4's reduction order bit for bit, independent of tile width.
+func dot4Acc(acc []float64, a, x []float64, lo, hi int) {
+	s0, s1, s2, s3 := acc[0], acc[1], acc[2], acc[3]
+	for j := lo; j < hi; j += 4 {
+		aj := a[j : j+4 : j+4]
+		xj := x[j : j+4 : j+4]
+		s0 += aj[0] * xj[0]
+		s1 += aj[1] * xj[1]
+		s2 += aj[2] * xj[2]
+		s3 += aj[3] * xj[3]
+	}
+	acc[0], acc[1], acc[2], acc[3] = s0, s1, s2, s3
+}
+
+// dot4Tail combines four strided accumulators with the sequential tail
+// product of a[n4:] and x[n4:], completing the canonical reduction.
+func dot4Tail(acc []float64, a, x []float64, n4 int) float64 {
+	tail := 0.0
+	for j := n4; j < len(a); j++ {
+		tail += a[j] * x[j]
+	}
+	return ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+// dot4Indexed returns the canonical dot product of vals and the gathered
+// components x[idx[k]] — the sparse-row analog of dot4, with the identical
+// reduction order over k.
+func dot4Indexed(vals []float64, idx []int, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n4 := len(vals) &^ 3
+	for k := 0; k < n4; k += 4 {
+		vk := vals[k : k+4 : k+4]
+		ik := idx[k : k+4 : k+4]
+		s0 += vk[0] * x[ik[0]]
+		s1 += vk[1] * x[ik[1]]
+		s2 += vk[2] * x[ik[2]]
+		s3 += vk[3] * x[ik[3]]
+	}
+	tail := 0.0
+	for k := n4; k < len(vals); k++ {
+		tail += vals[k] * x[idx[k]]
+	}
+	return ((s0 + s1) + (s2 + s3)) + tail
+}

@@ -73,12 +73,7 @@ func (m *Dense) MulVecTo(y, x Vector) {
 			m.Rows, m.Cols, len(x), len(y)))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		s := 0.0
-		for j, a := range row {
-			s += a * x[j]
-		}
-		y[i] = s
+		y[i] = dot4(m.Row(i), x)
 	}
 }
 
@@ -113,32 +108,84 @@ func (m *Dense) MulRangeTo(y, x Vector, lo, hi int) {
 			m.Rows, m.Cols, len(x), len(y), hi-lo))
 	}
 	for i := lo; i < hi; i++ {
-		row := m.Row(i)
-		s := 0.0
-		for j, a := range row {
-			s += a * x[j]
-		}
-		y[i-lo] = s
+		y[i-lo] = dot4(m.Row(i), x)
 	}
 }
 
-// RowDotAt returns the dot product of row i with x; used for componentwise
-// residual evaluation without touching other rows.
-func (m *Dense) RowDotAt(i int, x Vector) float64 {
-	row := m.Row(i)
-	s := 0.0
-	for j, a := range row {
-		s += a * x[j]
+// MulRangeTiledTo computes the same row-slab matvec as MulRangeTo, but
+// streams the slab through column tiles of width tile so each tile of x and
+// of the matrix rows stays hot in cache across the whole slab. acc is the
+// caller's accumulator scratch with capacity >= 4*(hi-lo): four strided
+// partial sums per output row, carried across tiles so the reduction order
+// is exactly dot4's regardless of tile width — the result is bit-identical
+// to MulRangeTo for every tile size. tile is rounded down to a multiple of
+// 4; tile < 8 or tile >= Cols falls back to the untiled loop.
+func (m *Dense) MulRangeTiledTo(y, x Vector, lo, hi, tile int, acc []float64) {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("vec: MulRangeTiledTo range [%d,%d) outside %d rows", lo, hi, m.Rows))
 	}
-	return s
+	if len(x) != m.Cols || len(y) != hi-lo {
+		panic(fmt.Sprintf("vec: MulRangeTiledTo dimension mismatch (%dx%d)*%d -> %d (range %d)",
+			m.Rows, m.Cols, len(x), len(y), hi-lo))
+	}
+	tile &^= 3
+	if tile < 8 || tile >= m.Cols {
+		m.MulRangeTo(y, x, lo, hi)
+		return
+	}
+	rows := hi - lo
+	if len(acc) < 4*rows {
+		panic(fmt.Sprintf("vec: MulRangeTiledTo accumulator too small: %d < %d", len(acc), 4*rows))
+	}
+	acc = acc[:4*rows]
+	for i := range acc {
+		acc[i] = 0
+	}
+	cols4 := m.Cols &^ 3
+	for t := 0; t < cols4; t += tile {
+		te := t + tile
+		if te > cols4 {
+			te = cols4
+		}
+		for i := 0; i < rows; i++ {
+			dot4Acc(acc[4*i:4*i+4], m.Row(lo+i), x, t, te)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		y[i] = dot4Tail(acc[4*i:4*i+4], m.Row(lo+i), x, cols4)
+	}
+}
+
+// RowDotAt returns the dot product of row i with x in the canonical
+// reduction order; used for componentwise residual evaluation without
+// touching other rows. Bit-identical to the corresponding MulVecTo /
+// MulRangeTo component.
+func (m *Dense) RowDotAt(i int, x Vector) float64 {
+	return dot4(m.Row(i), x)
 }
 
 // AtA computes the Gram matrix M^T M (Cols x Cols).
 func (m *Dense) AtA() *Dense {
 	g := NewDense(m.Cols, m.Cols)
+	m.AtAShard(g, 0, m.Cols)
+	return g
+}
+
+// AtAShard fills rows [lo, hi) of the Gram matrix g = M^T M. Each output row
+// depends only on the full sample set, never on other Gram rows, so disjoint
+// shards may be filled concurrently; per element the sample-index
+// accumulation order is ascending exactly as in AtA, so a sharded assembly
+// is bit-identical to the serial one.
+func (m *Dense) AtAShard(g *Dense, lo, hi int) {
+	if g.Rows != m.Cols || g.Cols != m.Cols {
+		panic(fmt.Sprintf("vec: AtAShard output %dx%d, want %dx%d", g.Rows, g.Cols, m.Cols, m.Cols))
+	}
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("vec: AtAShard range [%d,%d) outside %d Gram rows", lo, hi, m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
-		for a := 0; a < m.Cols; a++ {
+		for a := lo; a < hi; a++ {
 			ra := row[a]
 			if ra == 0 {
 				continue
@@ -149,7 +196,6 @@ func (m *Dense) AtA() *Dense {
 			}
 		}
 	}
-	return g
 }
 
 // InfNorm returns the matrix norm induced by the max vector norm

@@ -62,6 +62,104 @@ func TestCSRMulRangeToMatchesMulVecTo(t *testing.T) {
 	}
 }
 
+// MulRangeTiledTo must agree BIT-identically with MulRangeTo for every tile
+// width and every range — including ranges that do not divide the tile and
+// column counts that are not multiples of 4 — because the accumulator
+// quartet carries across tiles and the tail folds in exactly once.
+func TestDenseMulRangeTiledToMatchesMulRangeTo(t *testing.T) {
+	for _, dims := range [][2]int{{23, 17}, {31, 64}, {16, 67}, {9, 8}} {
+		rows, cols := dims[0], dims[1]
+		m := randomDense(rows, cols, uint64(41+rows))
+		x := NewRNG(uint64(43 + cols)).NormalVector(cols)
+		for _, blk := range [][2]int{{0, rows}, {0, 1}, {3, rows - 2}, {rows - 1, rows}} {
+			lo, hi := blk[0], blk[1]
+			want := make([]float64, hi-lo)
+			m.MulRangeTo(want, x, lo, hi)
+			for _, tile := range []int{8, 12, 16, 40, cols, cols + 8} {
+				got := make([]float64, hi-lo)
+				acc := make([]float64, 4*(hi-lo))
+				m.MulRangeTiledTo(got, x, lo, hi, tile, acc)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%dx%d tile %d range [%d,%d) row %d: %v != %v",
+							rows, cols, tile, lo, hi, lo+i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dot, MulVecTo and RowDotAt share the canonical 4-accumulator order; pin
+// it against an explicit reference so a future "optimization" that
+// reassociates differently cannot slip in silently.
+func TestCanonicalDotOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 17, 64, 101} {
+		a := NewRNG(uint64(51 + n)).NormalVector(n)
+		x := NewRNG(uint64(53 + n)).NormalVector(n)
+		var s0, s1, s2, s3 float64
+		n4 := n &^ 3
+		for j := 0; j < n4; j += 4 {
+			s0 += a[j] * x[j]
+			s1 += a[j+1] * x[j+1]
+			s2 += a[j+2] * x[j+2]
+			s3 += a[j+3] * x[j+3]
+		}
+		tail := 0.0
+		for j := n4; j < n; j++ {
+			tail += a[j] * x[j]
+		}
+		want := ((s0 + s1) + (s2 + s3)) + tail
+		if got := Dot(a, x); got != want {
+			t.Errorf("n=%d: Dot %v != canonical %v", n, got, want)
+		}
+	}
+}
+
+func TestMulRangeTiledToPanics(t *testing.T) {
+	m := randomDense(8, 16, 45)
+	x := make([]float64, 16)
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"lo<0", func() { m.MulRangeTiledTo(make([]float64, 3), x, -1, 2, 8, make([]float64, 12)) }},
+		{"hi>rows", func() { m.MulRangeTiledTo(make([]float64, 3), x, 6, 9, 8, make([]float64, 12)) }},
+		{"bad y", func() { m.MulRangeTiledTo(make([]float64, 2), x, 0, 3, 8, make([]float64, 12)) }},
+		{"bad x", func() { m.MulRangeTiledTo(make([]float64, 3), x[:5], 0, 3, 8, make([]float64, 12)) }},
+		{"acc too small", func() { m.MulRangeTiledTo(make([]float64, 3), x, 0, 3, 8, make([]float64, 11)) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}
+
+// AtAShard over any partition must reproduce AtA bit-for-bit: the
+// per-element sample accumulation order is row-major regardless of shard
+// boundaries.
+func TestAtAShardMatchesAtA(t *testing.T) {
+	m := randomDense(19, 13, 47)
+	want := m.AtA()
+	for _, bounds := range [][]int{{0, 13}, {0, 1, 13}, {0, 4, 8, 13}, {0, 6, 7, 13}} {
+		got := NewDense(13, 13)
+		for i := 0; i+1 < len(bounds); i++ {
+			m.AtAShard(got, bounds[i], bounds[i+1])
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shards %v element %d: %v != %v", bounds, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
 func TestMulRangeToBoundsPanics(t *testing.T) {
 	dense := randomDense(8, 8, 35)
 	csr := randomCSRMatrix(8, 8, 2, 36)

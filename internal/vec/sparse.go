@@ -62,17 +62,15 @@ func NewCSR(rows, cols int, entries []COOEntry) *CSR {
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
-// MulVecTo computes y = M x.
+// MulVecTo computes y = M x. Each row reduces in the canonical
+// 4-accumulator order (see kernels.go), matching RowDotAt bit for bit.
 func (m *CSR) MulVecTo(y, x Vector) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic("vec: CSR MulVecTo dimension mismatch")
 	}
 	for r := 0; r < m.Rows; r++ {
-		s := 0.0
-		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[r] = s
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		y[r] = dot4Indexed(m.Val[lo:hi], m.ColIdx[lo:hi], x)
 	}
 }
 
@@ -95,22 +93,17 @@ func (m *CSR) MulRangeTo(y, x Vector, lo, hi int) {
 		panic("vec: CSR MulRangeTo dimension mismatch")
 	}
 	for i := lo; i < hi; i++ {
-		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[i-lo] = s
+		klo, khi := m.RowPtr[i], m.RowPtr[i+1]
+		y[i-lo] = dot4Indexed(m.Val[klo:khi], m.ColIdx[klo:khi], x)
 	}
 }
 
 // RowDotAt returns (M x)_i touching only row i; this is the per-component
-// evaluation the asynchronous engines call.
+// evaluation the asynchronous engines call. Canonical reduction order,
+// bit-identical to the corresponding MulVecTo / MulRangeTo component.
 func (m *CSR) RowDotAt(i int, x Vector) float64 {
-	s := 0.0
-	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-		s += m.Val[k] * x[m.ColIdx[k]]
-	}
-	return s
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return dot4Indexed(m.Val[lo:hi], m.ColIdx[lo:hi], x)
 }
 
 // At returns element (i, j) (O(row nnz)).

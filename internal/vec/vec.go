@@ -94,31 +94,51 @@ func ScaleInto(dst Vector, a float64, x Vector) {
 	}
 }
 
-// AXPY computes y += a*x in place.
+// AXPY computes y += a*x in place. The 4-wide unroll changes no bits:
+// each component is updated independently, so no reduction is reassociated.
 func AXPY(a float64, x, y Vector) {
 	checkLen(x, y)
-	for i := range x {
+	n4 := len(x) &^ 3
+	for i := 0; i < n4; i += 4 {
+		xi := x[i : i+4 : i+4]
+		yi := y[i : i+4 : i+4]
+		yi[0] += a * xi[0]
+		yi[1] += a * xi[1]
+		yi[2] += a * xi[2]
+		yi[3] += a * xi[3]
+	}
+	for i := n4; i < len(x); i++ {
 		y[i] += a * x[i]
 	}
 }
 
 // AXPYInto computes dst = y + a*x without allocating; dst may alias x or y.
+// Like AXPY, the unroll is bit-identical to the scalar loop.
 func AXPYInto(dst Vector, a float64, x, y Vector) {
 	checkLen(x, y)
 	checkLen(dst, x)
-	for i := range x {
+	n4 := len(x) &^ 3
+	for i := 0; i < n4; i += 4 {
+		xi := x[i : i+4 : i+4]
+		yi := y[i : i+4 : i+4]
+		di := dst[i : i+4 : i+4]
+		di[0] = yi[0] + a*xi[0]
+		di[1] = yi[1] + a*xi[1]
+		di[2] = yi[2] + a*xi[2]
+		di[3] = yi[3] + a*xi[3]
+	}
+	for i := n4; i < len(x); i++ {
 		dst[i] = y[i] + a*x[i]
 	}
 }
 
-// Dot returns the inner product of x and y.
+// Dot returns the inner product of x and y in the canonical 4-accumulator
+// reduction order (see kernels.go) — the one order every dense and sparse
+// dot in the library uses, so full, range and componentwise evaluation
+// paths stay mutually bit-identical.
 func Dot(x, y Vector) float64 {
 	checkLen(x, y)
-	s := 0.0
-	for i := range x {
-		s += x[i] * y[i]
-	}
-	return s
+	return dot4(x, y)
 }
 
 // Lerp returns (1-t)*x + t*y, the linear interpolation between x and y.

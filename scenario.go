@@ -43,8 +43,13 @@ type Scenario struct {
 	Summary string
 	// DefaultN is the problem size used when the caller passes n <= 0.
 	DefaultN int
-	// Build constructs the workload at size n with the given seed.
-	Build func(n int, seed uint64) (*ScenarioInstance, error)
+	// Build constructs the workload at size n with the given seed. The
+	// tuning knobs are available at build time so builders that make
+	// build-time structural choices (e.g. the LeastSquares Gram form via
+	// Tuning.GramPrecompute, or sharded precomputation via
+	// Tuning.IntraParallelism) can honor them; builders with no such
+	// choice simply ignore the argument.
+	Build func(n int, seed uint64, t Tuning) (*ScenarioInstance, error)
 }
 
 var (
@@ -90,8 +95,16 @@ func ScenarioByName(name string) (Scenario, bool) {
 	return s, ok
 }
 
-// BuildScenario builds the named scenario at size n (DefaultN when n <= 0).
+// BuildScenario builds the named scenario at size n (DefaultN when n <= 0)
+// with default tuning.
 func BuildScenario(name string, n int, seed uint64) (*ScenarioInstance, error) {
+	return BuildScenarioTuned(name, n, seed, DefaultTuning())
+}
+
+// BuildScenarioTuned builds the named scenario with the given tuning knobs:
+// the builder sees them for build-time choices, and the returned Spec
+// carries them so the solve runs with the same settings.
+func BuildScenarioTuned(name string, n int, seed uint64, t Tuning) (*ScenarioInstance, error) {
 	s, ok := ScenarioByName(name)
 	if !ok {
 		known := make([]string, 0)
@@ -104,7 +117,12 @@ func BuildScenario(name string, n int, seed uint64) (*ScenarioInstance, error) {
 	if n <= 0 {
 		n = s.DefaultN
 	}
-	return s.Build(n, seed)
+	inst, err := s.Build(n, seed, t)
+	if err != nil {
+		return nil, err
+	}
+	inst.Spec.Tuning = t
+	return inst, nil
 }
 
 func mustRegister(s Scenario) {
@@ -219,12 +237,19 @@ func buildRegression(n int, seed uint64) (*mldata.Regression, error) {
 	})
 }
 
-func buildLasso(n int, seed uint64) (*ScenarioInstance, error) {
+// regressionSmooth builds the least-squares smooth part honoring the
+// build-time tuning knobs: GramPrecompute=false selects the lean residual
+// form, IntraParallelism > 1 shards the (bit-identical) Gram assembly.
+func regressionSmooth(reg *mldata.Regression, t Tuning) *operators.LeastSquares {
+	return reg.SmoothTuned(!t.GramPrecomputed(), t.IntraParallelism)
+}
+
+func buildLasso(n int, seed uint64, t Tuning) (*ScenarioInstance, error) {
 	reg, err := buildRegression(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	f := reg.Smooth()
+	f := regressionSmooth(reg, t)
 	op := operators.NewProxGradBF(f, prox.L1{Lambda: 0.02}, operators.MaxStep(f))
 	return &ScenarioInstance{
 		Spec: NewSpec(op, WithTol(1e-9), WithMaxIter(5000000), WithMaxUpdates(5000000)),
@@ -235,12 +260,12 @@ func buildLasso(n int, seed uint64) (*ScenarioInstance, error) {
 	}, nil
 }
 
-func buildRidge(n int, seed uint64) (*ScenarioInstance, error) {
+func buildRidge(n int, seed uint64, t Tuning) (*ScenarioInstance, error) {
 	reg, err := buildRegression(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	f := reg.Smooth()
+	f := regressionSmooth(reg, t)
 	op := operators.NewGradOp(f, operators.MaxStep(f))
 	return &ScenarioInstance{
 		Spec: NewSpec(op, WithTol(1e-9), WithMaxIter(5000000), WithMaxUpdates(5000000)),
@@ -250,7 +275,7 @@ func buildRidge(n int, seed uint64) (*ScenarioInstance, error) {
 	}, nil
 }
 
-func buildLogistic(n int, seed uint64) (*ScenarioInstance, error) {
+func buildLogistic(n int, seed uint64, _ Tuning) (*ScenarioInstance, error) {
 	data := mldata.NewClassification(n, 25*n, 0.05, 0.1, seed)
 	f := mldata.NewLogistic(data)
 	op := operators.NewGradOp(f, operators.MaxStep(f))
@@ -262,7 +287,7 @@ func buildLogistic(n int, seed uint64) (*ScenarioInstance, error) {
 	}, nil
 }
 
-func buildNetflow(n int, seed uint64) (*ScenarioInstance, error) {
+func buildNetflow(n int, seed uint64, _ Tuning) (*ScenarioInstance, error) {
 	side := n
 	if side < 2 {
 		side = 2
@@ -285,7 +310,7 @@ func buildNetflow(n int, seed uint64) (*ScenarioInstance, error) {
 	}, nil
 }
 
-func buildObstacle(n int, seed uint64) (*ScenarioInstance, error) {
+func buildObstacle(n int, seed uint64, _ Tuning) (*ScenarioInstance, error) {
 	side := n
 	if side < 4 {
 		side = 4
@@ -306,7 +331,7 @@ func buildObstacle(n int, seed uint64) (*ScenarioInstance, error) {
 	}, nil
 }
 
-func buildRouting(n int, seed uint64) (*ScenarioInstance, error) {
+func buildRouting(n int, seed uint64, _ Tuning) (*ScenarioInstance, error) {
 	g, err := sssp.RandomGraph(n, 3*n, seed)
 	if err != nil {
 		return nil, err
@@ -335,7 +360,7 @@ func buildRouting(n int, seed uint64) (*ScenarioInstance, error) {
 // Poisson fine grid — the smoothing iteration the multigrid workload of [5]
 // runs chaotically. The 5-point stencil gives the sparse fixed-point map
 // x_i <- (f_i + sum of neighbours)/4 with f = h^2 * load.
-func buildMultigrid(n int, seed uint64) (*ScenarioInstance, error) {
+func buildMultigrid(n int, seed uint64, _ Tuning) (*ScenarioInstance, error) {
 	if n < 3 {
 		n = 3
 	}

@@ -109,6 +109,12 @@ type Execution struct {
 	Neighbors [][]int
 	// Seed drives all randomness of the simulated engines.
 	Seed uint64
+	// Tuning holds the kernel-performance knob group (column tiling,
+	// intra-block goroutine lanes, Gram precomputation). The zero value is
+	// the default; every engine installs it on its worker scratches, so
+	// pooled scratches reused across solves always run with the current
+	// solve's knobs. See Tuning for the bit-identity guarantee.
+	Tuning Tuning
 	// Trace, when non-nil, records update phases and messages
 	// (asynchronous simulator).
 	Trace *TraceLog
@@ -215,14 +221,21 @@ func WithLatency(l LatencyFunc) Option { return func(s *Spec) { s.Latency = l } 
 
 // WithDropProb sets the message-loss probability (asynchronous simulator
 // and dist engine).
+//
+// Deprecated: use WithFaults(Faults{DropProb: p}) — the fault knobs read
+// and write as one group.
 func WithDropProb(p float64) Option { return func(s *Spec) { s.DropProb = p } }
 
 // WithReorderProb sets the probability a relayed block is held back so
 // later messages overtake it (dist engine).
+//
+// Deprecated: use WithFaults(Faults{ReorderProb: p}).
 func WithReorderProb(p float64) Option { return func(s *Spec) { s.ReorderProb = p } }
 
 // WithMaxLinkDelay sets the maximum injected per-message transit delay
 // (dist engine).
+//
+// Deprecated: use WithFaults(Faults{MaxLinkDelay: d}).
 func WithMaxLinkDelay(d time.Duration) Option { return func(s *Spec) { s.MaxLinkDelay = d } }
 
 // WithTopology selects the dist engine's data plane: "star" (coordinator

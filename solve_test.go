@@ -306,7 +306,7 @@ func TestScenarioRegistryValidation(t *testing.T) {
 	}
 	if err := repro.RegisterScenario(repro.Scenario{
 		Name:  "lasso",
-		Build: func(n int, seed uint64) (*repro.ScenarioInstance, error) { return nil, nil },
+		Build: func(n int, seed uint64, t repro.Tuning) (*repro.ScenarioInstance, error) { return nil, nil },
 	}); err == nil {
 		t.Error("expected error for duplicate scenario")
 	}

@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/operators"
+)
+
+// Tuning is the unified kernel-performance knob group. The zero value is
+// the default everywhere: untiled, serial, Gram precomputed. BlockSize and
+// IntraParallelism are bit-identical to the scalar reference — tiling
+// carries the canonical 4-accumulator reduction across tiles and parallel
+// lanes write disjoint output rows — so they never change a trajectory.
+// GramPrecompute selects between two internally consistent gradient forms
+// for LeastSquares scenarios and is the one knob that does change bits
+// (it changes the math that runs, not its evaluation order).
+//
+// Tuning, like the Faults group, is declared once in the knob table (see
+// KnobTable): the CLI flags, the server's /v1/solve JSON fields and the
+// load generator all derive from the same entries.
+type Tuning struct {
+	// BlockSize is the column-tile width of dense row-slab matvecs; 0
+	// disables tiling. Rounded down to a multiple of 4. Helps once the
+	// matrix rows no longer fit in L1/L2 (n in the thousands).
+	BlockSize int
+	// IntraParallelism fans a large block evaluation out over this many
+	// goroutine lanes (0 or 1 = serial). Helps when blocks are tall
+	// (hi-lo >= the internal threshold) and cores are otherwise idle.
+	IntraParallelism int
+	// GramPrecompute selects the LeastSquares gradient form at scenario
+	// build: nil or true precomputes the n x n Gram matrix (the default,
+	// O(n·b) gradient slabs); false runs the lean residual form (no n^2
+	// memory, O(m·(b+n)) slabs). Only consulted by scenario builders.
+	GramPrecompute *bool
+}
+
+// DefaultTuning returns the default knobs; it is the zero value, spelled
+// out for call sites that want to say so.
+func DefaultTuning() Tuning { return Tuning{} }
+
+// GramPrecomputed reports the effective GramPrecompute setting (nil means
+// true).
+func (t Tuning) GramPrecomputed() bool { return t.GramPrecompute == nil || *t.GramPrecompute }
+
+// operatorTuning maps the public knobs onto the kernel-level settings every
+// worker scratch carries.
+func (t Tuning) operatorTuning() operators.Tuning {
+	return operators.Tuning{Tile: t.BlockSize, Parallelism: t.IntraParallelism}
+}
+
+// WithTuning replaces the whole tuning knob group.
+func WithTuning(t Tuning) Option { return func(s *Spec) { s.Tuning = t } }
+
+// WithBlockSize sets the column-tile width of dense row-slab matvecs
+// (0 = untiled).
+func WithBlockSize(n int) Option { return func(s *Spec) { s.Tuning.BlockSize = n } }
+
+// WithIntraParallelism fans large block evaluations out over p goroutine
+// lanes (0 or 1 = serial).
+func WithIntraParallelism(p int) Option { return func(s *Spec) { s.Tuning.IntraParallelism = p } }
+
+// WithGramPrecompute selects the LeastSquares gradient form for scenario
+// builds: true precomputes the Gram matrix (default), false runs the lean
+// residual form. See Tuning.GramPrecompute.
+func WithGramPrecompute(precompute bool) Option {
+	return func(s *Spec) { s.Tuning.GramPrecompute = &precompute }
+}
+
+// Faults groups the fault-injection knobs of the lossy engines (asynchronous
+// simulator and dist): message loss, reordering and injected transit delay.
+// WithFaults replaces the whole group, so the three knobs read and write as
+// one coherent unit; the legacy per-knob options remain as deprecated shims.
+type Faults struct {
+	// DropProb is the iid probability a message is lost in transit.
+	DropProb float64
+	// ReorderProb is the iid probability a relayed block is held back long
+	// enough for later messages to overtake it (dist engine).
+	ReorderProb float64
+	// MaxLinkDelay adds a uniform random transit delay in [0, MaxLinkDelay]
+	// to every relayed block (dist engine).
+	MaxLinkDelay time.Duration
+}
+
+// WithFaults replaces the fault-injection knob group.
+func WithFaults(f Faults) Option {
+	return func(s *Spec) {
+		s.DropProb = f.DropProb
+		s.ReorderProb = f.ReorderProb
+		s.MaxLinkDelay = f.MaxLinkDelay
+	}
+}
+
+// Faults reads the current fault-injection knob group back from the spec.
+func (e *Execution) Faults() Faults {
+	return Faults{DropProb: e.DropProb, ReorderProb: e.ReorderProb, MaxLinkDelay: e.MaxLinkDelay}
+}
