@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint fmt check clean
+.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint reprolint fmt check clean
 
 all: build
 
@@ -11,14 +11,14 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
-# The race job covers the goroutine and TCP engines (both dist
-# topologies), the parallel experiment harness, the facade that drives
-# them, the HTTP job server (concurrent workers + scratch pool), and the
-# operators package (intra-block lane fan-out + sharded Gram assembly).
+# Full race coverage: every package under the race detector. (The
+# goroutine and TCP engines, the parallel experiment harness, the HTTP job
+# server and the operator lane fan-out are where races would live, but the
+# whole tree is cheap enough to cover wholesale.)
 race:
-	$(GO) test -race . ./internal/operators/... ./internal/runtime/... ./internal/dist/... ./internal/experiments/... ./internal/server/...
+	$(GO) test -race ./...
 
 # Tuned smoke: the cache-blocked + multi-goroutine kernels exercised end to
 # end with the knobs on and GOMAXPROCS=4 — the combination a
@@ -96,12 +96,20 @@ bench-compare:
 		-baseline BENCH_baseline.json -current BENCH_current.json
 	rm -f BENCH_current.json
 
-lint:
+lint: reprolint
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# The repo's own static-analysis suite (see internal/analysis and the
+# "Static analysis" section of doc.go): hotpath, vecorder, ctxloop,
+# knobdrift, nodeprecated. Any diagnostic fails the build. Runs through
+# `go vet -vettool` so unchanged packages hit the vet action cache.
+reprolint:
+	$(GO) build -o bin/reprolint ./cmd/reprolint
+	$(GO) vet -vettool=bin/reprolint ./...
 
 fmt:
 	gofmt -w .
@@ -112,6 +120,7 @@ check: lint build test race smoke-tuned smoke-examples smoke-dist serve-smoke be
 # stay; every untracked BENCH json (bench-json / bench-compare output) goes.
 clean:
 	rm -f asyncsolve
+	rm -rf bin
 	@for f in BENCH_*.json; do \
 		[ -e "$$f" ] || continue; \
 		git ls-files --error-unmatch "$$f" >/dev/null 2>&1 || rm -f "$$f"; \

@@ -29,9 +29,9 @@
 // the iterate and exchange length-prefixed binary shard frames
 // (little-endian; see internal/dist wire.go for the exact format, and its
 // protocol-v2 delta note for what changed since the star-only format),
-// with fault injection per directed link — WithDropProb (iid loss),
-// WithReorderProb (hold-backs so later blocks overtake), WithMaxLinkDelay
-// (uniform transit jitter) — so unbounded-delay and out-of-order message
+// with fault injection per directed link — WithFaults(Faults{DropProb,
+// ReorderProb, MaxLinkDelay}): iid loss, hold-backs so later blocks
+// overtake, uniform transit jitter — so unbounded-delay and out-of-order message
 // regimes are exercised end to end. On every directed link, frames
 // overtaken by a later-sequenced frame from the same source are discarded
 // at the delivery point (the label discipline for out-of-order messages):
@@ -302,6 +302,39 @@
 // baseline's normalized rate. Ratios within one capture, never raw ns/op
 // across captures, are compared, so every gate holds across machines of
 // different absolute speed.
+//
+// # Static analysis
+//
+// The invariants above — allocation-free hot paths, ONE canonical
+// reduction order, cancellable engine loops, a single knob table, a closed
+// deprecation window — are enforced mechanically by reprolint
+// (cmd/reprolint, built on internal/analysis), which runs standalone, as
+// `go vet -vettool=$(which reprolint)`, under `make lint`, and in CI. Five
+// analyzers:
+//
+//   - hotpath: a function whose doc comment carries the "//repro:hotpath"
+//     directive (and every small same-package helper it calls) must not
+//     contain allocating constructs — composite literals, make/new/append,
+//     closures, interface boxing, fmt/log calls, map iteration. The vec
+//     kernels, the EvalBlock/EvalComponent dispatchers, the Scratch fast
+//     paths and the engine phase computations are annotated. A provably
+//     cold construct (lazy warm-up growth, a panic path) carries
+//     "//repro:alloc-ok <reason>".
+//   - vecorder: hand-rolled []float64 dot/accumulate reduction loops
+//     outside internal/vec are forbidden; reductions route through
+//     vec.Dot, vec.Sum, vec.DotStrideAcc and friends so every evaluation
+//     path shares the canonical reduction order. "//repro:vec-ok <reason>"
+//     suppresses.
+//   - ctxloop: unbounded for-loops in the engine/worker packages must
+//     observe a ctx/stop/done signal (directly or through a same-package
+//     callee); bounded drain and timer idioms are recognized.
+//     "//repro:ctx-ok <reason>" suppresses.
+//   - knobdrift: registering a flag or JSON field whose name collides with
+//     a knob-table entry outside the table's own derivation helpers is a
+//     second source of truth and is rejected.
+//   - nodeprecated: internal packages, commands and examples may not call
+//     the deprecated shims (RunModel family, WithDropProb/WithReorderProb/
+//     WithMaxLinkDelay); they name the WithFaults/Solve replacements.
 //
 // The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
 // RunMessage remain as deprecated shims over Solve for one release; see

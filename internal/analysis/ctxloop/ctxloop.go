@@ -1,0 +1,175 @@
+// Package ctxloop requires every unbounded for-loop in the engine and
+// worker packages (internal/runtime, internal/des, internal/core,
+// internal/dist, internal/server) to observe a stop signal. The paper's
+// totally-asynchronous convergence theory assumes every processor makes
+// progress AND can be told to stop; PR 6 plumbed context cancellation
+// through all engines precisely so a serving layer can kill abandoned
+// jobs. An infinite `for { ... }` that never consults a ctx/stop/done/quit
+// channel (directly, or via a same-package function that does) reverts
+// that guarantee — a worker that spins past cancellation burns a goroutine
+// forever.
+//
+// Loops with a termination condition in their header are exempt (the
+// condition bounds them); so are loops whose blocking receive is the stop
+// signal itself. A loop that is genuinely bounded by something the
+// analyzer cannot see (a blocking read on a connection whose teardown is
+// the stop signal, say) may carry an "//repro:ctx-ok <reason>" comment.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxloop rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "require unbounded for-loops in engine/worker packages to observe a ctx/stop/done signal",
+	Run:  run,
+}
+
+// enginePackages matches the packages whose loops drive workers.
+var enginePackages = regexp.MustCompile(`(^|/)internal/(runtime|des|core|dist|server)(/|$)`)
+
+// stopWords are the identifier fragments accepted as evidence that a loop
+// observes a stop signal.
+var stopWords = []string{"ctx", "stop", "done", "quit", "cancel"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !enginePackages.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	decls := analysis.FuncDecls(pass)
+	memo := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		suppressed := analysis.SuppressedLines(pass.Fset, f, "ctx-ok")
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if analysis.Suppressed(pass.Fset, loop.Pos(), suppressed) {
+				return true
+			}
+			if isBoundedDrain(loop) {
+				return true
+			}
+			if !observesStop(pass, loop.Body, decls, memo, 0) {
+				pass.Reportf(loop.Pos(),
+					"unbounded for-loop does not observe a ctx/stop/done signal (every engine loop must stay cancellable)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// observesStop reports whether any identifier under n matches a stop word,
+// or any same-package function called under n does (transitively).
+func observesStop(pass *analysis.Pass, n ast.Node, decls map[types.Object]*ast.FuncDecl, memo map[types.Object]bool, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isStopName(n.Name) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			// Receiving from a timer bounds the wait: <-time.After(d)
+			// in a select case is a deadline, not a spin.
+			if p := fn.Pkg(); p != nil && p.Path() == "time" {
+				switch fn.Name() {
+				case "After", "Tick", "NewTimer", "NewTicker":
+					found = true
+					return false
+				}
+			}
+			if fn.Pkg() != pass.Pkg {
+				return true
+			}
+			if hit, ok := memo[fn]; ok {
+				found = found || hit
+				return !found
+			}
+			fd := decls[fn]
+			if fd == nil || fd.Body == nil {
+				return true
+			}
+			memo[fn] = false // cut recursion on cycles
+			hit := observesStop(pass, fd.Body, decls, memo, depth+1)
+			memo[fn] = hit
+			if hit {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBoundedDrain recognizes the non-blocking drain idiom — a loop whose
+// body is a single select with a default case that leaves the loop:
+//
+//	for {
+//		select {
+//		case m := <-inbox:
+//			...
+//		default:
+//			return drained
+//		}
+//	}
+//
+// Such a loop runs at most once per queued item plus one; it cannot spin.
+func isBoundedDrain(loop *ast.ForStmt) bool {
+	if len(loop.Body.List) != 1 {
+		return false
+	}
+	sel, ok := loop.Body.List[0].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm != nil {
+			continue // not the default case
+		}
+		for _, stmt := range cc.Body {
+			switch s := stmt.(type) {
+			case *ast.ReturnStmt:
+				return true
+			case *ast.BranchStmt:
+				if s.Tok == token.BREAK || s.Tok == token.GOTO {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isStopName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range stopWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer,
+		"repro/internal/runtime", "a")
+}

@@ -1,0 +1,12 @@
+// Package a is outside the engine packages: its loops are not ctxloop's
+// business.
+package a
+
+func spin(work chan int) {
+	for {
+		select {
+		case w := <-work:
+			_ = w
+		}
+	}
+}

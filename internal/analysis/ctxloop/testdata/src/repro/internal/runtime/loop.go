@@ -1,0 +1,94 @@
+// Package runtime stands in for an engine package: unbounded loops here
+// must observe a stop signal.
+package runtime
+
+import "time"
+
+// spin never consults a stop signal: flagged.
+func spin(work chan int) {
+	for { // want `unbounded for-loop does not observe a ctx/stop/done signal`
+		select {
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// polite selects on its stop channel.
+func polite(work chan int, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// bounded loops have a termination condition in the header.
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// drain is the non-blocking drain idiom: at most one pass per queued item.
+func drain(inbox chan int) int {
+	got := 0
+	for {
+		select {
+		case <-inbox:
+			got++
+		default:
+			return got
+		}
+	}
+}
+
+// timed bounds its wait with a timer receive.
+func timed(work chan int) {
+	for {
+		select {
+		case w := <-work:
+			_ = w
+		case <-time.After(time.Second):
+			return
+		}
+	}
+}
+
+type wkr struct {
+	stopc chan struct{}
+	inbox chan int
+}
+
+// run observes its stop signal only through a same-package callee: the
+// analyzer must follow the call.
+func (x *wkr) run() {
+	for {
+		if x.step() {
+			return
+		}
+	}
+}
+
+func (x *wkr) step() bool {
+	select {
+	case <-x.stopc:
+		return true
+	case v := <-x.inbox:
+		_ = v
+		return false
+	}
+}
+
+// forever is genuinely unbounded but carries a reasoned suppression.
+func forever(work chan int) {
+	//repro:ctx-ok fixture: torn down with the process
+	for {
+		<-work
+	}
+}

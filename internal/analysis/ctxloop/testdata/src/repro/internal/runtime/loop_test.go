@@ -1,0 +1,12 @@
+// Test files are exempt from every analyzer: this spin loop must produce
+// no diagnostic.
+package runtime
+
+func spinInTest(work chan int) {
+	for {
+		select {
+		case w := <-work:
+			_ = w
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package knobdrift_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/knobdrift"
+)
+
+func TestKnobdrift(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), knobdrift.Analyzer, "a")
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load loads the packages matching patterns (resolved in dir) and
+// type-checks them from source, resolving every import through compiler
+// export data produced by `go list -export`. It needs no network: the go
+// tool builds export data into the local build cache. Test files are not
+// loaded; the lint suite's invariants target production code, and test
+// files keep their freedom to hand-roll reference implementations.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, lp.Dir+"/"+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(lp.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: lp.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// ExportDataFor returns the export-data file of pkg and of every package
+// in its dependency closure, keyed by import path. dir only anchors the go
+// tool invocation; pkg must be resolvable outside the module (stdlib).
+func ExportDataFor(dir, pkg string) (map[string]string, error) {
+	listed, err := goList(dir, []string{pkg})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			out[lp.ImportPath] = lp.Export
+		}
+	}
+	return out, nil
+}
+
+// ExportImporter returns a types.Importer that resolves packages from gc
+// compiler export data files, located by the supplied lookup (import path →
+// file). "unsafe" resolves to types.Unsafe.
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Check type-checks one package's parsed files with full types.Info maps.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// RunAnalyzers applies every analyzer to pkg, skipping _test.go files, and
+// returns the surviving diagnostics tagged with the analyzer that produced
+// them.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return findings, nil
+}
+
+// A Finding is a diagnostic with its analyzer name and resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}

@@ -1,0 +1,57 @@
+// Package nodeprecated keeps the deprecated repro shims from creeping back
+// into internal packages, commands and examples. The shims survive for one
+// release so external callers migrate gracefully, but in-repo code has no
+// excuse: WithDropProb/WithReorderProb/WithMaxLinkDelay were replaced by
+// the grouped WithFaults option (the fault knobs read and write as one
+// unit), and the RunModel/RunSim/RunSimSync/RunShared/RunMessage entry
+// points by Solve+WithEngine. Test files are exempt — the shim-equivalence
+// pins must keep calling the shims to prove they still forward correctly.
+package nodeprecated
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nodeprecated rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc:  "forbid in-repo (non-test) calls to the deprecated repro shims; use WithFaults / Solve+WithEngine",
+	Run:  run,
+}
+
+// replacements maps each deprecated repro identifier to its migration.
+var replacements = map[string]string{
+	"WithDropProb":     "WithFaults(Faults{DropProb: p})",
+	"WithReorderProb":  "WithFaults(Faults{ReorderProb: p})",
+	"WithMaxLinkDelay": "WithFaults(Faults{MaxLinkDelay: d})",
+	"RunModel":         "Solve(spec, WithEngine(EngineModel))",
+	"RunSim":           "Solve(spec, WithEngine(EngineSim))",
+	"RunSimSync":       "Solve(spec, WithEngine(EngineSimSync))",
+	"RunShared":        "Solve(spec, WithEngine(EngineShared))",
+	"RunMessage":       "Solve(spec, WithEngine(EngineMessage))",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == "repro" {
+		return nil, nil // the shims' own package defines and documents them
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "repro" {
+				return true
+			}
+			if repl, deprecated := replacements[obj.Name()]; deprecated {
+				pass.Reportf(id.Pos(), "repro.%s is deprecated: use %s", obj.Name(), repl)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeprecated"
+)
+
+func TestNodeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeprecated.Analyzer,
+		"a", "repro")
+}

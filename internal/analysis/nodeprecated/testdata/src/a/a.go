@@ -1,0 +1,18 @@
+// Package a exercises the nodeprecated analyzer: every deprecated shim use
+// is flagged with its migration; the replacements pass.
+package a
+
+import "repro"
+
+func use() {
+	_ = repro.WithDropProb(0.1)                // want `repro.WithDropProb is deprecated: use WithFaults`
+	_ = repro.WithReorderProb(0.1)             // want `repro.WithReorderProb is deprecated`
+	_ = repro.WithMaxLinkDelay(3)              // want `repro.WithMaxLinkDelay is deprecated`
+	_, _ = repro.RunModel(repro.SimConfig{})   // want `repro.RunModel is deprecated`
+	_, _ = repro.RunSim(repro.SimConfig{})     // want `repro.RunSim is deprecated`
+	_, _ = repro.RunSimSync(repro.SimConfig{}) // want `repro.RunSimSync is deprecated`
+	_, _ = repro.RunShared(repro.SimConfig{})  // want `repro.RunShared is deprecated`
+	_, _ = repro.RunMessage(repro.SimConfig{}) // want `repro.RunMessage is deprecated`
+
+	_ = repro.WithFaults(repro.Faults{DropProb: 0.1})
+}

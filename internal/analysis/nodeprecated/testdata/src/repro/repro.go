@@ -1,0 +1,29 @@
+// Package repro fakes the module surface for the nodeprecated fixture. The
+// shims' own defining package is exempt — no diagnostics here.
+package repro
+
+// Option configures a solve.
+type Option func()
+
+// SimConfig mirrors a legacy config struct.
+type SimConfig struct{}
+
+// Result mirrors a legacy result.
+type Result struct{}
+
+// Faults mirrors the grouped fault knobs.
+type Faults struct {
+	DropProb    float64
+	ReorderProb float64
+}
+
+func WithDropProb(p float64) Option    { return nil }
+func WithReorderProb(p float64) Option { return nil }
+func WithMaxLinkDelay(d int) Option    { return nil }
+func WithFaults(f Faults) Option       { return nil }
+
+func RunModel(c SimConfig) (*Result, error)   { return nil, nil }
+func RunSim(c SimConfig) (*Result, error)     { return nil, nil }
+func RunSimSync(c SimConfig) (*Result, error) { return nil, nil }
+func RunShared(c SimConfig) (*Result, error)  { return nil, nil }
+func RunMessage(c SimConfig) (*Result, error) { return nil, nil }

@@ -1,0 +1,85 @@
+// Package a exercises the vecorder analyzer: cross-iteration float64
+// reductions are flagged; element-wise updates, per-iteration stencil sums
+// and call-wrapped accumulations are not.
+package a
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i] // want `hand-rolled float64 dot-product reduction`
+	}
+	return s
+}
+
+func sumRange(a []float64) float64 {
+	total := 0.0
+	for _, v := range a {
+		total += v // want `hand-rolled float64 accumulation`
+	}
+	return total
+}
+
+func sumIndexed(a []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(a); i++ {
+		total += a[i] // want `hand-rolled float64 accumulation`
+	}
+	return total
+}
+
+type stats struct{ mean float64 }
+
+// Struct-field accumulators are reductions too.
+func (st *stats) add(vals []float64) {
+	for _, v := range vals {
+		st.mean += v // want `hand-rolled float64 accumulation`
+	}
+}
+
+// Element-wise updates reassociate nothing.
+func axpyLike(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// A stencil sum resets its accumulator every outer iteration: no
+// cross-iteration reduction.
+func stencil(u, out []float64) {
+	for i := 1; i < len(u)-1; i++ {
+		s := 0.0
+		s += u[i-1]
+		s += u[i+1]
+		out[i] = s
+	}
+}
+
+// A fixed-term sum outside any loop is not a reduction.
+func pairSum(a []float64) float64 {
+	s := a[0]
+	s += a[1]
+	return s
+}
+
+// Call-wrapped and scaled terms compute a different quantity, not a raw
+// slice reduction.
+func transformed(a []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += square(a[i])
+		s += a[i] * 2
+	}
+	return s
+}
+
+func square(x float64) float64 { return x * x }
+
+// A reduction whose ad-hoc order is its own specification may be
+// suppressed with a reason.
+func suppressed(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v //repro:vec-ok compensated-summation reference kept in ad-hoc order
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+// Package vec stands in for repro/internal/vec: the one package allowed to
+// hand-roll reductions, because it DEFINES the canonical order.
+package vec
+
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func Sum(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,13 @@
+package vecorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vecorder"
+)
+
+func TestVecorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), vecorder.Analyzer,
+		"a", "repro/internal/vec")
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/macroiter"
+	"repro/internal/vec"
 )
 
 // Theorem1Report is the outcome of checking inequality (5) of the paper,
@@ -98,13 +99,8 @@ func fitRate(series []float64) float64 {
 		return math.NaN()
 	}
 	n := float64(len(xs))
-	var sx, sy, sxx, sxy float64
-	for i := range xs {
-		sx += xs[i]
-		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		sxy += xs[i] * ys[i]
-	}
+	sx, sy := vec.Sum(xs), vec.Sum(ys)
+	sxx, sxy := vec.Dot(xs, xs), vec.Dot(xs, ys)
 	den := n*sxx - sx*sx
 	if den == 0 {
 		return math.NaN()

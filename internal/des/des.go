@@ -241,7 +241,7 @@ func (p *pool) getEvent() *event {
 		*e = event{}
 		return e
 	}
-	return &event{}
+	return &event{} //repro:alloc-ok pool miss; steady state pops the free list
 }
 
 // putEvent recycles e and any message it carries.
@@ -259,7 +259,7 @@ func (p *pool) getMsg() *message {
 		p.msgs = p.msgs[:n-1]
 		return m
 	}
-	return &message{}
+	return &message{} //repro:alloc-ok pool miss; steady state pops the free list
 }
 
 func (p *pool) putMsg(m *message) {
@@ -477,6 +477,8 @@ func Run(cfg Config) (*Result, error) {
 // computation reads wk.view directly: the event loop is single-threaded and
 // the results are committed via phaseOut only at completion, so no defensive
 // copy is needed and a phase allocates nothing in steady state.
+//
+//repro:hotpath
 func startPhase(wk *worker, cfg Config, rng *vec.RNG, now float64, push func(*event), pl *pool) {
 	wk.phaseK++
 	wk.phaseStart = now

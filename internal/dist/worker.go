@@ -213,6 +213,8 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 
 // blockDelta is the worker's local convergence measure: the max displacement
 // |F_c(view) - view_c| over its own shard, evaluated on its current view.
+//
+//repro:hotpath
 func (ws *workerState) blockDelta() float64 {
 	operators.EvalBlock(ws.op, ws.scr, ws.lo, ws.hi, ws.view, ws.chk)
 	d := 0.0

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/vec"
 )
 
 // Table is a simple aligned text table.
@@ -115,13 +117,8 @@ func FitContractionRate(errs []float64) float64 {
 		return math.NaN()
 	}
 	n := float64(len(xs))
-	var sx, sy, sxx, sxy float64
-	for i := range xs {
-		sx += xs[i]
-		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		sxy += xs[i] * ys[i]
-	}
+	sx, sy := vec.Sum(xs), vec.Sum(ys)
+	sxx, sxy := vec.Dot(xs, xs), vec.Dot(xs, ys)
 	den := n*sxx - sx*sx
 	if den == 0 {
 		return math.NaN()
@@ -165,11 +162,10 @@ func Summarize(vals []float64) Summary {
 				s.Max = v
 			}
 		}
-		s.Mean += v
 		s.N++
 	}
 	if s.N > 0 {
-		s.Mean /= float64(s.N)
+		s.Mean = vec.Sum(vals) / float64(s.N)
 	}
 	return s
 }

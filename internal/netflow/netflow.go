@@ -56,10 +56,7 @@ func New(numNodes int, arcs []Arc, supply []float64, ground float64) (*Network, 
 	if ground <= 0 {
 		return nil, errors.New("netflow: ground conductance must be positive")
 	}
-	total := 0.0
-	for _, b := range supply {
-		total += b
-	}
+	total := vec.Sum(supply)
 	if math.Abs(total) > 1e-9 {
 		return nil, fmt.Errorf("netflow: supplies sum to %v, want 0", total)
 	}
@@ -277,11 +274,9 @@ func Random(nodes, extraArcs int, ground float64, seed uint64) (*Network, error)
 		arcs = append(arcs, Arc{From: a, To: b, R: rng.Range(0.5, 2), T: rng.Range(-0.5, 0.5), Lo: -inf, Hi: inf})
 	}
 	supply := make([]float64, nodes)
-	total := 0.0
 	for i := 0; i < nodes-1; i++ {
 		supply[i] = rng.Range(-1, 1)
-		total += supply[i]
 	}
-	supply[nodes-1] = -total
+	supply[nodes-1] = -vec.Sum(supply[:nodes-1])
 	return New(nodes, arcs, supply, ground)
 }

@@ -34,6 +34,8 @@ type BlockScratchOperator interface {
 // supports it and scr is non-nil, and falling back to the per-component
 // loop (itself routed through the scratch fast path) otherwise. It is the
 // phase-evaluation call of every engine hot loop.
+//
+//repro:hotpath
 func EvalBlock(op Operator, scr *Scratch, lo, hi int, x, out []float64) {
 	if len(out) != hi-lo {
 		panic("operators: EvalBlock out length does not match [lo, hi)")
@@ -61,6 +63,8 @@ type RangeGradSmooth interface {
 
 // gradRange evaluates the gradient range through the fast path when f
 // supports it, falling back to per-component evaluation.
+//
+//repro:hotpath
 func gradRange(f Smooth, scr *Scratch, dst, x []float64, lo, hi int) {
 	if rg, ok := f.(RangeGradSmooth); ok {
 		rg.GradRange(scr, dst, x, lo, hi)

@@ -32,12 +32,14 @@ func NewScratch() *Scratch { return &Scratch{} }
 // Contents are unspecified on entry (callers overwrite). Distinct slots are
 // distinct buffers; an operator's documentation states how many slots it
 // consumes so composed operators can partition the slot space.
+//
+//repro:hotpath
 func (s *Scratch) Vec(slot, n int) []float64 {
 	for len(s.bufs) <= slot {
-		s.bufs = append(s.bufs, nil)
+		s.bufs = append(s.bufs, nil) //repro:alloc-ok warm-up growth; a warmed Scratch hits the cached buffer
 	}
 	if cap(s.bufs[slot]) < n {
-		s.bufs[slot] = make([]float64, n)
+		s.bufs[slot] = make([]float64, n) //repro:alloc-ok warm-up growth; a warmed Scratch hits the cached buffer
 	}
 	return s.bufs[slot][:n]
 }
@@ -48,12 +50,14 @@ func (s *Scratch) Vec(slot, n int) []float64 {
 // RangeGradSmooth temporaries) can never collide with the slots the operator
 // itself consumes. Slot 0 is reserved for ResidualWith; RangeGradSmooth
 // implementations use slots >= 1.
+//
+//repro:hotpath
 func (s *Scratch) Aux(slot, n int) []float64 {
 	for len(s.aux) <= slot {
-		s.aux = append(s.aux, nil)
+		s.aux = append(s.aux, nil) //repro:alloc-ok warm-up growth; a warmed Scratch hits the cached buffer
 	}
 	if cap(s.aux[slot]) < n {
-		s.aux[slot] = make([]float64, n)
+		s.aux[slot] = make([]float64, n) //repro:alloc-ok warm-up growth; a warmed Scratch hits the cached buffer
 	}
 	return s.aux[slot][:n]
 }
@@ -73,6 +77,8 @@ type ScratchOperator interface {
 // EvalComponent evaluates F_i(x), routing through the operator's scratch
 // fast path when both the operator supports it and scr is non-nil. It is
 // the evaluation call every engine hot loop uses.
+//
+//repro:hotpath
 func EvalComponent(op Operator, scr *Scratch, i int, x []float64) float64 {
 	if so, ok := op.(ScratchOperator); ok && scr != nil {
 		return so.ComponentScratch(scr, i, x)
@@ -82,6 +88,8 @@ func EvalComponent(op Operator, scr *Scratch, i int, x []float64) float64 {
 
 // ApplyInto evaluates F(x) into dst, preferring the scratch fast path, then
 // the FullApplier fast path, then componentwise evaluation.
+//
+//repro:hotpath
 func ApplyInto(op Operator, scr *Scratch, dst, x []float64) {
 	if so, ok := op.(ScratchOperator); ok && scr != nil {
 		so.ApplyScratch(scr, dst, x)
@@ -96,6 +104,8 @@ func ApplyInto(op Operator, scr *Scratch, dst, x []float64) {
 // apply) instead of the O(n * component) the per-component loop costs on
 // coupled operators — and stays allocation-free once scr is warmed. The
 // componentwise loop remains as the fallback.
+//
+//repro:hotpath
 func ResidualWith(op Operator, scr *Scratch, x []float64) float64 {
 	_, isScratch := op.(ScratchOperator)
 	_, isFull := op.(FullApplier)

@@ -298,14 +298,10 @@ func (f *LeastSquares) leanCoef(coef, x []float64) {
 
 // leanGradAt returns the lean-form gradient component c given the residual
 // coefficients: reg*x_c first, then the sample terms in ascending h — the
-// one order all three lean gradient granularities share.
+// one order all three lean gradient granularities share (vec.DotStrideAcc's
+// seeded sequential chain).
 func (f *LeastSquares) leanGradAt(coef, x []float64, c int) float64 {
-	g := f.Reg * x[c]
-	cols := f.A.Cols
-	for h := range coef {
-		g += coef[h] * f.A.Data[h*cols+c]
-	}
-	return g
+	return vec.DotStrideAcc(f.Reg*x[c], coef, f.A.Data, c, f.A.Cols)
 }
 
 // leanGradRange is GradRange in residual form: one shared residual pass,

@@ -22,6 +22,8 @@ package vec
 
 // dot4 returns the canonical dot product of a and x (equal lengths assumed;
 // callers bounds-check).
+//
+//repro:hotpath
 func dot4(a, x []float64) float64 {
 	var s0, s1, s2, s3 float64
 	n4 := len(a) &^ 3
@@ -45,6 +47,8 @@ func dot4(a, x []float64) float64 {
 // that hi may equal the true vector length on the final tile, in which case
 // the caller finishes with dot4Tail. Carrying acc across ascending tiles
 // reproduces dot4's reduction order bit for bit, independent of tile width.
+//
+//repro:hotpath
 func dot4Acc(acc []float64, a, x []float64, lo, hi int) {
 	s0, s1, s2, s3 := acc[0], acc[1], acc[2], acc[3]
 	for j := lo; j < hi; j += 4 {
@@ -60,6 +64,8 @@ func dot4Acc(acc []float64, a, x []float64, lo, hi int) {
 
 // dot4Tail combines four strided accumulators with the sequential tail
 // product of a[n4:] and x[n4:], completing the canonical reduction.
+//
+//repro:hotpath
 func dot4Tail(acc []float64, a, x []float64, n4 int) float64 {
 	tail := 0.0
 	for j := n4; j < len(a); j++ {
@@ -68,9 +74,34 @@ func dot4Tail(acc []float64, a, x []float64, n4 int) float64 {
 	return ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
+// sum4 returns the canonical sum of a: the dot-product order of dot4 with
+// the multiplications dropped — s0..s3 over j ≡ 0..3 (mod 4), sequential
+// tail, fixed combine. Every plain float64 accumulation outside this
+// package must reduce through Sum so the order stays canonical.
+//
+//repro:hotpath
+func sum4(a []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n4 := len(a) &^ 3
+	for j := 0; j < n4; j += 4 {
+		aj := a[j : j+4 : j+4]
+		s0 += aj[0]
+		s1 += aj[1]
+		s2 += aj[2]
+		s3 += aj[3]
+	}
+	tail := 0.0
+	for j := n4; j < len(a); j++ {
+		tail += a[j]
+	}
+	return ((s0 + s1) + (s2 + s3)) + tail
+}
+
 // dot4Indexed returns the canonical dot product of vals and the gathered
 // components x[idx[k]] — the sparse-row analog of dot4, with the identical
 // reduction order over k.
+//
+//repro:hotpath
 func dot4Indexed(vals []float64, idx []int, x []float64) float64 {
 	var s0, s1, s2, s3 float64
 	n4 := len(vals) &^ 3

@@ -1,0 +1,93 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// Sum shares the canonical 4-accumulator order with Dot; pin it against an
+// explicit reference like TestCanonicalDotOrder does.
+func TestCanonicalSumOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 17, 64, 101} {
+		a := NewRNG(uint64(57 + n)).NormalVector(n)
+		var s0, s1, s2, s3 float64
+		n4 := n &^ 3
+		for j := 0; j < n4; j += 4 {
+			s0 += a[j]
+			s1 += a[j+1]
+			s2 += a[j+2]
+			s3 += a[j+3]
+		}
+		tail := 0.0
+		for j := n4; j < n; j++ {
+			tail += a[j]
+		}
+		want := ((s0 + s1) + (s2 + s3)) + tail
+		if got := Sum(a); got != want {
+			t.Errorf("n=%d: Sum %v != canonical %v", n, got, want)
+		}
+	}
+}
+
+// DotStrideAcc is the seeded SEQUENTIAL column reduction; pin the exact
+// chain, bit for bit.
+func TestDotStrideAccOrder(t *testing.T) {
+	rows, cols := 13, 7
+	b := NewRNG(61).NormalVector(rows * cols)
+	a := NewRNG(63).NormalVector(rows)
+	for c := 0; c < cols; c++ {
+		seed := 0.25 * float64(c+1)
+		want := seed
+		for h := 0; h < rows; h++ {
+			want += a[h] * b[h*cols+c]
+		}
+		if got := DotStrideAcc(seed, a, b, c, cols); got != want {
+			t.Errorf("col %d: DotStrideAcc %v != sequential %v", c, got, want)
+		}
+	}
+}
+
+func TestDotStrideAccEdgeCases(t *testing.T) {
+	if got := DotStrideAcc(3.5, nil, nil, 0, 1); got != 3.5 {
+		t.Errorf("empty a: got %v, want the seed back", got)
+	}
+	if got := DotStrideAcc(0, []float64{2}, []float64{5, 7}, 1, 1); got != 7*2 {
+		t.Errorf("offset single term: got %v, want 14", got)
+	}
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"zero stride", func() { DotStrideAcc(0, []float64{1}, []float64{1}, 0, 0) }},
+		{"out of range", func() { DotStrideAcc(0, []float64{1, 2}, []float64{1, 2}, 1, 2) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}
+
+func TestSumAllocationFree(t *testing.T) {
+	a := NewRNG(71).NormalVector(256)
+	b := NewRNG(73).NormalVector(256)
+	if n := testing.AllocsPerRun(100, func() { _ = Sum(a) }); n != 0 {
+		t.Errorf("Sum allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = DotStrideAcc(1, a[:16], b, 3, 15) }); n != 0 {
+		t.Errorf("DotStrideAcc allocates %v per run", n)
+	}
+}
+
+// Sum of a finite vector is finite and symmetric under reversal up to the
+// reduction order; sanity-check the value against math.Fsum-style pairing.
+func TestSumValue(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := Sum(a); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Sum = %v, want 15", got)
+	}
+}

@@ -96,6 +96,8 @@ func ScaleInto(dst Vector, a float64, x Vector) {
 
 // AXPY computes y += a*x in place. The 4-wide unroll changes no bits:
 // each component is updated independently, so no reduction is reassociated.
+//
+//repro:hotpath
 func AXPY(a float64, x, y Vector) {
 	checkLen(x, y)
 	n4 := len(x) &^ 3
@@ -114,6 +116,8 @@ func AXPY(a float64, x, y Vector) {
 
 // AXPYInto computes dst = y + a*x without allocating; dst may alias x or y.
 // Like AXPY, the unroll is bit-identical to the scalar loop.
+//
+//repro:hotpath
 func AXPYInto(dst Vector, a float64, x, y Vector) {
 	checkLen(x, y)
 	checkLen(dst, x)
@@ -136,9 +140,43 @@ func AXPYInto(dst Vector, a float64, x, y Vector) {
 // reduction order (see kernels.go) — the one order every dense and sparse
 // dot in the library uses, so full, range and componentwise evaluation
 // paths stay mutually bit-identical.
+//
+//repro:hotpath
 func Dot(x, y Vector) float64 {
 	checkLen(x, y)
 	return dot4(x, y)
+}
+
+// Sum returns the sum of the components of x in the canonical
+// 4-accumulator reduction order (see kernels.go) — the accumulation analog
+// of Dot, so ad-hoc summation loops elsewhere can reduce through one
+// shared order.
+//
+//repro:hotpath
+func Sum(x Vector) float64 {
+	return sum4(x)
+}
+
+// DotStrideAcc returns acc + Σ_h a[h]·b[off+h·stride], accumulating
+// SEQUENTIALLY in ascending h onto the seed acc. This is the canonical
+// order for seeded column reductions — the LeastSquares lean gradient
+// starts each component at reg·x_c and folds the sample terms in row
+// order, and every granularity (full, range, componentwise) must share
+// that exact chain to stay bit-identical.
+//
+//repro:hotpath
+func DotStrideAcc(acc float64, a, b Vector, off, stride int) float64 {
+	if stride <= 0 {
+		panic("vec: DotStrideAcc requires positive stride")
+	}
+	if len(a) > 0 && off+(len(a)-1)*stride >= len(b) {
+		//repro:alloc-ok cold panic path
+		panic(fmt.Sprintf("vec: DotStrideAcc out of range: off %d stride %d over len %d", off, stride, len(b)))
+	}
+	for h := range a {
+		acc += a[h] * b[off+h*stride]
+	}
+	return acc
 }
 
 // Lerp returns (1-t)*x + t*y, the linear interpolation between x and y.
@@ -293,6 +331,7 @@ func AllFinite(x Vector) bool {
 
 func checkLen(x, y Vector) {
 	if len(x) != len(y) {
+		//repro:alloc-ok cold panic path
 		panic(fmt.Sprintf("vec: length mismatch %d != %d", len(x), len(y)))
 	}
 }
