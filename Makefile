@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint reprolint fmt check clean
+.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint reprolint reprolint-json vulncheck fmt check clean
 
 all: build
 
@@ -105,16 +105,46 @@ lint: reprolint
 
 # The repo's own static-analysis suite (see internal/analysis and the
 # "Static analysis" section of doc.go): hotpath, vecorder, ctxloop,
-# knobdrift, nodeprecated. Any diagnostic fails the build. Runs through
-# `go vet -vettool` so unchanged packages hit the vet action cache.
+# knobdrift, nodeprecated, plus the CFG-backed determinism, goroutinelife,
+# slotbudget and lockdiscipline. Any diagnostic fails the build. Runs
+# through `go vet -vettool` so unchanged packages hit the vet action
+# cache. cmd/... and examples/... are named explicitly to match CI.
 reprolint:
 	$(GO) build -o bin/reprolint ./cmd/reprolint
-	$(GO) vet -vettool=bin/reprolint ./...
+	$(GO) vet -vettool=bin/reprolint ./... ./cmd/... ./examples/...
+
+# Machine-readable findings (what CI uploads as the reprolint-json
+# artifact); exit status is always 0, the gating happens in `reprolint`.
+reprolint-json:
+	$(GO) build -o bin/reprolint ./cmd/reprolint
+	./bin/reprolint -json ./... ./cmd/... ./examples/...
+
+# Known-vulnerability scan, blocking against the reviewed allowlist
+# (.govulncheck/allowlist.json) exactly as CI runs it. Skips gracefully
+# when govulncheck or jq is not installed (CI always has both).
+vulncheck:
+	@command -v govulncheck >/dev/null 2>&1 || { echo "vulncheck: govulncheck not installed; skipping"; exit 0; }; \
+	command -v jq >/dev/null 2>&1 || { echo "vulncheck: jq not installed; skipping"; exit 0; }; \
+	govulncheck -json ./... > vuln.json; \
+	found=$$(jq -r 'select(.finding != null) | select(.finding.trace[0].function != null) | .finding.osv' vuln.json | sort -u); \
+	allowed=$$(jq -r '.allow[].id' .govulncheck/allowlist.json | sort -u); \
+	blocked=""; \
+	for id in $$found; do \
+		printf '%s\n' "$$allowed" | grep -qxF "$$id" || blocked="$$blocked$$id\n"; \
+	done; \
+	blocked=$$(printf "$$blocked"); \
+	rm -f vuln.json; \
+	if [ -n "$$blocked" ]; then \
+		echo "vulncheck: reachable vulnerabilities not in .govulncheck/allowlist.json:" >&2; \
+		echo "$$blocked" >&2; \
+		exit 1; \
+	fi; \
+	echo "vulncheck: clean"
 
 fmt:
 	gofmt -w .
 
-check: lint build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-compare
+check: lint vulncheck build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-compare
 
 # Committed captures (the baseline and the recorded performance trajectory)
 # stay; every untracked BENCH json (bench-json / bench-compare output) goes.

@@ -1,7 +1,11 @@
-// Reprolint runs the repro static-analysis suite: five analyzers that
+// Reprolint runs the repro static-analysis suite: nine analyzers that
 // mechanically enforce the repo's hot-path, bit-identity and concurrency
 // invariants (see internal/analysis and the "Static analysis" section of
-// doc.go).
+// doc.go). Four of them (determinism, goroutinelife, slotbudget,
+// lockdiscipline) are path-sensitive: they run on the control-flow graph
+// and dataflow engine of internal/analysis/cfg, so "Unlock missing on one
+// branch" and "WaitGroup.Add on only one path" are real findings, not
+// grep matches.
 //
 // Standalone, over package patterns (exit 1 when any diagnostic fires):
 //
@@ -30,9 +34,13 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/knobdrift"
+	"repro/internal/analysis/lockdiscipline"
 	"repro/internal/analysis/nodeprecated"
+	"repro/internal/analysis/slotbudget"
 	"repro/internal/analysis/vecorder"
 )
 
@@ -43,6 +51,10 @@ var suite = []*analysis.Analyzer{
 	ctxloop.Analyzer,
 	knobdrift.Analyzer,
 	nodeprecated.Analyzer,
+	determinism.Analyzer,
+	goroutinelife.Analyzer,
+	slotbudget.Analyzer,
+	lockdiscipline.Analyzer,
 }
 
 var (

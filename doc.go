@@ -307,10 +307,14 @@
 //
 // The invariants above — allocation-free hot paths, ONE canonical
 // reduction order, cancellable engine loops, a single knob table, a closed
-// deprecation window — are enforced mechanically by reprolint
-// (cmd/reprolint, built on internal/analysis), which runs standalone, as
-// `go vet -vettool=$(which reprolint)`, under `make lint`, and in CI. Five
-// analyzers:
+// deprecation window, bit-reproducible trajectories, joined goroutines, a
+// respected scratch-slot partition and sound lock usage — are enforced
+// mechanically by reprolint (cmd/reprolint, built on internal/analysis),
+// which runs standalone, as `go vet -vettool=$(which reprolint)`, under
+// `make lint`, and in CI. Nine analyzers, the last four path-sensitive
+// (they run on the intraprocedural control-flow graph and reaching-facts
+// dataflow engine of internal/analysis/cfg, so a branch that skips an
+// Unlock or a WaitGroup.Add is a real finding, not a grep match):
 //
 //   - hotpath: a function whose doc comment carries the "//repro:hotpath"
 //     directive (and every small same-package helper it calls) must not
@@ -335,6 +339,33 @@
 //   - nodeprecated: internal packages, commands and examples may not call
 //     the deprecated shims (RunModel family, WithDropProb/WithReorderProb/
 //     WithMaxLinkDelay); they name the WithFaults/Solve replacements.
+//   - determinism: the result-affecting packages (internal/vec, operators,
+//     core, des, runtime, dist, and the root scenario builders) must not
+//     read ambient state: global math/rand, os.Getenv and runtime.NumCPU
+//     are rejected outside a function whose doc carries
+//     "//repro:tuning-gate <reason>" (the lane-pool sizing, where the knob
+//     contract proves machine shape cannot change a trajectory). Clock
+//     readings are tracked through the CFG: they may flow into deadlines,
+//     durations and Report timing fields, but may not escape the time
+//     domain into plain numerics or seed a rand source. Values produced by
+//     map iteration may not feed float accumulation.
+//     "//repro:nondet-ok <reason>" suppresses.
+//   - goroutinelife: every go statement in internal/runtime, dist, server
+//     and des must discharge a join/stop obligation on all paths:
+//     WaitGroup pairing (the Add must reach the spawn on EVERY
+//     control-flow path — an Add on one branch only is reported), ranging
+//     over a channel, calling close, or observing a ctx/stop signal
+//     (transitively, like ctxloop). "//repro:join-ok <reason>" suppresses.
+//   - slotbudget: scratch slot usage respects the documented budget
+//     (block.go): Aux slot 0 only inside ResidualWith, and a slot view
+//     that was re-acquired — even on a single branch — or held across an
+//     interface dispatch that received the Scratch is stale and may not
+//     be read. "//repro:slot-ok <reason>" suppresses.
+//   - lockdiscipline: a mutex locked in a function is released on every
+//     CFG path out of it (an early return that skips the Unlock is the
+//     finding), never double-unlocked, never deferred-unlocked inside a
+//     loop, and never copied by value. "//repro:lock-ok <reason>"
+//     suppresses (lock handoffs).
 //
 // The legacy entry points RunModel, RunSim, RunSimSync, RunShared and
 // RunMessage remain as deprecated shims over Solve for one release; see

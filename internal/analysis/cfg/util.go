@@ -1,0 +1,57 @@
+package cfg
+
+import "go/ast"
+
+// A Function is one analyzable function body: a declared function or
+// method (Decl set) or a function literal (Lit set). CFG-backed analyzers
+// analyze every Function independently — a literal's body never executes
+// where it is written, so it must not leak statements into the enclosing
+// function's graph.
+type Function struct {
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+}
+
+// Name returns the declared name, or "func literal".
+func (f Function) Name() string {
+	if f.Decl != nil {
+		return f.Decl.Name.Name
+	}
+	return "func literal"
+}
+
+// Functions returns every function body in the files, declarations and
+// (arbitrarily nested) literals alike, in source order.
+func Functions(files []*ast.File) []Function {
+	var out []Function
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, Function{Decl: n, Body: n.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, Function{Lit: n, Body: n.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Inspect walks the parts of a block node (see Parts) in ast.Inspect
+// order, but does not descend into function literals: their bodies belong
+// to a different Function's graph.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	for _, part := range Parts(n) {
+		ast.Inspect(part, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				f(n) // visible as a value, opaque inside
+				return false
+			}
+			return f(n)
+		})
+	}
+}

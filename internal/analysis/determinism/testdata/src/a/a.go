@@ -1,0 +1,14 @@
+// Package a is outside the result-affecting set: the same ambient reads
+// that core.go flags must stay silent here.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func Ambient() (float64, string, int, uint64) {
+	return rand.Float64(), os.Getenv("HOME"), runtime.NumCPU(), uint64(time.Now().UnixNano())
+}

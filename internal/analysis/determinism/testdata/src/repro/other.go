@@ -1,0 +1,9 @@
+package repro
+
+import "os"
+
+// Glue outside scenario.go may read the environment (flag parsing, output
+// paths): not result-affecting, not flagged.
+func OutputDir() string {
+	return os.Getenv("REPRO_OUT")
+}

@@ -1,0 +1,13 @@
+// scenario.go of the root package builds the problem instances, so it is
+// result-affecting even though the rest of the package is glue.
+package repro
+
+import "math/rand"
+
+func BuildNoise(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.NormFloat64() // want `global math/rand\.NormFloat64 reads process-shared state`
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+// Package goroutinelife requires every go statement in the engine and
+// serving packages (internal/runtime, internal/dist, internal/server,
+// internal/des) to carry a join or stop obligation. The asyncsolve server
+// admits many jobs per process and PR 6 made every engine cancellable; a
+// goroutine nothing ever waits for undoes both — teardown returns while
+// the stray worker still touches pooled scratch, and a crash-looping
+// helper leaks one goroutine per restart.
+//
+// A spawn is discharged by any of:
+//
+//   - stop observation: the spawned body (or the call's arguments, or a
+//     same-package function it calls, transitively) mentions a
+//     ctx/stop/done/quit/cancel signal or a bounded timer wait;
+//   - channel drain: the body ranges over a channel, so closing the
+//     channel joins the goroutine (the worker-pool idiom);
+//   - closing: the body itself calls close(), signalling its completion
+//     to a receiver (the "wait then close(done)" completion prober);
+//   - WaitGroup pairing: the body calls wg.Done and a matching wg.Add
+//     reaches the go statement on every control-flow path into it — an
+//     Add on only one branch is exactly the bug where Wait returns early,
+//     so the reach check runs on the control-flow graph with a
+//     must-analysis (intersection at joins).
+//
+// WaitGroup identity is matched by the terminal field or variable name
+// ("wg" in s.wg and in a bare wg), which survives receiver renames across
+// helper methods. A spawn whose lifetime is genuinely managed elsewhere
+// may carry "//repro:join-ok <reason>" on its line or the line above.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the goroutine-lifecycle rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement in engine/serving packages must have a join/stop obligation discharged on all paths",
+	Run:  run,
+}
+
+// spawnPackages matches the packages whose goroutines outlive function
+// calls and therefore need explicit lifecycle management.
+var spawnPackages = regexp.MustCompile(`(^|/)internal/(runtime|dist|server|des)(/|$)`)
+
+// stopWords mirror ctxloop: identifier fragments accepted as evidence the
+// goroutine observes a stop signal.
+var stopWords = []string{"ctx", "stop", "done", "quit", "cancel"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !spawnPackages.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	decls := analysis.FuncDecls(pass)
+	memo := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		suppressed := analysis.SuppressedLines(pass.Fset, f, "join-ok")
+		for _, fn := range cfg.Functions([]*ast.File{f}) {
+			checkFunc(pass, fn, decls, memo, suppressed)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc examines the go statements spawned directly by one function
+// (nested literals are their own cfg.Function and check their own spawns).
+func checkFunc(pass *analysis.Pass, fn cfg.Function, decls map[types.Object]*ast.FuncDecl, memo map[types.Object]bool, suppressed map[int]bool) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			gos = append(gos, n)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+
+	// The Add-reach facts are computed lazily: most functions either spawn
+	// nothing or discharge through a cheaper obligation.
+	var g *cfg.Graph
+	var entry map[*cfg.Block]cfg.FactSet
+
+	for _, stmt := range gos {
+		if analysis.Suppressed(pass.Fset, stmt.Pos(), suppressed) {
+			continue
+		}
+		// Stop observation covers the call's arguments and, transitively,
+		// same-package callees — so `go s.run(ctx)` passes through run's
+		// body without explicit resolution.
+		if observesStop(pass, stmt.Call, decls, memo, 0) {
+			continue
+		}
+		body := spawnedBody(pass, fn, stmt.Call, decls)
+		if body != nil {
+			// A body resolved through a closure variable is not part of
+			// stmt.Call, so give it its own stop-observation pass.
+			if observesStop(pass, body, decls, memo, 0) {
+				continue
+			}
+			if drainsChannel(pass, body) || callsClose(pass, body) {
+				continue
+			}
+			if key := doneKey(pass, body); key != "" {
+				if g == nil {
+					g = cfg.New(fn.Body)
+					entry = addFacts(pass, g)
+				}
+				if addReaches(pass, g, entry, stmt, key) {
+					continue
+				}
+				pass.Reportf(stmt.Pos(),
+					"goroutine calls %s.Done but no %s.Add reaches this go statement on every path (Add must happen-before the spawn, unconditionally)", key, key)
+				continue
+			}
+		}
+		pass.Reportf(stmt.Pos(),
+			"goroutine has no join/stop obligation (no WaitGroup pairing, channel drain, close, or ctx/stop observation); teardown cannot wait for it")
+	}
+}
+
+// spawnedBody resolves the block the go statement runs: a literal's body,
+// a same-package function or method's body, or the literal assigned to a
+// local closure variable.
+func spawnedBody(pass *analysis.Pass, fn cfg.Function, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if callee := analysis.Callee(pass.TypesInfo, call); callee != nil {
+		if fd := decls[callee]; fd != nil {
+			return fd.Body
+		}
+		return nil // other-package callee: opaque
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return closureBody(fn.Body, pass, obj)
+		}
+	}
+	return nil
+}
+
+// closureBody finds the function literal assigned to the closure variable
+// obj within the enclosing body: `h := func() { ... }; go h()`.
+func closureBody(enclosing *ast.BlockStmt, pass *analysis.Pass, obj types.Object) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						body = lit.Body
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					if lit, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+						body = lit.Body
+					}
+				}
+			}
+		}
+		return body == nil
+	})
+	return body
+}
+
+// addFacts runs the must-analysis: a fact "add:<key>" holds at a program
+// point iff <key>.Add executed on EVERY path reaching it.
+func addFacts(pass *analysis.Pass, g *cfg.Graph) map[*cfg.Block]cfg.FactSet {
+	transfer := func(b *cfg.Block, in cfg.FactSet) cfg.FactSet {
+		for _, n := range b.Nodes {
+			genAdds(pass, n, in)
+		}
+		return in
+	}
+	return cfg.Forward(g, cfg.Intersect, cfg.NewFacts(), transfer)
+}
+
+// genAdds records WaitGroup.Add calls syntactically executed by node n
+// (literals spawned later do not count as executed here).
+func genAdds(pass *analysis.Pass, n ast.Node, facts cfg.FactSet) {
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if name, key := wgMethod(pass, call); name == "Add" && key != "" {
+				facts["add:"+key] = true
+			}
+		}
+		return true
+	})
+}
+
+// addReaches replays the block holding the go statement and reports
+// whether key's Add fact holds immediately before the spawn.
+func addReaches(pass *analysis.Pass, g *cfg.Graph, entry map[*cfg.Block]cfg.FactSet, stmt *ast.GoStmt, key string) bool {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n != ast.Node(stmt) {
+				continue
+			}
+			in, ok := entry[b]
+			if !ok {
+				return true // unreachable code: nothing to enforce
+			}
+			facts := in.Clone()
+			for _, prev := range b.Nodes[:i] {
+				genAdds(pass, prev, facts)
+			}
+			return facts["add:"+key]
+		}
+	}
+	return true // not in the graph (defensive): stay silent
+}
+
+// doneKey returns the WaitGroup name whose Done the spawned body calls
+// (including inside deferred closures), or "".
+func doneKey(pass *analysis.Pass, body *ast.BlockStmt) string {
+	key := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, k := wgMethod(pass, call); name == "Done" && k != "" {
+				key = k
+			}
+		}
+		return key == ""
+	})
+	return key
+}
+
+// wgMethod recognizes sync.WaitGroup method calls, returning the method
+// name and the terminal receiver name ("wg" for s.wg.Add(1)).
+func wgMethod(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "WaitGroup" {
+		return "", ""
+	}
+	return fn.Name(), terminalName(sel.X)
+}
+
+// terminalName extracts the last identifier of a receiver chain.
+func terminalName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.StarExpr:
+		return terminalName(x.X)
+	}
+	return ""
+}
+
+// drainsChannel reports whether the body ranges over a channel — closing
+// the channel is then the join.
+func drainsChannel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypesInfo.Types[r.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsClose reports whether the body calls the close builtin.
+func callsClose(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// observesStop mirrors ctxloop: any stop-word identifier under n, a
+// bounded timer wait, or a same-package callee that observes one
+// (transitively, cycle-cut by memo).
+func observesStop(pass *analysis.Pass, n ast.Node, decls map[types.Object]*ast.FuncDecl, memo map[types.Object]bool, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isStopName(n.Name) {
+				// sync.WaitGroup.Done is a completion call by the goroutine,
+				// not a stop signal observed by it — without this carve-out
+				// every wg.Done body would dodge the Add-reach check.
+				if fn, ok := pass.TypesInfo.Uses[n].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					return true
+				}
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			if p := fn.Pkg(); p != nil && p.Path() == "time" {
+				switch fn.Name() {
+				case "After", "Tick", "NewTimer", "NewTicker":
+					found = true
+					return false
+				}
+			}
+			if fn.Pkg() != pass.Pkg {
+				return true
+			}
+			if hit, ok := memo[fn]; ok {
+				found = found || hit
+				return !found
+			}
+			fd := decls[fn]
+			if fd == nil || fd.Body == nil {
+				return true
+			}
+			memo[fn] = false // cut recursion on cycles
+			hit := observesStop(pass, fd.Body, decls, memo, depth+1)
+			memo[fn] = hit
+			if hit {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isStopName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range stopWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroutinelife.Analyzer,
+		"repro/internal/runtime", "a")
+}

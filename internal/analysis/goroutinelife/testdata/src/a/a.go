@@ -1,0 +1,9 @@
+// Package a is outside the spawn packages: naked goroutines are the
+// caller's business here, so the analyzer stays silent.
+package a
+
+func work() {}
+
+func Spawn() {
+	go work()
+}

@@ -1,0 +1,141 @@
+// Fixture for the goroutinelife analyzer: repro/internal/runtime is a
+// spawn package, so every go statement needs a discharged obligation.
+package runtime
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type S struct {
+	wg    sync.WaitGroup
+	queue chan int
+	n     int
+}
+
+func work() {}
+
+// naked spawns a same-package function with no obligation at all.
+func (s *S) naked() {
+	go work() // want `goroutine has no join/stop obligation`
+}
+
+// strayExternal spawns an opaque other-package call with no obligation.
+func strayExternal() {
+	go time.Sleep(time.Second) // want `goroutine has no join/stop obligation`
+}
+
+// pairOK is the canonical WaitGroup pairing: Add before the spawn, Done
+// in the body, Wait at the join.
+func (s *S) pairOK() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	s.wg.Wait()
+}
+
+// branchAdd is the CFG-sensitive positive: the Add happens on one branch
+// only, so Wait can return before the goroutine exits.
+func (s *S) branchAdd(extra bool) {
+	if extra {
+		s.wg.Add(1)
+	}
+	go func() { // want `no wg\.Add reaches this go statement on every path`
+		defer s.wg.Done()
+		work()
+	}()
+	s.wg.Wait()
+}
+
+// bothBranchesOK: the must-analysis keeps a fact present on every branch.
+func (s *S) bothBranchesOK(x bool) {
+	if x {
+		s.wg.Add(1)
+	} else {
+		s.wg.Add(1)
+	}
+	go func() {
+		defer s.wg.Done()
+	}()
+	s.wg.Wait()
+}
+
+// fanOK hoists one Add(n) above the spawning loop; the fact must survive
+// the loop back edge.
+func (s *S) fanOK(xs []int) {
+	s.wg.Add(len(xs))
+	for range xs {
+		go func() {
+			defer s.wg.Done()
+		}()
+	}
+	s.wg.Wait()
+}
+
+// startWorkers discharges through the worker-pool idiom: the body ranges
+// over a channel, so close(s.queue) is the join.
+func (s *S) startWorkers(k int) {
+	for i := 0; i < k; i++ {
+		go s.drain()
+	}
+}
+
+func (s *S) drain() {
+	for j := range s.queue {
+		s.n += j
+	}
+}
+
+// ctxRun discharges by observing the context passed in the spawn's
+// arguments.
+func (s *S) ctxRun(ctx context.Context) {
+	go spin(ctx)
+}
+
+func spin(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// probe discharges by closing a completion channel.
+func (s *S) probe(fin chan struct{}) {
+	go func() {
+		s.wg.Wait()
+		close(fin)
+	}()
+}
+
+// closureVarOK resolves the spawned body through a local closure variable.
+func (s *S) closureVarOK() {
+	h := func() {
+		defer s.wg.Done()
+		work()
+	}
+	s.wg.Add(1)
+	go h()
+	s.wg.Wait()
+}
+
+// closureStopOK resolves a closure variable whose body observes a quit
+// channel (no WaitGroup at all).
+func (s *S) closureStopOK(quit chan struct{}) {
+	reader := func() {
+		for {
+			select {
+			case j := <-s.queue:
+				s.n += j
+			case <-quit:
+				return
+			}
+		}
+	}
+	go reader()
+}
+
+// suppressed documents an externally supervised spawn.
+func (s *S) suppressed() {
+	//repro:join-ok supervised by the test harness, which owns the process
+	go work()
+}

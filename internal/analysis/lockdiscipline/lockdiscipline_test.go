@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockdiscipline.Analyzer, "a")
+}

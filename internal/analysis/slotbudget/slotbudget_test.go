@@ -1,0 +1,13 @@
+package slotbudget_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/slotbudget"
+)
+
+func TestSlotBudget(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), slotbudget.Analyzer,
+		"repro/internal/operators")
+}

@@ -1,0 +1,132 @@
+// Fixture for the slotbudget analyzer: a miniature of the real
+// operators.Scratch contract (same package path suffix, so the receiver
+// matching engages).
+package operators
+
+type Scratch struct {
+	bufs [][]float64
+	aux  [][]float64
+}
+
+func (s *Scratch) Vec(slot, n int) []float64 {
+	for len(s.bufs) <= slot {
+		s.bufs = append(s.bufs, nil)
+	}
+	if cap(s.bufs[slot]) < n {
+		s.bufs[slot] = make([]float64, n)
+	}
+	return s.bufs[slot][:n]
+}
+
+func (s *Scratch) Aux(slot, n int) []float64 {
+	for len(s.aux) <= slot {
+		s.aux = append(s.aux, nil)
+	}
+	if cap(s.aux[slot]) < n {
+		s.aux[slot] = make([]float64, n)
+	}
+	return s.aux[slot][:n]
+}
+
+type BlockOp interface {
+	EvalBlockScratch(scr *Scratch, lo, hi int, x, out []float64)
+}
+
+func sink(v []float64) {}
+
+// ResidualWith is the one function allowed to take Aux slot 0.
+func ResidualWith(s *Scratch, x []float64) float64 {
+	fx := s.Aux(0, len(x))
+	sink(fx)
+	return fx[0]
+}
+
+// auxZero breaches the reservation.
+func auxZero(s *Scratch, n int) {
+	sink(s.Aux(0, n)) // want `Aux slot 0 is reserved for ResidualWith`
+}
+
+// auxOneOK is the RangeGradSmooth budget.
+func auxOneOK(s *Scratch, n int) {
+	sink(s.Aux(1, n))
+}
+
+// straightReacquire binds Vec 0 twice: the first view aliases the second.
+func straightReacquire(s *Scratch, n int) float64 {
+	p := s.Vec(0, n)
+	q := s.Vec(0, n)
+	sink(q)
+	return p[0] // want `"p" is a stale view of scratch Vec slot 0: the slot was re-acquired`
+}
+
+// branchReacquire is the CFG-sensitive positive: the re-acquisition
+// happens on one branch only, and the read after the join must still be
+// reported (stale on SOME path).
+func branchReacquire(s *Scratch, n int, flip bool) float64 {
+	p := s.Vec(0, n)
+	if flip {
+		sink(s.Vec(0, n))
+	}
+	return p[0] // want `"p" is a stale view of scratch Vec slot 0: the slot was re-acquired`
+}
+
+// branchOtherSlotOK: distinct slots are distinct buffers.
+func branchOtherSlotOK(s *Scratch, n int, flip bool) float64 {
+	p := s.Vec(0, n)
+	if flip {
+		sink(s.Vec(1, n))
+	}
+	return p[0]
+}
+
+// rebindOK re-acquires into the SAME name: one view, never stale.
+func rebindOK(s *Scratch, n int) float64 {
+	p := s.Vec(0, n)
+	sink(p)
+	p = s.Vec(0, n)
+	return p[0]
+}
+
+// dispatchClobber holds a Vec view across an interface dispatch that
+// receives the scratch: the operator may have consumed the slot.
+func dispatchClobber(op BlockOp, s *Scratch, x, out []float64) float64 {
+	p := s.Vec(0, len(x))
+	op.EvalBlockScratch(s, 0, len(out), x, out)
+	return p[0] // want `"p" is a stale view of scratch Vec slot 0: an interface dispatch received the Scratch`
+}
+
+type R struct{}
+
+// ResidualWith (method form): Aux slot 0 survives a dispatch, because the
+// reservation bars every implementation from touching it.
+func (R) ResidualWith(op BlockOp, s *Scratch, x, out []float64) float64 {
+	fx := s.Aux(0, len(x))
+	op.EvalBlockScratch(s, 0, len(out), x, out)
+	return fx[0]
+}
+
+func helper(s *Scratch, v []float64) {}
+
+// concreteOK: a concrete call receiving the scratch is governed by the
+// documented budget, not treated as a clobber.
+func concreteOK(s *Scratch, n int) float64 {
+	p := s.Vec(0, n)
+	helper(s, p)
+	return p[0]
+}
+
+// dynamicOK: non-constant slots are untracked.
+func dynamicOK(s *Scratch, i, n int) float64 {
+	p := s.Vec(i, n)
+	sink(s.Vec(0, n))
+	return p[0]
+}
+
+// handoff documents a deliberate alias.
+func handoff(s *Scratch, n int) float64 {
+	p := s.Vec(0, n)
+	q := s.Vec(0, n)
+	sink(q)
+	//repro:slot-ok deliberate alias: the test compares both views
+	return p[0]
+}

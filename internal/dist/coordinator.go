@@ -102,6 +102,12 @@ type coordinator struct {
 	statusCh chan status
 	finalCh  chan final
 	errCh    chan error
+
+	// probeSeq numbers probe rounds so stale replies from an earlier round
+	// are recognized and dropped. Only the probing loop touches it, and a
+	// counter (unlike a clock reading) keeps coordinator behavior
+	// bit-reproducible across runs.
+	probeSeq uint64
 }
 
 // Serve runs the coordinator: accept and welcome cfg.Workers workers, run
@@ -566,7 +572,8 @@ func (c *coordinator) serveLink(w int) {
 // just makes the round non-quiet; it is retried. lastDone is updated with
 // each worker's done bit as a side effect.
 func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Observation {
-	probeID := uint64(time.Now().UnixNano())
+	c.probeSeq++
+	probeID := c.probeSeq
 	probe := buildFrame(msgProbe, appendU64(nil, probeID))
 	for w := range c.links {
 		if err := c.write(w, probe); err != nil {

@@ -225,6 +225,7 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		err  error
 	}
 	acceptCh := make(chan accepted, p-1)
+	//repro:join-ok joined by ln.Close below: the pending Accept errors out and the loop exits
 	go func() {
 		for i := 0; i < p-1; i++ {
 			conn, err := ln.Accept()
@@ -232,6 +233,7 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 				acceptCh <- accepted{nil, err}
 				return
 			}
+			//repro:join-ok bounded by conn.SetDeadline: the handshake read unblocks at the rendezvous deadline and acceptCh has room for every send
 			go func() {
 				conn.SetDeadline(deadline)
 				typ, payload, err := readFrame(conn, maxFramePayload)
@@ -262,6 +264,7 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		if q == id {
 			continue
 		}
+		//repro:join-ok joined by the dialCh drain below, which always receives all p-1 results; DialTimeout and the conn deadline bound every blocking step
 		go func(q int) {
 			conn, err := net.DialTimeout("tcp", peers[q], time.Until(deadline))
 			if err != nil {

@@ -76,6 +76,14 @@ var laneExecutor struct {
 	jobs chan func()
 }
 
+// submitLane enqueues one lane job on the shared executor, starting the
+// pool on first use. The worker count is read from the machine exactly
+// once and is a pure throughput knob: lanes write disjoint output rows
+// and each lane's reduction order is fixed by the tile plan, so pool
+// width can never change a trajectory — which is what licenses the
+// tuning-gate below.
+//
+//repro:tuning-gate pool sizing only; lane fan-out is bit-identical at any width
 func submitLane(f func()) {
 	laneExecutor.once.Do(func() {
 		laneExecutor.jobs = make(chan func(), 64)

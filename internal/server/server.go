@@ -71,8 +71,9 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup // worker goroutines
 
-	listener net.Listener
-	httpSrv  *http.Server
+	listener  net.Listener
+	httpSrv   *http.Server
+	serveDone chan struct{} // closed when the Serve goroutine exits
 
 	draining  atomic.Bool
 	nextJobID atomic.Int64
@@ -131,7 +132,9 @@ func (s *Server) Start() error {
 	}
 	s.listener = ln
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.serveDone = make(chan struct{})
 	go func() {
+		defer close(s.serveDone)
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.logf("server: serve: %v", err)
 		}
@@ -159,6 +162,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Shutdown waits for active handlers — every queued job keeps its
 		// streaming handler open, so this also waits out the queue.
 		err = s.httpSrv.Shutdown(ctx)
+		// Serve returns as soon as Shutdown closes the listener; join its
+		// goroutine so no stray logf races the caller after we return.
+		<-s.serveDone
 	}
 	close(s.queue)
 	done := make(chan struct{})
