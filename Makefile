@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-json bench-compare lint reprolint reprolint-json vulncheck fmt check clean
+.PHONY: all build test race smoke-tuned smoke-examples smoke-dist serve-smoke chaos-smoke bench bench-json bench-compare lint reprolint reprolint-json vulncheck fmt check clean
 
 all: build
 
@@ -71,6 +71,18 @@ serve-smoke:
 	wait "$$pid"; \
 	trap - EXIT; \
 	echo "serve-smoke: ok"
+
+# Chaos smoke: the elastic dist engine survives worker churn on both data
+# planes. Each run solves with 8 workers under drop+reorder+delay faults
+# while 2 workers are killed mid-solve and restarted; `asyncsolve chaos`
+# exits non-zero unless the run converges and both rejoins are observed.
+chaos-smoke:
+	$(GO) build -o asyncsolve ./cmd/asyncsolve
+	./asyncsolve chaos -scenario lasso -workers 8 -kills 2 -topology star \
+		-drop 0.05 -reorder 0.05 -maxdelay 200us >/dev/null
+	./asyncsolve chaos -scenario lasso -workers 8 -kills 2 -topology mesh \
+		-drop 0.05 -reorder 0.05 -maxdelay 200us >/dev/null
+	@echo "chaos-smoke: ok"
 
 # Benchmark smoke: every benchmark compiles and runs once, with allocation
 # reporting (what the CI benchmark job runs before capturing BENCH json).
@@ -144,7 +156,7 @@ vulncheck:
 fmt:
 	gofmt -w .
 
-check: lint vulncheck build test race smoke-tuned smoke-examples smoke-dist serve-smoke bench bench-compare
+check: lint vulncheck build test race smoke-tuned smoke-examples smoke-dist serve-smoke chaos-smoke bench bench-compare
 
 # Committed captures (the baseline and the recorded performance trajectory)
 # stay; every untracked BENCH json (bench-json / bench-compare output) goes.

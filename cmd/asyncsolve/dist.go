@@ -46,9 +46,11 @@ func runDistCoordinator(args []string) {
 	tol := fs.Float64("tol", -1, "convergence tolerance; negative = scenario default")
 	deltaThr := fs.Float64("delta", 0, "flexible-communication threshold: ship only components that moved more than this")
 	maxUpdates := fs.Int("maxupdates", 0, "per-worker update budget; 0 = default")
-	// -drop, -reorder and -maxdelay come from the shared knob table so the
-	// coordinator accepts the same fault spellings as every other surface.
-	knobs := repro.RegisterKnobFlags(fs, "faults")
+	// -drop, -reorder, -maxdelay and the elastic knobs (-heartbeat,
+	// -checkpoint, -rejoin-wait, -checkpoint-file) come from the shared knob
+	// table so the coordinator accepts the same spellings as every other
+	// surface.
+	knobs := repro.RegisterKnobFlags(fs, "faults", "elastic")
 	timeout := fs.Duration("timeout", 2*time.Minute, "run timeout")
 	fs.Parse(args)
 
@@ -58,6 +60,7 @@ func runDistCoordinator(args []string) {
 		os.Exit(2)
 	}
 	faults := knobSpec.Faults()
+	elastic := knobSpec.Elastic()
 
 	inst, err := distScenario(*scenario, *n, *seed)
 	if err != nil {
@@ -97,6 +100,12 @@ func runDistCoordinator(args []string) {
 			Seed:        *seed,
 		},
 		Timeout: *timeout,
+		Elastic: dist.Elastic{
+			HeartbeatEvery:  elastic.HeartbeatEvery,
+			CheckpointEvery: elastic.CheckpointEvery,
+			MaxRejoinWait:   elastic.MaxRejoinWait,
+			CheckpointPath:  elastic.CheckpointPath,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -109,6 +118,10 @@ func runDistCoordinator(args []string) {
 		res.MessagesDropped, res.MessagesReordered)
 	fmt.Printf("bytes out=%d in=%d probe rounds=%d\n",
 		res.BytesSent, res.BytesReceived, res.ProbeRounds)
+	if res.WorkersLost > 0 || res.WorkersRejoined > 0 || res.Resharding > 0 {
+		fmt.Printf("workers lost=%d rejoined=%d reshardings=%d\n",
+			res.WorkersLost, res.WorkersRejoined, res.Resharding)
+	}
 	if inst.Describe != nil {
 		fmt.Println(inst.Describe(res.X))
 	}
@@ -123,6 +136,8 @@ func runDistWorker(args []string) {
 	scenario := fs.String("scenario", "lasso", "workload scenario (must match the coordinator's)")
 	n := fs.Int("n", 0, "problem size; 0 = scenario default (must match the coordinator's)")
 	seed := fs.Uint64("seed", 1, "workload seed (must match the coordinator's)")
+	retryWait := fs.Duration("retry-wait", 0, "keep retrying dial/register this long (capped exponential backoff with jitter); 0 = single attempt")
+	retrySeed := fs.Uint64("retry-seed", 0, "backoff jitter seed; seed it from the worker's identity for reproducible retry schedules")
 	fs.Parse(args)
 
 	inst, err := distScenario(*scenario, *n, *seed)
@@ -130,7 +145,10 @@ func runDistWorker(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := dist.Connect(*connect, inst.Spec.Op, nil); err != nil {
+	err = dist.ConnectWorker(*connect, inst.Spec.Op, dist.WorkerOptions{
+		Rejoin: dist.Rejoin{MaxWait: *retryWait, Seed: *retrySeed},
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

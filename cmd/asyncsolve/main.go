@@ -27,6 +27,13 @@
 //	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso &
 //	asyncsolve dist-worker -connect 127.0.0.1:7000 -scenario lasso
 //
+// The chaos subcommand (chaos.go) runs the elastic dist engine under a
+// deterministic worker-churn schedule — scheduled kills and rejoins
+// mid-solve — and fails unless the run converges anyway:
+//
+//	asyncsolve chaos -scenario lasso -workers 8 -kills 2 -topology mesh \
+//	    -drop 0.05 -reorder 0.05 -maxdelay 200us
+//
 // The serve subcommand runs solver-as-a-service (see serve.go): an HTTP job
 // server with admission control and NDJSON-streamed reports; load (load.go)
 // drives it and reports sustained solves/sec with a latency histogram:
@@ -58,6 +65,9 @@ func main() {
 			return
 		case "dist-worker":
 			runDistWorker(os.Args[2:])
+			return
+		case "chaos":
+			runChaos(os.Args[2:])
 			return
 		case "serve":
 			runServe(os.Args[2:])

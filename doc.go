@@ -80,6 +80,32 @@
 // DistStarWorkers/DistMeshWorkers tracks the topologies' end-to-end solve
 // rates at 8 workers in every BENCH capture.
 //
+// # Elasticity
+//
+// WithElastic(Elastic{HeartbeatEvery, CheckpointEvery, MaxRejoinWait,
+// CheckpointPath}) switches the dist engine from "any worker loss fails the
+// run" to elastic membership (wire protocol v3). Workers heartbeat the
+// control link; a link silent past max(6×HeartbeatEvery, 200ms) is declared
+// lost, and the coordinator re-shards the component space over the
+// survivors mid-solve through a generation-fenced barrier: the membership
+// generation is bumped, survivors pause and acknowledge with their current
+// shards, the coordinator merges them into its warm-start iterate and
+// re-issues the shard table (and, on mesh, the peer address table). Every
+// block and status frame carries its generation, so frames from before a
+// re-shard self-discard instead of corrupting the new assignment. Workers
+// also stream periodic shard checkpoints to the coordinator — a restarted
+// worker that rejoins (bounded exponential backoff with jitter, see
+// Elastic.MaxRejoinWait) warm-starts from the merged checkpoint instead of
+// X0, the delay-tolerant regime's arbitrarily-stale-contribution case.
+// CheckpointPath additionally persists the merged iterate to disk so a
+// restarted coordinator can warm-start the whole solve. A re-shard counts
+// as a reactivation under the termination protocol below (the epoch bump
+// invalidates any probe round in flight), so quiescence is never certified
+// across a membership change; with zero churn the trajectory is
+// bit-identical to a rigid run. Report.WorkersLost, WorkersRejoined and
+// Resharding count the churn events; the asyncsolve chaos subcommand (and
+// the chaos-smoke CI job) exercise kill/restart schedules end to end.
+//
 // All three concurrent engines (shared, message, dist) decide termination
 // with one extracted two-phase double-collect quiescence protocol
 // (internal/runtime, quiescence.go): stop is broadcast only after two

@@ -27,7 +27,9 @@ package repro
 //     Topology ("star" relay or "mesh" worker-to-worker links),
 //     DeltaThreshold (flexible communication on the wire), DropProb,
 //     ReorderProb, MaxLinkDelay, Seed, Tol, SweepsBelowTol,
-//     MaxUpdates/MaxUpdatesPerWorker.
+//     MaxUpdates/MaxUpdatesPerWorker, and the elasticity group
+//     HeartbeatEvery/CheckpointEvery/MaxRejoinWait/CheckpointPath
+//     (worker-churn survival; see WithElastic).
 //
 // Knobs outside an engine's list are ignored, so one Spec can be re-run
 // across engines unchanged. The simulated engines stop on the max-norm
@@ -442,6 +444,12 @@ func (distEngine) Solve(spec Spec) (*Report, error) {
 		},
 		Scratches: rc.Scratches,
 		Tuning:    rc.Tuning,
+		Elastic: dist.Elastic{
+			HeartbeatEvery:  spec.HeartbeatEvery,
+			CheckpointEvery: spec.CheckpointEvery,
+			MaxRejoinWait:   spec.MaxRejoinWait,
+			CheckpointPath:  spec.CheckpointPath,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -463,6 +471,9 @@ func (distEngine) Solve(spec Spec) (*Report, error) {
 		MessagesDuplicate: r.MessagesDuplicate,
 		BytesSent:         r.BytesSent,
 		BytesReceived:     r.BytesReceived,
+		WorkersLost:       r.WorkersLost,
+		WorkersRejoined:   r.WorkersRejoined,
+		Resharding:        r.Resharding,
 		Elapsed:           r.Elapsed,
 		dist:              r,
 	}

@@ -231,6 +231,14 @@ func MicroCases() []Case {
 			Setup: distTopologyCase("mesh"),
 		},
 		{
+			// The same star solve with elastic membership on (heartbeats,
+			// checkpoints, generation-fenced frames) and zero churn: the
+			// price of elasticity on a healthy run, to compare against
+			// DistStarWorkers.
+			Name: "DistElasticWorkers", Kind: "micro", UnitsPerOp: 800,
+			Setup: distElasticCase(),
+		},
+		{
 			// One op is one complete lasso solve, so solve_rate_per_sec is
 			// end-to-end solves per second — the denominator ServeSustained
 			// is normalized against in bench-compare.
@@ -490,6 +498,34 @@ func distTopologyCase(topology string) func() (func() error, error) {
 			}
 			if r.MessagesSent == 0 {
 				return fmt.Errorf("no TCP traffic")
+			}
+			return nil
+		}), nil
+	}
+}
+
+// distElasticCase is distTopologyCase("star") with elastic membership on —
+// a churn-free run that prices the heartbeat/checkpoint control traffic.
+func distElasticCase() func() (func() error, error) {
+	return func() (func() error, error) {
+		op, _, err := benchLinearOp()
+		if err != nil {
+			return nil, err
+		}
+		spec := repro.NewSpec(op,
+			repro.WithEngine(repro.EngineDist),
+			repro.WithTopology("star"),
+			repro.WithWorkers(8),
+			repro.WithMaxUpdatesPerWorker(100),
+			repro.WithElastic(repro.Elastic{HeartbeatEvery: 10 * time.Millisecond}),
+		)
+		return solveCase(spec, func(r *repro.Report) error {
+			if len(r.UpdatesPerWorker) != 8 {
+				return fmt.Errorf("%d workers", len(r.UpdatesPerWorker))
+			}
+			if r.WorkersLost != 0 || r.Resharding != 0 {
+				return fmt.Errorf("churn on a healthy run: lost=%d reshardings=%d",
+					r.WorkersLost, r.Resharding)
 			}
 			return nil
 		}), nil

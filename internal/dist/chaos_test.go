@@ -1,0 +1,180 @@
+package dist
+
+// Chaos tests: the elastic engine must survive scheduled worker churn —
+// kills that close sockets mid-solve, replacements that rejoin through the
+// accept loop and warm-start from checkpoints — and still converge to the
+// same tolerance, on both data planes, under drop/reorder/delay faults.
+// And the other direction: with elasticity on but zero churn, nothing about
+// the trajectory may change.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/operators"
+	"repro/internal/vec"
+)
+
+// slowOp stretches every component evaluation so a small test problem's
+// solve spans the churn schedule instead of finishing before the first
+// kill. It deliberately implements only the base Operator interface, so
+// EvalBlock takes the componentwise path and the delay applies per
+// component.
+type slowOp struct {
+	op    operators.Operator
+	delay time.Duration
+}
+
+func (s slowOp) Dim() int { return s.op.Dim() }
+func (s slowOp) Component(i int, x []float64) float64 {
+	time.Sleep(s.delay)
+	return s.op.Component(i, x)
+}
+func (s slowOp) Name() string { return "slow(" + s.op.Name() + ")" }
+
+// TestChaosConvergesUnderChurn is the acceptance scenario: an 8-worker
+// solve on each topology, under drop+reorder+delay fault injection, with 2
+// workers killed mid-solve and restarted shortly after. The run must
+// converge to tolerance anyway, and the report must show both the losses
+// and the rejoins.
+func TestChaosConvergesUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos schedule")
+	}
+	for _, topo := range []string{"star", "mesh"} {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			t.Parallel()
+			op, xstar := contractingOp(t, 64, 5)
+			tol := 1e-9
+			ckptDir := t.TempDir()
+			ckptPath := filepath.Join(ckptDir, "chaos.ckpt")
+			res, err := RunChaos(Config{
+				Op:       slowOp{op: op, delay: 300 * time.Microsecond},
+				Workers:  8,
+				Topology: topo,
+				Tol:      tol,
+				Fault: Fault{
+					DropProb:    0.05,
+					ReorderProb: 0.05,
+					MaxDelay:    200 * time.Microsecond,
+					Seed:        11,
+				},
+				Elastic: Elastic{
+					HeartbeatEvery: 20 * time.Millisecond,
+					CheckpointPath: ckptPath,
+				},
+				Timeout: 2 * time.Minute,
+			}, ChaosPlan{Events: []ChaosEvent{
+				{Worker: 1, KillAfter: 80 * time.Millisecond, RestartAfter: 100 * time.Millisecond},
+				{Worker: 5, KillAfter: 140 * time.Millisecond, RestartAfter: 100 * time.Millisecond},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatal("chaos run did not converge")
+			}
+			if r := operators.Residual(op, res.X); r > 1.01*tol {
+				t.Errorf("declared quiescent with residual %.3e > 1.01*tol %.1e", r, tol)
+			}
+			if e := vec.DistInf(res.X, xstar); e > 1e-5 {
+				t.Errorf("error %v too large", e)
+			}
+			if res.WorkersLost < 2 {
+				t.Errorf("WorkersLost = %d, want >= 2 (two scheduled kills)", res.WorkersLost)
+			}
+			if res.WorkersRejoined < 2 {
+				t.Errorf("WorkersRejoined = %d, want >= 2 (both kills restarted)", res.WorkersRejoined)
+			}
+			// Losses and rejoins each ring the membership doorbell, but the
+			// barrier coalesces changes that land close together — so the
+			// count is >= 1, not one per event.
+			if res.Resharding < 1 {
+				t.Errorf("Resharding = %d, want >= 1", res.Resharding)
+			}
+			if fi, err := os.Stat(ckptPath); err != nil || fi.Size() == 0 {
+				t.Errorf("coordinator checkpoint file missing or empty (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestElasticZeroChurnBitIdentical pins the regression guarantee: with
+// elasticity enabled but no churn, the trajectory is byte-for-byte the
+// rigid one. A single worker makes the schedule deterministic, so the
+// comparison can demand exact equality of the iterate and the update
+// counts on both topologies.
+func TestElasticZeroChurnBitIdentical(t *testing.T) {
+	for _, topo := range []string{"star", "mesh"} {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			op, _ := contractingOp(t, 24, 3)
+			base := Config{
+				Op: op, Workers: 1, Topology: topo, Tol: 1e-11,
+				MaxUpdatesPerWorker: 1 << 18,
+			}
+			rigid, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elastic := base
+			elastic.Elastic = Elastic{HeartbeatEvery: 5 * time.Millisecond}
+			el, err := Run(elastic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rigid.Converged || !el.Converged {
+				t.Fatalf("converged: rigid=%v elastic=%v", rigid.Converged, el.Converged)
+			}
+			if !reflect.DeepEqual(rigid.X, el.X) {
+				t.Error("elastic zero-churn X differs from the rigid run")
+			}
+			if !reflect.DeepEqual(rigid.UpdatesPerWorker, el.UpdatesPerWorker) {
+				t.Errorf("updates per worker drifted: rigid=%v elastic=%v",
+					rigid.UpdatesPerWorker, el.UpdatesPerWorker)
+			}
+			if el.WorkersLost != 0 || el.WorkersRejoined != 0 || el.Resharding != 0 {
+				t.Errorf("churn counters on a churn-free run: lost=%d rejoined=%d reshardings=%d",
+					el.WorkersLost, el.WorkersRejoined, el.Resharding)
+			}
+		})
+	}
+}
+
+// TestElasticZeroChurnMultiWorker: heartbeats and checkpoints across many
+// workers must not perturb a healthy solve — it converges normally and the
+// churn counters stay zero.
+func TestElasticZeroChurnMultiWorker(t *testing.T) {
+	op, xstar := contractingOp(t, 48, 7)
+	res, err := Run(Config{
+		Op: op, Workers: 6, Topology: "mesh", Tol: 1e-10,
+		MaxUpdatesPerWorker: 1 << 18,
+		Elastic:             Elastic{HeartbeatEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("elastic zero-churn run did not converge")
+	}
+	if e := vec.DistInf(res.X, xstar); e > 1e-6 {
+		t.Errorf("error %v too large", e)
+	}
+	if res.WorkersLost != 0 || res.WorkersRejoined != 0 || res.Resharding != 0 {
+		t.Errorf("churn counters on a churn-free run: lost=%d rejoined=%d reshardings=%d",
+			res.WorkersLost, res.WorkersRejoined, res.Resharding)
+	}
+}
+
+// TestRunChaosRequiresElastic: a churn schedule without elastic membership
+// is a configuration error, not a mysterious hang.
+func TestRunChaosRequiresElastic(t *testing.T) {
+	op, _ := contractingOp(t, 8, 1)
+	if _, err := RunChaos(Config{Op: op, Workers: 2, Tol: 1e-8}, ChaosPlan{}); err == nil {
+		t.Fatal("RunChaos accepted a config without Elastic.HeartbeatEvery")
+	}
+}

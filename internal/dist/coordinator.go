@@ -16,8 +16,9 @@ import (
 // probeInterval paces the coordinator's termination probe rounds.
 const probeInterval = 500 * time.Microsecond
 
-// probeRoundTimeout bounds one probe round; a worker that cannot answer in
-// time simply fails the round (it is retried), it does not fail the run.
+// probeRoundTimeout bounds one probe round (and one reshard-barrier ack
+// collection); a worker that cannot answer in time simply fails the round
+// (it is retried), it does not fail the run.
 const probeRoundTimeout = 2 * time.Second
 
 // defaultReorderHold is the extra delay a reorder-injected block is held
@@ -28,7 +29,9 @@ const defaultReorderHold = 800 * time.Microsecond
 // ServerConfig configures the coordinator half of a distributed run.
 type ServerConfig struct {
 	// Listener accepts the worker connections; Serve closes it when the
-	// run ends. Workers must know its address out of band.
+	// run ends. Workers must know its address out of band. Under elastic
+	// membership it stays open for the whole run so lost workers can
+	// rejoin.
 	Listener net.Listener
 	// Workers is the number of worker connections to wait for. The
 	// caller partitions the problem, so it must already be clamped to the
@@ -50,6 +53,9 @@ type ServerConfig struct {
 	// Fault is the per-link fault injection (applied by the coordinator's
 	// relay in star, by the sending side of every mesh link in mesh).
 	Fault Fault
+	// Elastic configures elastic membership (see Elastic); the zero value
+	// keeps the rigid pre-v3 behavior where any lost link fails the run.
+	Elastic Elastic
 	// Timeout bounds the whole run (default 2m).
 	Timeout time.Duration
 }
@@ -57,12 +63,16 @@ type ServerConfig struct {
 // link is one worker connection from the coordinator's side. Writes are
 // whole prebuilt frames under mu, so concurrent relays, probes and the
 // stop broadcast never interleave bytes. lastSeq and bytesFrom are indexed
-// by source worker: the newest sequence delivered on this link and the
-// data-plane bytes relayed onto it (star topology only).
+// by source worker: the newest sequence delivered on this link within
+// membership generation seqGen (the filter state resets lazily when the
+// first frame of a newer generation arrives — older-generation frames
+// never reach the filter, the generation fence discards them first) and
+// the data-plane bytes relayed onto it (star topology only).
 type link struct {
 	conn      net.Conn
 	mu        sync.Mutex
 	lastSeq   []uint64
+	seqGen    uint32
 	bytesFrom []int64
 }
 
@@ -70,9 +80,17 @@ type status struct {
 	worker          int
 	probeID         uint64
 	passive, done   bool
+	gen             uint32
 	epoch           uint64
 	sent, delivered uint64
 	drained         uint64
+}
+
+type reshardAck struct {
+	worker int
+	gen    uint32
+	lo     int
+	vals   []float64
 }
 
 type final struct {
@@ -84,38 +102,87 @@ type final struct {
 	dropped                uint64
 	reordered, duplicate   uint64
 	linkBytes              []uint64
+	// lost marks a synthesized final for a worker whose link died after
+	// stop: its shard stays at the coordinator's last checkpointed values.
+	lost bool
 }
 
 type coordinator struct {
-	cfg    ServerConfig
-	links  []*link
-	blocks [][2]int
+	cfg ServerConfig
+
+	// mu guards the membership view: which slots are alive, their links,
+	// mesh addresses, shard table, generation, done bits and the churn
+	// counters. Fixed slot count (cfg.Workers); a lost slot is freed for a
+	// rejoiner to claim.
+	mu       sync.RWMutex
+	links    []*link
+	alive    []bool
+	reserved []bool // slot handed to a rejoin handshake in progress
+	addrs    []string
+	blocks   [][2]int
+	gen      uint32
+	lastDone []bool
+	// workersLost / workersRejoined / resharding are the churn counters
+	// surfaced in Result.
+	workersLost, workersRejoined, resharding int64
+
+	// genA mirrors gen for lock-free reads in accountDiscard; genCtrMu
+	// guards the generation-scoped counter resets: a bump taken under RLock
+	// after re-confirming the frame's generation either lands before a
+	// re-shard's reset (and is wiped with the rest of the old generation)
+	// or observes the new generation and skips itself.
+	genA     atomic.Uint32
+	genCtrMu sync.RWMutex
 
 	// dropped counts injection drops, reordered/duplicate the relay's
 	// sequence-filter discards; all three are drained messages for the
-	// termination protocol (they can never reactivate a worker).
-	dropped, reordered, duplicate atomic.Int64
-	bytesOut, bytesIn             atomic.Int64
-	delays                        delayQueue // pending delayed relay deliveries
+	// termination protocol (they can never reactivate a worker). The gen-
+	// prefixed set restarts at zero at each re-shard — it is what the
+	// probes see; the unprefixed set is cumulative for the final report.
+	// With no churn the two are identical.
+	dropped, reordered, duplicate          atomic.Int64
+	genDropped, genReordered, genDuplicate atomic.Int64
+	bytesOut, bytesIn                      atomic.Int64
+	delays                                 delayQueue // pending delayed relay deliveries
+
+	// xmu guards xbest, the coordinator's best-known iterate: x0 overlaid
+	// with every checkpoint and reshard ack absorbed so far. It seeds
+	// rejoiner welcomes, re-shard assigns, the shards of workers lost
+	// after stop, and the on-disk checkpoint.
+	xmu           sync.Mutex
+	xbest         []float64
+	lastCkptWrite time.Time
 
 	stopped  atomic.Bool
 	statusCh chan status
+	ackCh    chan reshardAck
 	finalCh  chan final
 	errCh    chan error
+	// membership is the doorbell rung by workerLost and handleRejoin; the
+	// run loop answers it with a reshard barrier.
+	membership chan struct{}
+	acceptWG   sync.WaitGroup
 
 	// probeSeq numbers probe rounds so stale replies from an earlier round
 	// are recognized and dropped. Only the probing loop touches it, and a
 	// counter (unlike a clock reading) keeps coordinator behavior
 	// bit-reproducible across runs.
 	probeSeq uint64
+
+	runDeadline time.Time
 }
+
+func (c *coordinator) elastic() bool { return c.cfg.Elastic.enabled() }
 
 // Serve runs the coordinator: accept and welcome cfg.Workers workers, run
 // the topology's rendezvous (mesh: collect listen addresses, broadcast the
 // peer table), relay star shard broadcasts with fault injection, probe for
 // quiescence with the two-phase double collect, and stop the run — on
 // quiescence (converged), when every worker exhausts its budget (not
-// converged), or at Timeout (error).
+// converged), or at Timeout (error). Under elastic membership it
+// additionally detects lost workers by heartbeat silence, re-shards the
+// component space over the survivors, and accepts rejoining workers on the
+// same listener for the whole run.
 func Serve(cfg ServerConfig) (*Result, error) {
 	if cfg.Listener == nil {
 		return nil, errors.New("dist: ServerConfig.Listener is required")
@@ -145,21 +212,45 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	if err := cfg.Fault.validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Elastic.validate(); err != nil {
+		return nil, err
+	}
 	x0 := cfg.X0
 	if x0 == nil {
 		x0 = make([]float64, cfg.N)
+	}
+	if cfg.Elastic.CheckpointPath != "" {
+		// A coordinator-level restart warm-starts from the last persisted
+		// iterate; a missing file is simply a fresh run.
+		ck, err := readCheckpointFile(cfg.Elastic.CheckpointPath, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			x0 = ck
+		}
 	}
 
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)
 	c := &coordinator{
-		cfg:      cfg,
-		links:    make([]*link, cfg.Workers),
-		blocks:   vec.Blocks(cfg.N, cfg.Workers),
-		statusCh: make(chan status, 4*cfg.Workers),
-		finalCh:  make(chan final, cfg.Workers),
-		errCh:    make(chan error, cfg.Workers),
+		cfg:         cfg,
+		links:       make([]*link, cfg.Workers),
+		alive:       make([]bool, cfg.Workers),
+		reserved:    make([]bool, cfg.Workers),
+		addrs:       make([]string, cfg.Workers),
+		blocks:      vec.Blocks(cfg.N, cfg.Workers),
+		gen:         1,
+		lastDone:    make([]bool, cfg.Workers),
+		xbest:       append([]float64(nil), x0...),
+		statusCh:    make(chan status, 4*cfg.Workers),
+		ackCh:       make(chan reshardAck, 4*cfg.Workers),
+		finalCh:     make(chan final, 2*cfg.Workers),
+		errCh:       make(chan error, cfg.Workers),
+		membership:  make(chan struct{}, 1),
+		runDeadline: deadline,
 	}
+	c.genA.Store(1)
 	// A delayed relay cancelled or skipped at teardown was counted sent by
 	// its worker and can never be delivered: account the disposal as a
 	// drop so the transport counters stay as close to balanced as a
@@ -192,8 +283,10 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		c.links[w] = &link{
 			conn:      conn,
 			lastSeq:   make([]uint64, cfg.Workers),
+			seqGen:    1,
 			bytesFrom: make([]int64, cfg.Workers),
 		}
+		c.alive[w] = true
 		typ, payload, err := readFrame(conn, maxFramePayload)
 		if err != nil || typ != msgHello {
 			c.shutdown()
@@ -204,23 +297,8 @@ func Serve(cfg ServerConfig) (*Result, error) {
 			c.shutdown()
 			return nil, fmt.Errorf("dist: worker %d protocol version %d, want %d", w, v, protocolVersion)
 		}
-		wel := appendU32(nil, uint32(w))
-		wel = appendU32(wel, uint32(cfg.Workers))
-		wel = appendU32(wel, uint32(cfg.N))
-		wel = appendU32(wel, uint32(c.blocks[w][0]))
-		wel = appendU32(wel, uint32(c.blocks[w][1]))
-		wel = appendF64(wel, cfg.Tol)
-		wel = appendU32(wel, uint32(cfg.SweepsBelowTol))
-		wel = appendU32(wel, uint32(cfg.MaxUpdatesPerWorker))
-		wel = append(wel, topo)
-		wel = appendF64(wel, cfg.DeltaThreshold)
-		wel = appendU64(wel, uint64(cfg.Timeout))
-		wel = appendF64(wel, cfg.Fault.DropProb)
-		wel = appendF64(wel, cfg.Fault.ReorderProb)
-		wel = appendU64(wel, uint64(cfg.Fault.MaxDelay))
-		wel = appendU64(wel, cfg.Fault.Seed)
-		wel = appendF64s(wel, x0)
-		if err := c.write(w, buildFrame(msgWelcome, wel)); err != nil {
+		wel := c.welcome(topo, w, c.blocks[w][0], c.blocks[w][1], 1, false, x0)
+		if err := c.writeLink(c.links[w], wel); err != nil {
 			c.shutdown()
 			return nil, fmt.Errorf("dist: welcome worker %d: %w", w, err)
 		}
@@ -230,7 +308,6 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	// each worker the full peer table. Every listener is up before any
 	// worker learns a peer address, so no dial can race a missing listener.
 	if cfg.Topology == TopologyMesh {
-		addrs := make([]string, cfg.Workers)
 		for w := range c.links {
 			typ, payload, err := readFrame(c.links[w].conn, maxFramePayload)
 			if err != nil || typ != msgMeshAddr {
@@ -238,19 +315,19 @@ func Serve(cfg ServerConfig) (*Result, error) {
 				return nil, fmt.Errorf("dist: worker %d mesh address: %v", w, err)
 			}
 			cur := cursor{b: payload}
-			addrs[w] = cur.str()
-			if cur.err != nil || addrs[w] == "" {
+			c.addrs[w] = cur.str()
+			if cur.err != nil || c.addrs[w] == "" {
 				c.shutdown()
 				return nil, fmt.Errorf("dist: worker %d sent a malformed mesh address", w)
 			}
 		}
 		peers := appendU32(nil, uint32(cfg.Workers))
-		for _, a := range addrs {
+		for _, a := range c.addrs {
 			peers = appendStr(peers, a)
 		}
 		frame := buildFrame(msgPeers, peers)
 		for w := range c.links {
-			if err := c.write(w, frame); err != nil {
+			if err := c.writeLink(c.links[w], frame); err != nil {
 				c.shutdown()
 				return nil, fmt.Errorf("dist: peer table to worker %d: %w", w, err)
 			}
@@ -258,21 +335,48 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	}
 
 	for w := range c.links {
-		go c.serveLink(w)
+		go c.serveLink(w, c.links[w])
+	}
+	if c.elastic() {
+		c.acceptWG.Add(1)
+		//repro:join-ok joined by acceptWG.Wait in shutdown after the listener closes (its deadline bounds the run regardless)
+		go c.acceptRejoins()
 	}
 
 	// Probe for quiescence until it is detected, every worker is done, or
-	// the deadline passes.
+	// the deadline passes. A membership doorbell (worker lost or rejoined)
+	// interrupts the cadence and is answered with a reshard barrier before
+	// any further certification is attempted.
 	converged := false
 	timedOut := true // cleared when the loop ends for a legitimate reason
 	var probeRounds int64
-	lastDone := make([]bool, cfg.Workers)
 	observe := func() runtime.Observation {
 		probeRounds++
-		return c.probeRound(lastDone, deadline)
+		return c.probeRound(deadline)
 	}
 	for time.Now().Before(deadline) {
+		select {
+		case <-c.membership:
+			if err := c.reshardBarrier(deadline); err != nil {
+				c.shutdown()
+				return nil, err
+			}
+			continue
+		default:
+		}
 		if cfg.Tol > 0 && runtime.DoubleCollect(observe, nil) {
+			// A loss detected during the certifying collects makes every
+			// involved probe round invalid, so a pending doorbell here
+			// means the quiescence predates the change: re-shard first.
+			select {
+			case <-c.membership:
+				if err := c.reshardBarrier(deadline); err != nil {
+					c.shutdown()
+					return nil, err
+				}
+				continue
+			default:
+			}
 			converged = true
 			timedOut = false
 			break
@@ -282,14 +386,7 @@ func Serve(cfg ServerConfig) (*Result, error) {
 			// bits so the run ends when every budget is exhausted.
 			observe()
 		}
-		allDone := true
-		for _, d := range lastDone {
-			if !d {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		if c.allDone() {
 			timedOut = false // budget exhaustion, a valid non-converged end
 			break
 		}
@@ -297,21 +394,50 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		case err := <-c.errCh:
 			c.shutdown()
 			return nil, err
+		case <-c.membership:
+			if err := c.reshardBarrier(deadline); err != nil {
+				c.shutdown()
+				return nil, err
+			}
 		case <-time.After(probeInterval):
 		}
 	}
 
-	// Stop the run and collect the authoritative final shards.
+	// Stop the run and collect the authoritative final shards from the
+	// workers alive at stop; a worker lost after this point contributes its
+	// last checkpointed values instead (lost finals, elastic only).
 	c.stopped.Store(true)
 	stopFrame := buildFrame(msgStop, nil)
-	for w := range c.links {
-		if err := c.write(w, stopFrame); err != nil {
+	c.mu.RLock()
+	targets := make([]*link, cfg.Workers)
+	for w, l := range c.links {
+		if c.alive[w] {
+			targets[w] = l
+		}
+	}
+	c.mu.RUnlock()
+	expect := make([]bool, cfg.Workers)
+	expected := 0
+	for w, l := range targets {
+		if l == nil {
+			continue
+		}
+		if err := c.writeLink(l, stopFrame); err != nil {
+			if c.elastic() {
+				// The worker died at the finish line; its serveLink will
+				// synthesize a lost final we are not waiting for.
+				l.conn.Close()
+				continue
+			}
 			c.shutdown()
 			return nil, fmt.Errorf("dist: stop worker %d: %w", w, err)
 		}
+		expect[w] = true
+		expected++
 	}
-	x := make([]float64, cfg.N)
-	copy(x, x0)
+	c.xmu.Lock()
+	x := append([]float64(nil), c.xbest...)
+	c.xmu.Unlock()
 	updates := make([]int, cfg.Workers)
 	linkBytes := make([][]int64, cfg.Workers)
 	for i := range linkBytes {
@@ -319,9 +445,17 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	}
 	var sent, delivered, stale, dropped, reordered, duplicate int64
 	finalDeadline := time.Now().Add(cfg.Timeout)
-	for got := 0; got < cfg.Workers; got++ {
+	for got := 0; got < expected; {
 		select {
 		case f := <-c.finalCh:
+			if !expect[f.worker] {
+				continue // a lost final from a slot nobody waits for
+			}
+			expect[f.worker] = false
+			got++
+			if f.lost {
+				continue // shard stays at the checkpointed values in x
+			}
 			copy(x[f.lo:f.lo+len(f.vals)], f.vals)
 			updates[f.worker] = f.updates
 			sent += int64(f.sent)
@@ -348,14 +482,24 @@ func Serve(cfg ServerConfig) (*Result, error) {
 	}
 	// Star relays every data-plane frame, so its per-link counters live on
 	// the coordinator's links (stable now — shutdown drained every relay
-	// writer); mesh workers reported theirs in the finals.
+	// writer); mesh workers reported theirs in the finals. Links lost to
+	// churn take their relay byte counts with them, so under churn the star
+	// totals cover surviving links only.
 	if cfg.Topology == TopologyStar {
+		c.mu.RLock()
 		for to, l := range c.links {
+			if l == nil {
+				continue
+			}
 			for from, b := range l.bytesFrom {
 				linkBytes[from][to] += b
 			}
 		}
+		c.mu.RUnlock()
 	}
+	c.mu.RLock()
+	lost, rejoined, reshards := c.workersLost, c.workersRejoined, c.resharding
+	c.mu.RUnlock()
 	return &Result{
 		X:                 x,
 		Converged:         converged,
@@ -372,18 +516,79 @@ func Serve(cfg ServerConfig) (*Result, error) {
 		BytesReceived:     c.bytesIn.Load(),
 		LinkBytes:         linkBytes,
 		ProbeRounds:       probeRounds,
+		WorkersLost:       lost,
+		WorkersRejoined:   rejoined,
+		Resharding:        reshards,
 	}, nil
+}
+
+// welcome builds one welcome frame for slot w: shard [lo, hi), membership
+// generation gen, and the iterate x (x0 for the rendezvous, the
+// checkpointed xbest for a rejoiner, whose shard is empty until its first
+// assign).
+func (c *coordinator) welcome(topo byte, w, lo, hi int, gen uint32, rejoining bool, x []float64) []byte {
+	wel := appendU32(nil, uint32(w))
+	wel = appendU32(wel, uint32(c.cfg.Workers))
+	wel = appendU32(wel, uint32(c.cfg.N))
+	wel = appendU32(wel, uint32(lo))
+	wel = appendU32(wel, uint32(hi))
+	wel = appendF64(wel, c.cfg.Tol)
+	wel = appendU32(wel, uint32(c.cfg.SweepsBelowTol))
+	wel = appendU32(wel, uint32(c.cfg.MaxUpdatesPerWorker))
+	wel = append(wel, topo)
+	wel = appendF64(wel, c.cfg.DeltaThreshold)
+	wel = appendU64(wel, uint64(c.cfg.Timeout))
+	wel = appendF64(wel, c.cfg.Fault.DropProb)
+	wel = appendF64(wel, c.cfg.Fault.ReorderProb)
+	wel = appendU64(wel, uint64(c.cfg.Fault.MaxDelay))
+	wel = appendU64(wel, c.cfg.Fault.Seed)
+	wel = appendU32(wel, gen)
+	if rejoining {
+		wel = append(wel, byte(1))
+	} else {
+		wel = append(wel, byte(0))
+	}
+	wel = appendU64(wel, uint64(c.cfg.Elastic.HeartbeatEvery))
+	wel = appendU64(wel, uint64(c.cfg.Elastic.CheckpointEvery))
+	wel = appendF64s(wel, x)
+	return buildFrame(msgWelcome, wel)
+}
+
+// allDone reports whether every currently-alive worker has exhausted its
+// update budget (an empty membership can never end the run this way — the
+// doorbell or the deadline decides it instead).
+func (c *coordinator) allDone() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	live := 0
+	for w := range c.alive {
+		if !c.alive[w] {
+			continue
+		}
+		live++
+		if !c.lastDone[w] {
+			return false
+		}
+	}
+	return live > 0
 }
 
 // shutdown tears the coordinator down in the only safe order: mark the run
 // stopped (new delayed deliveries become no-ops), cancel pending relay
-// timers and wait out callbacks already firing, and only then close the
-// worker connections. A delayed delivery can therefore never write to a
-// conn that is being closed.
+// timers and wait out callbacks already firing, stop accepting rejoiners,
+// and only then close the worker connections. A delayed delivery can
+// therefore never write to a conn that is being closed.
 func (c *coordinator) shutdown() {
 	c.stopped.Store(true)
 	c.delays.drain()
-	for _, l := range c.links {
+	if c.elastic() {
+		c.cfg.Listener.Close()
+		c.acceptWG.Wait()
+	}
+	c.mu.RLock()
+	links := append([]*link(nil), c.links...)
+	c.mu.RUnlock()
+	for _, l := range links {
 		if l != nil {
 			l.conn.Close()
 		}
@@ -401,10 +606,9 @@ func (c *coordinator) fail(err error) {
 	}
 }
 
-// write sends one prebuilt frame on link w; frames are written whole under
-// the link mutex so concurrent writers never interleave.
-func (c *coordinator) write(w int, frame []byte) error {
-	l := c.links[w]
+// writeLink sends one prebuilt frame on a link; frames are written whole
+// under the link mutex so concurrent writers never interleave.
+func (c *coordinator) writeLink(l *link, frame []byte) error {
 	l.mu.Lock()
 	_, err := l.conn.Write(frame)
 	l.mu.Unlock()
@@ -414,26 +618,111 @@ func (c *coordinator) write(w int, frame []byte) error {
 	return err
 }
 
-// deliverBlock writes a relayed shard frame from worker from to link w —
-// unless a later-sequenced frame from the same source has already been
-// delivered on this link, in which case the frame is discarded HERE:
+// accountDiscard accounts one disposed relay frame: always on the
+// cumulative counter, and on the generation-scoped counter only while the
+// frame's generation is still current — a frame from before a re-shard had
+// its send erased from the in-flight books, so counting its disposal would
+// push in-flight negative and stall termination. Taken under genCtrMu so a
+// bump can never land after the re-shard's counter reset it belongs before.
+func (c *coordinator) accountDiscard(gen uint32, cum, genCtr *atomic.Int64) {
+	cum.Add(1)
+	c.genCtrMu.RLock()
+	if c.genA.Load() == gen {
+		genCtr.Add(1)
+	}
+	c.genCtrMu.RUnlock()
+}
+
+// lostFinal synthesizes the final of a worker whose link died after stop,
+// so the collection loop is never wedged on a shard that will not arrive;
+// the shard keeps its last checkpointed values.
+func (c *coordinator) lostFinal(w int) {
+	select {
+	case c.finalCh <- final{worker: w, lost: true}:
+	default:
+	}
+}
+
+// workerLost removes one worker from the membership (idempotently — the
+// link pointer identifies the incarnation, so a stale loss report for a
+// slot a rejoiner has since claimed is a no-op), closes its conn, and rings
+// the membership doorbell. After stop it synthesizes a lost final instead:
+// the membership no longer matters, only the finals collection does.
+func (c *coordinator) workerLost(w int, l *link) {
+	c.mu.Lock()
+	if c.links[w] != l || !c.alive[w] {
+		c.mu.Unlock()
+		return
+	}
+	c.links[w] = nil
+	c.alive[w] = false
+	c.addrs[w] = ""
+	c.lastDone[w] = false
+	c.workersLost++
+	c.mu.Unlock()
+	l.conn.Close()
+	if c.stopped.Load() {
+		c.lostFinal(w)
+		return
+	}
+	select {
+	case c.membership <- struct{}{}:
+	default:
+	}
+}
+
+// linkDown handles a failed read on a worker link: before stop it is a
+// worker loss (elastic) or a run error (rigid); after stop a missing final
+// is synthesized (elastic) or the teardown is simply quiet (rigid).
+func (c *coordinator) linkDown(w int, l *link, err error) {
+	if c.stopped.Load() {
+		if c.elastic() {
+			c.lostFinal(w)
+		}
+		return
+	}
+	if !c.elastic() {
+		c.fail(fmt.Errorf("dist: worker %d connection: %w", w, err))
+		return
+	}
+	c.workerLost(w, l)
+}
+
+// deliverBlock writes a relayed shard frame from worker from to link q —
+// unless the frame predates the current membership generation or the slot
+// is no longer alive (silently disposed — its send was erased at the
+// re-shard), or a later-sequenced frame from the same source has already
+// been delivered on this link, in which case the frame is discarded HERE:
 // superseded (reordered) and duplicate frames are never written, so the
 // receiver cannot count them again and no bandwidth is spent on them. The
 // discard counts as drained for the termination protocol, like a drop.
-func (c *coordinator) deliverBlock(w, from int, seq uint64, frame []byte) {
+func (c *coordinator) deliverBlock(q, from int, seq uint64, gen uint32, frame []byte) {
 	if c.stopped.Load() {
 		c.dropped.Add(1) // sent but undeliverable: the run is tearing down
 		return
 	}
-	l := c.links[w]
+	c.mu.RLock()
+	l := c.links[q]
+	ok := c.alive[q] && l != nil && gen == c.gen
+	c.mu.RUnlock()
+	if !ok {
+		c.accountDiscard(gen, &c.dropped, &c.genDropped)
+		return
+	}
 	l.mu.Lock()
+	if l.seqGen != gen {
+		for i := range l.lastSeq {
+			l.lastSeq[i] = 0
+		}
+		l.seqGen = gen
+	}
 	if seq <= l.lastSeq[from] {
 		newest := l.lastSeq[from]
 		l.mu.Unlock()
 		if seq < newest {
-			c.reordered.Add(1)
+			c.accountDiscard(gen, &c.reordered, &c.genReordered)
 		} else {
-			c.duplicate.Add(1)
+			c.accountDiscard(gen, &c.duplicate, &c.genDuplicate)
 		}
 		return
 	}
@@ -447,33 +736,83 @@ func (c *coordinator) deliverBlock(w, from int, seq uint64, frame []byte) {
 		c.bytesOut.Add(int64(len(frame)))
 		return
 	}
-	// A failed write after stop is expected teardown. Before stop it means
-	// a relayed block is lost with no delivery or drop to account for it —
-	// in-flight could never reach zero again — so surface the broken link
-	// instead of letting the run die as a generic timeout. (One-directional
-	// stalls exist: this link's reader may still be healthy.)
-	if !c.stopped.Load() {
-		c.fail(fmt.Errorf("dist: relay to worker %d: %w", w, err))
+	if c.stopped.Load() {
+		c.dropped.Add(1) // teardown closed the conn under the write
+		return
 	}
+	// A failed write before stop means a relayed block is lost with no
+	// delivery or drop to account for it — under elastic membership the
+	// destination is treated as lost (the disposal keeps in-flight
+	// drainable); a rigid run surfaces the broken link instead of dying as
+	// a generic timeout. (One-directional stalls exist: this link's reader
+	// may still be healthy.)
+	if c.elastic() {
+		c.accountDiscard(gen, &c.dropped, &c.genDropped)
+		c.workerLost(q, l)
+		return
+	}
+	c.fail(fmt.Errorf("dist: relay to worker %d: %w", q, err))
+}
+
+// absorbCheckpoint folds a current-generation shard checkpoint into xbest
+// and, when a checkpoint path is configured, persists the merged iterate at
+// most once per CheckpointEvery (best-effort: a failed disk write never
+// fails the run).
+func (c *coordinator) absorbCheckpoint(w int, payload []byte) error {
+	cur := cursor{b: payload}
+	gen := cur.u32()
+	lo := int(cur.u32())
+	count := int(cur.u32())
+	vals := cur.f64s(count)
+	if cur.err != nil || lo < 0 || lo+count > c.cfg.N {
+		return fmt.Errorf("dist: worker %d sent a malformed checkpoint frame", w)
+	}
+	c.mu.RLock()
+	current := gen == c.gen && c.alive[w]
+	c.mu.RUnlock()
+	if !current {
+		return nil // a checkpoint from before a re-shard: shard bounds are stale
+	}
+	var snapshot []float64
+	c.xmu.Lock()
+	copy(c.xbest[lo:lo+count], vals)
+	if c.cfg.Elastic.CheckpointPath != "" && time.Since(c.lastCkptWrite) >= c.cfg.Elastic.CheckpointEvery {
+		c.lastCkptWrite = time.Now()
+		snapshot = append([]float64(nil), c.xbest...)
+	}
+	c.xmu.Unlock()
+	if snapshot != nil {
+		_ = writeCheckpointFile(c.cfg.Elastic.CheckpointPath, snapshot)
+	}
+	return nil
 }
 
 // serveLink reads one worker's frames: star shard broadcasts are relayed to
-// every peer through the fault-injection path, statuses and finals are
-// routed to the termination logic.
-func (c *coordinator) serveLink(w int) {
+// every peer through the fault-injection path, statuses, reshard acks and
+// finals are routed to the termination logic, checkpoints into xbest.
+// Under elastic membership every read carries a heartbeat deadline — a link
+// silent past it is a lost worker, not a run error.
+func (c *coordinator) serveLink(w int, l *link) {
 	rng := rand.New(rand.NewSource(linkRNGSeed(c.cfg.Fault.Seed, w)))
 	hold := reorderHoldFor(c.cfg.Fault)
-	conn := c.links[w].conn
+	conn := l.conn
+	var hbTimeout time.Duration
+	if c.elastic() {
+		hbTimeout = heartbeatTimeout(c.cfg.Elastic.HeartbeatEvery)
+	}
 	for {
+		if hbTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		}
 		typ, payload, err := readFrame(conn, maxFramePayload)
 		if err != nil {
-			if !c.stopped.Load() {
-				c.fail(fmt.Errorf("dist: worker %d connection: %w", w, err))
-			}
+			c.linkDown(w, l, err)
 			return
 		}
 		c.bytesIn.Add(int64(frameHeaderLen + len(payload)))
 		switch typ {
+		case msgHeartbeat:
+			// Liveness only: arriving is the whole message.
 		case msgBlock:
 			if c.cfg.Topology != TopologyStar {
 				c.fail(fmt.Errorf("dist: worker %d sent a data-plane frame on the mesh control plane", w))
@@ -483,6 +822,7 @@ func (c *coordinator) serveLink(w int) {
 			from := int(cur.u32())
 			seq := cur.u64()
 			flags := cur.u8()
+			gen := cur.u32()
 			if cur.err != nil || from != w {
 				c.fail(fmt.Errorf("dist: worker %d sent a malformed block frame", w))
 				return
@@ -499,17 +839,20 @@ func (c *coordinator) serveLink(w int) {
 				if q == w {
 					continue
 				}
+				// The fault decision is drawn for every destination —
+				// dead slots included — so churn never desynchronizes the
+				// per-source decision streams star and mesh share.
 				drop, delay := c.cfg.Fault.decide(rng, hold, reliable)
 				if drop {
-					c.dropped.Add(1)
+					c.accountDiscard(gen, &c.dropped, &c.genDropped)
 					continue
 				}
 				if delay <= 0 {
-					c.deliverBlock(q, w, seq, frame)
+					c.deliverBlock(q, w, seq, gen, frame)
 					continue
 				}
 				q := q
-				if !c.delays.after(delay, func() { c.deliverBlock(q, w, seq, frame) }) {
+				if !c.delays.after(delay, func() { c.deliverBlock(q, w, seq, gen, frame) }) {
 					// Teardown already began: no probe round will look
 					// again, but the frame was counted sent — account the
 					// disposal.
@@ -522,6 +865,7 @@ func (c *coordinator) serveLink(w int) {
 			flags := cur.u8()
 			st.passive = flags&statusPassive != 0
 			st.done = flags&statusDone != 0
+			st.gen = cur.u32()
 			st.epoch = cur.u64()
 			st.sent = cur.u64()
 			st.delivered = cur.u64()
@@ -533,6 +877,24 @@ func (c *coordinator) serveLink(w int) {
 			select {
 			case c.statusCh <- st:
 			default: // stale round backlog; the prober discards by id anyway
+			}
+		case msgCheckpoint:
+			if err := c.absorbCheckpoint(w, payload); err != nil {
+				c.fail(err)
+				return
+			}
+		case msgReshardAck:
+			cur := cursor{b: payload}
+			a := reshardAck{worker: w, gen: cur.u32(), lo: int(cur.u32())}
+			count := int(cur.u32())
+			a.vals = cur.f64s(count)
+			if cur.err != nil || a.lo < 0 || a.lo+count > c.cfg.N {
+				c.fail(fmt.Errorf("dist: worker %d sent a malformed reshard ack", w))
+				return
+			}
+			select {
+			case c.ackCh <- a:
+			default: // a stale barrier attempt's backlog; acks are gen-checked anyway
 			}
 		case msgFinal:
 			cur := cursor{b: payload}
@@ -560,41 +922,326 @@ func (c *coordinator) serveLink(w int) {
 	}
 }
 
+// acceptRejoins keeps accepting connections after the rendezvous — the
+// elastic half of the control plane. Each connection is handled on its own
+// goroutine so a slow (or hostile) handshake never blocks other rejoiners.
+// The loop exits when the listener closes (shutdown) or its deadline — the
+// run deadline — expires.
+func (c *coordinator) acceptRejoins() {
+	defer c.acceptWG.Done()
+	for {
+		conn, err := c.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		c.acceptWG.Add(1)
+		//repro:join-ok joined by acceptWG.Wait in shutdown; every blocking step is bounded by the short handshake deadline set first
+		go func() {
+			defer c.acceptWG.Done()
+			c.handleRejoin(conn)
+		}()
+	}
+}
+
+// handleRejoin runs the rejoin handshake: validate the hello, reserve a
+// free worker slot (rejecting when none is free — typically the lost
+// link's read deadline has not expired yet, so the worker retries under
+// backoff), welcome the worker with the checkpointed iterate and an empty
+// shard, collect its mesh address, and install it into the membership. The
+// next reshard barrier shards it in.
+func (c *coordinator) handleRejoin(conn net.Conn) {
+	if c.stopped.Load() {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Now().Add(dialTimeout))
+	typ, payload, err := readFrame(conn, maxFramePayload)
+	if err != nil || typ != msgHello {
+		conn.Close()
+		return
+	}
+	cur := cursor{b: payload}
+	if v := cur.u32(); cur.err != nil || v != protocolVersion {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	slot := -1
+	for w := range c.alive {
+		if !c.alive[w] && !c.reserved[w] && c.links[w] == nil {
+			slot = w
+			break
+		}
+	}
+	if slot >= 0 {
+		c.reserved[slot] = true
+	}
+	gen := c.gen
+	c.mu.Unlock()
+	if slot < 0 {
+		conn.Write(buildFrame(msgReject, appendStr(nil, "no free worker slot")))
+		conn.Close()
+		return
+	}
+	unreserve := func() {
+		c.mu.Lock()
+		c.reserved[slot] = false
+		c.mu.Unlock()
+	}
+	topo := topologyStarWire
+	if c.cfg.Topology == TopologyMesh {
+		topo = topologyMeshWire
+	}
+	c.xmu.Lock()
+	x := append([]float64(nil), c.xbest...)
+	c.xmu.Unlock()
+	if _, err := conn.Write(c.welcome(topo, slot, 0, 0, gen, true, x)); err != nil {
+		unreserve()
+		conn.Close()
+		return
+	}
+	meshAddr := ""
+	if c.cfg.Topology == TopologyMesh {
+		typ, payload, err := readFrame(conn, maxFramePayload)
+		if err != nil || typ != msgMeshAddr {
+			unreserve()
+			conn.Close()
+			return
+		}
+		cur := cursor{b: payload}
+		meshAddr = cur.str()
+		if cur.err != nil || meshAddr == "" {
+			unreserve()
+			conn.Close()
+			return
+		}
+	}
+	l := &link{
+		conn:      conn,
+		lastSeq:   make([]uint64, c.cfg.Workers),
+		bytesFrom: make([]int64, c.cfg.Workers),
+	}
+	c.mu.Lock()
+	if c.stopped.Load() {
+		// The run ended while this handshake was in flight: the stop
+		// broadcast's target snapshot must never grow afterwards.
+		c.reserved[slot] = false
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.links[slot] = l
+	c.alive[slot] = true
+	c.reserved[slot] = false
+	c.addrs[slot] = meshAddr
+	c.lastDone[slot] = false
+	c.workersRejoined++
+	c.mu.Unlock()
+	conn.SetDeadline(c.runDeadline.Add(c.cfg.Timeout))
+	go c.serveLink(slot, l)
+	select {
+	case c.membership <- struct{}{}:
+	default:
+	}
+}
+
+// reshardBarrier answers the membership doorbell: enter a new generation,
+// pause every survivor (reshard), fold their acknowledged shards into the
+// checkpointed iterate, and re-issue the shard table and — on mesh — the
+// peer address table (assign). A worker lost or rejoined mid-barrier simply
+// restarts the attempt with a fresh generation; the run deadline bounds the
+// retrying. Runs on the run-loop goroutine, so no probe round can overlap a
+// generation flip.
+func (c *coordinator) reshardBarrier(deadline time.Time) error {
+	for {
+		if !time.Now().Before(deadline) {
+			return errors.New("dist: resharding did not complete before the run timeout")
+		}
+		select {
+		case <-c.membership: // coalesce queued doorbell rings into this attempt
+		default:
+		}
+		c.mu.Lock()
+		c.gen++
+		gen := c.gen
+		c.genA.Store(gen)
+		var live []int
+		for w := range c.alive {
+			if c.alive[w] {
+				live = append(live, w)
+			}
+		}
+		if len(live) == 0 {
+			c.mu.Unlock()
+			// Nobody left to compute: wait for a rejoiner (or give up at
+			// the deadline above).
+			select {
+			case <-c.membership:
+			case <-time.After(probeInterval):
+			}
+			continue
+		}
+		shards := vec.Blocks(c.cfg.N, len(live))
+		for w := range c.blocks {
+			c.blocks[w] = [2]int{0, 0}
+		}
+		blocks := make([][2]int, c.cfg.Workers)
+		for i, w := range live {
+			c.blocks[w] = shards[i]
+			blocks[w] = shards[i]
+		}
+		c.resharding++
+		links := make([]*link, len(live))
+		for i, w := range live {
+			links[i] = c.links[w]
+		}
+		addrs := append([]string(nil), c.addrs...)
+		c.mu.Unlock()
+
+		// The old generation's books close: frames still in flight from it
+		// self-discard against the fence without touching these counters.
+		c.genCtrMu.Lock()
+		c.genDropped.Store(0)
+		c.genReordered.Store(0)
+		c.genDuplicate.Store(0)
+		c.genCtrMu.Unlock()
+
+		// Phase 1 — pause: every survivor acknowledges the new generation
+		// with its current shard values (the freshest warm-start data).
+		reshard := buildFrame(msgReshard, appendU32(nil, gen))
+		retry := false
+		for i, w := range live {
+			if err := c.writeLink(links[i], reshard); err != nil {
+				c.workerLost(w, links[i])
+				retry = true
+			}
+		}
+		if retry {
+			continue
+		}
+		acked := make([]bool, c.cfg.Workers)
+		ackDeadline := time.Now().Add(probeRoundTimeout)
+		if ackDeadline.After(deadline) {
+			ackDeadline = deadline
+		}
+		for got := 0; got < len(live) && !retry; {
+			select {
+			case a := <-c.ackCh:
+				if a.gen != gen || acked[a.worker] {
+					continue // stale barrier attempt or duplicate
+				}
+				acked[a.worker] = true
+				got++
+				if len(a.vals) > 0 {
+					c.xmu.Lock()
+					copy(c.xbest[a.lo:a.lo+len(a.vals)], a.vals)
+					c.xmu.Unlock()
+				}
+			case <-c.membership:
+				retry = true // membership changed mid-barrier: fresh attempt
+			case <-time.After(time.Until(ackDeadline)):
+				retry = true // an unresponsive survivor; its heartbeat deadline will evict it
+			}
+		}
+		if retry {
+			continue
+		}
+
+		// Phase 2 — resume: re-issue the shard table over the merged
+		// iterate; mesh workers also get the refreshed peer table ("" marks
+		// a dead slot) to redial replaced links.
+		c.xmu.Lock()
+		x := append([]float64(nil), c.xbest...)
+		c.xmu.Unlock()
+		for i, w := range live {
+			payload := appendU32(nil, gen)
+			payload = appendU32(payload, uint32(blocks[w][0]))
+			payload = appendU32(payload, uint32(blocks[w][1]))
+			payload = appendF64s(payload, x)
+			if c.cfg.Topology == TopologyMesh {
+				payload = appendU32(payload, uint32(c.cfg.Workers))
+				for _, a := range addrs {
+					payload = appendStr(payload, a)
+				}
+			} else {
+				payload = appendU32(payload, 0)
+			}
+			if err := c.writeLink(links[i], buildFrame(msgAssign, payload)); err != nil {
+				c.workerLost(w, links[i])
+				retry = true
+			}
+		}
+		if retry {
+			continue
+		}
+		return nil
+	}
+}
+
 // probeRound is one network collect of the double-collect protocol: probe
-// every worker, gather matching statuses, and assemble the Observation.
-// The passive flags come from the statuses (each a self-consistent
-// worker-side snapshot) and the coordinator's drain counters are read after
-// the last status arrives, matching the in-process Tracker's "flags before
-// counters" collect order. The drained total — injection drops plus
-// link-filter discards, wherever they happened (coordinator relay in star,
-// sending workers in mesh) — enters the observation as Dropped: none of
-// those frames can ever reactivate a worker. Any timeout or stale reply
-// just makes the round non-quiet; it is retried. lastDone is updated with
-// each worker's done bit as a side effect.
-func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Observation {
+// every live worker, gather matching statuses, and assemble the
+// Observation. The passive flags come from the statuses (each a
+// self-consistent worker-side snapshot) and the coordinator's drain
+// counters are read after the last status arrives, matching the in-process
+// Tracker's "flags before counters" collect order. The drained total —
+// injection drops plus link-filter discards, wherever they happened
+// (coordinator relay in star, sending workers in mesh) — enters the
+// observation as Dropped: none of those frames can ever reactivate a
+// worker. Any timeout, stale or cross-generation reply makes the round
+// invalid; it is retried. The membership generation is folded into the
+// observation's Epoch so two quiet collects can never straddle a re-shard
+// unnoticed, and done bits are applied to lastDone as a side effect of a
+// completed round.
+func (c *coordinator) probeRound(deadline time.Time) runtime.Observation {
 	c.probeSeq++
 	probeID := c.probeSeq
 	probe := buildFrame(msgProbe, appendU64(nil, probeID))
-	for w := range c.links {
-		if err := c.write(w, probe); err != nil {
+	c.mu.RLock()
+	gen := c.gen
+	var workers []int
+	var links []*link
+	for w, l := range c.links {
+		if c.alive[w] && l != nil {
+			workers = append(workers, w)
+			links = append(links, l)
+		}
+	}
+	c.mu.RUnlock()
+	if len(workers) == 0 {
+		return runtime.Observation{} // an empty membership is never quiescent
+	}
+	for i, w := range workers {
+		if err := c.writeLink(links[i], probe); err != nil {
+			if c.elastic() {
+				c.workerLost(w, links[i])
+			}
 			return runtime.Observation{}
 		}
 	}
-	roundDeadline := time.Now().Add(probeRoundTimeout)
+	roundTimeout := probeRoundTimeout
+	if c.elastic() {
+		// A lost worker is detected within the heartbeat timeout; waiting
+		// longer for its status would only delay the reshard barrier.
+		if hb := heartbeatTimeout(c.cfg.Elastic.HeartbeatEvery); hb < roundTimeout {
+			roundTimeout = hb
+		}
+	}
+	roundDeadline := time.Now().Add(roundTimeout)
 	if roundDeadline.After(deadline) {
 		roundDeadline = deadline
 	}
 	obs := runtime.Observation{AllPassive: true}
-	seen := make([]bool, len(c.links))
-	for got := 0; got < len(c.links); {
+	seen := make([]bool, c.cfg.Workers)
+	done := make([]bool, c.cfg.Workers)
+	for got := 0; got < len(workers); {
 		select {
 		case st := <-c.statusCh:
-			if st.probeID != probeID || seen[st.worker] {
-				continue // stale round or duplicate
+			if st.probeID != probeID || st.gen != gen || seen[st.worker] {
+				continue // stale round, stale generation, or duplicate
 			}
 			seen[st.worker] = true
 			got++
-			lastDone[st.worker] = st.done
+			done[st.worker] = st.done
 			if !st.passive {
 				obs.AllPassive = false
 			}
@@ -606,6 +1253,14 @@ func (c *coordinator) probeRound(lastDone []bool, deadline time.Time) runtime.Ob
 			return runtime.Observation{}
 		}
 	}
-	obs.Dropped += c.dropped.Load() + c.reordered.Load() + c.duplicate.Load()
+	c.mu.Lock()
+	if c.gen == gen {
+		for _, w := range workers {
+			c.lastDone[w] = done[w]
+		}
+	}
+	c.mu.Unlock()
+	obs.Epoch += uint64(gen)
+	obs.Dropped += c.genDropped.Load() + c.genReordered.Load() + c.genDuplicate.Load()
 	return obs
 }

@@ -43,6 +43,17 @@
 // passive cleared) before the reactivating block is counted delivered — so
 // a quiet round can never hide a message being absorbed.
 //
+// Under elastic membership (Config.Elastic, protocol v3) the run survives
+// worker churn: workers heartbeat the control link, the coordinator treats
+// a silent link as a lost worker, re-shards the component space over the
+// survivors behind a pause/ack/assign barrier (a re-shard counts as a
+// reactivation under the two-phase protocol, so no quiescence can be
+// certified across one), and keeps its listener open so a restarted worker
+// — retrying under capped exponential backoff — can claim the freed slot
+// and warm-start from the last checkpointed iterate instead of x0. Every
+// data frame is fenced to the membership generation it was sent in, so
+// frames from before a re-shard self-discard wherever they surface.
+//
 // The same code paths serve two deployments: Run spawns the coordinator
 // and all workers in-process over localhost TCP (how the tests and the
 // in-process engine use it), and Serve/Connect are the halves the
@@ -119,6 +130,10 @@ type Config struct {
 	DeltaThreshold float64
 	// Fault is the per-link fault injection.
 	Fault Fault
+	// Elastic configures elastic membership: heartbeat-based worker-loss
+	// detection, mid-solve re-sharding, rejoin and checkpointing. The zero
+	// value keeps the rigid behavior where a lost worker fails the run.
+	Elastic Elastic
 	// Timeout is the wall-clock safety bound on the whole run (default 2m).
 	Timeout time.Duration
 	// Scratches optionally supplies one reusable operator scratch per
@@ -140,10 +155,14 @@ type Result struct {
 	// p-1 peers counts p-1); MessagesDelivered counts frames acknowledged
 	// by receivers; MessagesDropped counts fault-injection drops plus
 	// frames disposed at teardown (sent but no longer deliverable once the
-	// run stopped). A certified-quiescent (converged) run stops with
-	// nothing pending, so its counters balance exactly: sent = delivered +
-	// dropped + reordered + duplicate; a budget- or timeout-ended run may
-	// leave a small residual of frames cut off mid-teardown.
+	// run stopped). A certified-quiescent (converged) run with no churn
+	// stops with nothing pending, so its counters balance exactly: sent =
+	// delivered + dropped + reordered + duplicate; a budget- or
+	// timeout-ended run may leave a small residual of frames cut off
+	// mid-teardown, and a run with churn loses the lifetime counters of
+	// workers that died (each re-shard also erases the old generation's
+	// in-flight frames from the books), so under churn the identity is not
+	// expected to hold.
 	//
 	// The link-filter counters are disjoint from each other and from the
 	// above: MessagesReordered counts frames discarded at the delivery
@@ -165,6 +184,13 @@ type Result struct {
 	LinkBytes [][]int64
 	// ProbeRounds counts termination probe rounds the coordinator ran.
 	ProbeRounds int64
+	// WorkersLost counts links the coordinator declared dead (heartbeat
+	// silence or failed writes), WorkersRejoined the restarted workers that
+	// successfully claimed a freed slot, and Resharding the membership
+	// barriers that re-issued the shard table. All three are zero in a
+	// rigid (non-elastic) or churn-free run. A slot that was lost and
+	// re-occupied reports only its final occupant's UpdatesPerWorker.
+	WorkersLost, WorkersRejoined, Resharding int64
 }
 
 func (c *Config) validate() (n int, err error) {
@@ -189,6 +215,9 @@ func (c *Config) validate() (n int, err error) {
 	}
 	applyRunDefaults(&c.SweepsBelowTol, &c.MaxUpdatesPerWorker, &c.Timeout)
 	if err := c.Fault.validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Elastic.validate(); err != nil {
 		return 0, err
 	}
 	return n, nil
@@ -285,6 +314,7 @@ func Run(cfg Config) (*Result, error) {
 			MaxUpdatesPerWorker: cfg.MaxUpdatesPerWorker,
 			DeltaThreshold:      cfg.DeltaThreshold,
 			Fault:               cfg.Fault,
+			Elastic:             cfg.Elastic,
 			Timeout:             cfg.Timeout,
 		})
 		serveCh <- serveOut{res, err}

@@ -407,6 +407,7 @@ func TestDeltaThresholdFraming(t *testing.T) {
 			cur.u32() // from
 			cur.u64() // seq
 			f := sent{flags: cur.u8()}
+			cur.u32() // gen
 			f.lo = int(cur.u32())
 			f.vals = cur.f64s(int(cur.u32()))
 			frames <- f
@@ -503,8 +504,11 @@ func TestSupersededNeverRelayed(t *testing.T) {
 	defer cli.Close()
 	c := &coordinator{
 		cfg:   ServerConfig{Workers: 2, Topology: TopologyStar, N: 4},
-		links: []*link{nil, {conn: srv, lastSeq: make([]uint64, 2), bytesFrom: make([]int64, 2)}},
+		links: []*link{nil, {conn: srv, lastSeq: make([]uint64, 2), seqGen: 1, bytesFrom: make([]int64, 2)}},
+		alive: []bool{false, true},
+		gen:   1,
 	}
+	c.genA.Store(1)
 	frames := make(chan uint64, 16)
 	go func() {
 		for {
@@ -521,12 +525,12 @@ func TestSupersededNeverRelayed(t *testing.T) {
 			frames <- cur.u64()
 		}
 	}()
-	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 0, []float64{1, 2}) }
+	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 1, 0, []float64{1, 2}) }
 
-	c.deliverBlock(1, 0, 2, frame(2)) // newest first
-	c.deliverBlock(1, 0, 1, frame(1)) // superseded: must be discarded here
-	c.deliverBlock(1, 0, 2, frame(2)) // duplicate: must be discarded here
-	c.deliverBlock(1, 0, 3, frame(3)) // fresh: must pass
+	c.deliverBlock(1, 0, 2, 1, frame(2)) // newest first
+	c.deliverBlock(1, 0, 1, 1, frame(1)) // superseded: must be discarded here
+	c.deliverBlock(1, 0, 2, 1, frame(2)) // duplicate: must be discarded here
+	c.deliverBlock(1, 0, 3, 1, frame(3)) // fresh: must pass
 
 	if got := <-frames; got != 2 {
 		t.Fatalf("first relayed seq = %d, want 2", got)
@@ -552,7 +556,8 @@ func TestSupersededNeverWrittenOnMeshLink(t *testing.T) {
 	srv, cli := net.Pipe()
 	defer srv.Close()
 	defer cli.Close()
-	m := &mesh{id: 0, p: 2, out: []*meshLink{nil, {conn: srv}}}
+	m := &mesh{id: 0, p: 2, out: make([]atomic.Pointer[meshLink], 2), bytesTo: make([]atomic.Int64, 2), gen: 1}
+	m.out[1].Store(&meshLink{q: 1, conn: srv, seqGen: 1})
 	frames := make(chan uint64, 16)
 	go func() {
 		for {
@@ -569,12 +574,12 @@ func TestSupersededNeverWrittenOnMeshLink(t *testing.T) {
 			frames <- cur.u64()
 		}
 	}()
-	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 0, []float64{1}) }
-	l := m.out[1]
-	m.deliver(l, 5, frame(5))
-	m.deliver(l, 4, frame(4)) // superseded
-	m.deliver(l, 5, frame(5)) // duplicate
-	m.deliver(l, 6, frame(6))
+	frame := func(seq uint64) []byte { return buildBlockFrame(0, seq, 0, 1, 0, []float64{1}) }
+	l := m.out[1].Load()
+	m.deliver(l, 5, 1, frame(5))
+	m.deliver(l, 4, 1, frame(4)) // superseded
+	m.deliver(l, 5, 1, frame(5)) // duplicate
+	m.deliver(l, 6, 1, frame(6))
 	if got := <-frames; got != 5 {
 		t.Fatalf("first written seq = %d, want 5", got)
 	}
@@ -598,7 +603,7 @@ func TestSupersededNeverApplied(t *testing.T) {
 		lastSeq: make([]uint64, 2),
 	}
 	block := func(seq uint64, vals []float64) inFrame {
-		f := buildBlockFrame(0, seq, 0, 0, vals)
+		f := buildBlockFrame(0, seq, 0, 0, 0, vals)
 		return inFrame{typ: msgBlock, payload: f[frameHeaderLen:]}
 	}
 	if err := ws.handle(block(2, []float64{7, 7})); err != nil {

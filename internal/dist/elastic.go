@@ -1,0 +1,409 @@
+package dist
+
+// Elastic membership: the knobs, the worker-side rejoin/backoff machinery,
+// and the chaos harness. The coordinator-side protocol (heartbeat deadlines,
+// the reshard barrier, checkpoint collection) lives in coordinator.go; the
+// worker-side state machine in worker.go; the v3 frame formats in wire.go.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/operators"
+)
+
+// Elastic configures elastic membership: worker-loss detection, mid-solve
+// re-sharding, rejoin, and checkpointing. The zero value disables all of it
+// — the run then behaves exactly like a pre-v3 rigid run (heartbeats and
+// checkpoints are trajectory-neutral, but disabling them keeps the wire
+// byte-for-byte quiet between data frames).
+type Elastic struct {
+	// HeartbeatEvery, when positive, enables elastic membership: each worker
+	// writes a heartbeat frame on the control link at this cadence whenever
+	// no other frame has gone out, and the coordinator treats a link silent
+	// for max(6×HeartbeatEvery, 200ms) as lost — it re-shards the component
+	// space over the survivors and keeps solving. Choose it comfortably
+	// above one block evaluation so a slow iteration is not mistaken for a
+	// dead worker.
+	HeartbeatEvery time.Duration
+	// CheckpointEvery is the cadence at which an active worker streams a
+	// checkpoint of its shard to the coordinator, which folds it into the
+	// warm-start iterate handed to rejoining workers. Defaults to
+	// 4×HeartbeatEvery when elastic membership is on.
+	CheckpointEvery time.Duration
+	// MaxRejoinWait bounds a worker's dial/register retry loop (capped
+	// exponential backoff with jitter); it is also the default Rejoin.MaxWait
+	// RunChaos hands restarted workers. Defaults to 10s when elastic
+	// membership is on.
+	MaxRejoinWait time.Duration
+	// CheckpointPath, when non-empty, additionally persists the
+	// coordinator's warm-start iterate to this file (atomically, at most
+	// once per CheckpointEvery) and, when a matching-dimension checkpoint
+	// exists at startup, warm-starts the whole run from it instead of X0 —
+	// a coordinator-level restart survives with the last solve's progress.
+	CheckpointPath string
+}
+
+// enabled reports whether elastic membership is on.
+func (e Elastic) enabled() bool { return e.HeartbeatEvery > 0 }
+
+func (e *Elastic) validate() error {
+	if e.HeartbeatEvery < 0 || e.CheckpointEvery < 0 || e.MaxRejoinWait < 0 {
+		return errors.New("dist: Elastic durations must be non-negative")
+	}
+	if !e.enabled() && (e.CheckpointEvery > 0 || e.CheckpointPath != "") {
+		return errors.New("dist: Elastic checkpointing requires HeartbeatEvery > 0")
+	}
+	if e.enabled() {
+		if e.CheckpointEvery == 0 {
+			e.CheckpointEvery = 4 * e.HeartbeatEvery
+		}
+		if e.MaxRejoinWait == 0 {
+			e.MaxRejoinWait = 10 * time.Second
+		}
+	}
+	return nil
+}
+
+// heartbeatTimeout is how long a silent elastic link stays trusted. The
+// multiple absorbs scheduler jitter under load (a false positive costs a
+// spurious re-shard); the floor keeps tiny test cadences from turning GC
+// pauses into worker losses.
+func heartbeatTimeout(heartbeatEvery time.Duration) time.Duration {
+	if t := 6 * heartbeatEvery; t > 200*time.Millisecond {
+		return t
+	}
+	return 200 * time.Millisecond
+}
+
+// The checkpoint file layout: magic, u32 dimension, f64×n values. It is
+// written via a temp file + rename so readers never observe a torn write.
+const checkpointMagic = "repro-dist-ckpt1"
+
+func writeCheckpointFile(path string, x []float64) error {
+	buf := make([]byte, 0, len(checkpointMagic)+4+8*len(x))
+	buf = append(buf, checkpointMagic...)
+	buf = appendU32(buf, uint32(len(x)))
+	buf = appendF64s(buf, x)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readCheckpointFile loads a checkpoint written by writeCheckpointFile,
+// returning (nil, nil) when no file exists and an error only for a file that
+// exists but is corrupt or has the wrong dimension.
+func readCheckpointFile(path string, n int) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(checkpointMagic)+4 || string(raw[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("dist: %s is not a checkpoint file", filepath.Base(path))
+	}
+	raw = raw[len(checkpointMagic):]
+	dim := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	if dim != n || len(raw) != 8*n {
+		return nil, fmt.Errorf("dist: checkpoint %s has dimension %d, want %d", filepath.Base(path), dim, n)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return x, nil
+}
+
+// Rejoin configures the dial/register retry loop of ConnectWorker.
+type Rejoin struct {
+	// MaxWait bounds the total retrying time; zero means a single attempt
+	// (the pre-elastic Connect behavior).
+	MaxWait time.Duration
+	// Seed drives the backoff jitter. Seeding it from the worker's identity
+	// (RunChaos uses Fault.Seed mixed with the slot) keeps retry schedules
+	// reproducible run to run.
+	Seed uint64
+}
+
+// WorkerOptions bundles the optional knobs of ConnectWorker.
+type WorkerOptions struct {
+	// Scratch is the reusable operator scratch (nil allocates one).
+	Scratch *operators.Scratch
+	// Rejoin is the dial/register retry policy.
+	Rejoin Rejoin
+	// Ctl, when non-nil, lets the caller kill this worker mid-run (the
+	// chaos harness's kill switch).
+	Ctl *WorkerCtl
+}
+
+// WorkerCtl is a kill switch for one in-process worker: Kill closes every
+// connection (and listener) the worker has registered and stops any retry
+// loop, making the worker indistinguishable from a crashed process to
+// everyone else.
+type WorkerCtl struct {
+	mu     sync.Mutex
+	conns  []io.Closer
+	killed bool
+}
+
+// Kill abruptly severs the worker. Safe to call at any time and more than
+// once.
+func (c *WorkerCtl) Kill() {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = nil
+	c.killed = true
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
+// Killed reports whether Kill has been called.
+func (c *WorkerCtl) Killed() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// register adds a connection to the kill set; it reports false (and the
+// caller must abandon the connection) when the worker is already killed.
+func (c *WorkerCtl) register(conn io.Closer) bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return false
+	}
+	c.conns = append(c.conns, conn)
+	return true
+}
+
+// errWorkerKilled is returned by a worker severed through its WorkerCtl.
+var errWorkerKilled = errors.New("dist: worker killed")
+
+// rejectedError is a coordinator msgReject: the rejoin attempt found no free
+// worker slot (typically a transient state while the lost link's read
+// deadline has not yet expired), so it is retried under backoff.
+type rejectedError struct{ reason string }
+
+func (e *rejectedError) Error() string { return "dist: rejoin rejected: " + e.reason }
+
+// Dial/register backoff bounds: capped exponential, factor 2, jittered to
+// [backoff/2, backoff) so simultaneously restarted workers do not dial in
+// lockstep.
+const (
+	rejoinBaseBackoff = 10 * time.Millisecond
+	rejoinMaxBackoff  = 500 * time.Millisecond
+	dialTimeout       = 5 * time.Second
+)
+
+// ConnectWorker dials the coordinator and runs one worker to completion,
+// retrying the dial/register phase under capped exponential backoff with
+// jitter for up to Rejoin.MaxWait — the client half of elastic rejoin: a
+// restarted worker keeps knocking until the coordinator has noticed the old
+// link die and freed its slot. Only connect-phase failures (dial errors,
+// msgReject) are retried; an error after a successful registration is a run
+// error and surfaces immediately.
+func Connect(addr string, op operators.Operator, scr *operators.Scratch) error {
+	return ConnectWorker(addr, op, WorkerOptions{Scratch: scr})
+}
+
+// ConnectWorker is Connect with explicit options; see Connect.
+func ConnectWorker(addr string, op operators.Operator, o WorkerOptions) error {
+	// The jitter RNG is seeded from the caller-provided identity, never the
+	// clock, so a rerun retries on the same schedule.
+	rng := rand.New(rand.NewSource(int64(o.Rejoin.Seed)*7919 + 1))
+	backoff := rejoinBaseBackoff
+	start := time.Now()
+	for {
+		err := connectOnce(addr, op, o)
+		if err == nil {
+			return nil
+		}
+		if o.Ctl.Killed() {
+			return errWorkerKilled
+		}
+		var rej *rejectedError
+		retryable := errors.As(err, &rej)
+		if !retryable {
+			var ne net.Error
+			var opErr *net.OpError
+			retryable = errors.As(err, &ne) && errors.As(err, &opErr) && opErr.Op == "dial"
+		}
+		if !retryable || o.Rejoin.MaxWait <= 0 {
+			return err
+		}
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		if time.Since(start)+sleep >= o.Rejoin.MaxWait {
+			return err
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > rejoinMaxBackoff {
+			backoff = rejoinMaxBackoff
+		}
+	}
+}
+
+func connectOnce(addr string, op operators.Operator, o WorkerOptions) error {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("dist: worker dial: %w", err)
+	}
+	if !o.Ctl.register(conn) {
+		conn.Close()
+		return errWorkerKilled
+	}
+	defer conn.Close()
+	return runWorker(conn, op, o.Scratch, o.Ctl)
+}
+
+// ChaosEvent schedules one kill (and optional restart) of a worker slot.
+type ChaosEvent struct {
+	// Worker is the initial worker index to kill.
+	Worker int
+	// KillAfter is when, after the run starts, the worker is severed.
+	KillAfter time.Duration
+	// RestartAfter is how long after the kill a fresh worker process is
+	// launched to rejoin; zero or negative means the worker never comes
+	// back.
+	RestartAfter time.Duration
+}
+
+// ChaosPlan is a deterministic schedule of worker churn for RunChaos.
+type ChaosPlan struct {
+	Events []ChaosEvent
+}
+
+// RunChaos is Run under a churn schedule: it launches the coordinator and
+// cfg.Workers in-process workers exactly like Run, then executes the plan —
+// severing each event's worker at KillAfter (closing its sockets, exactly
+// what a crashed process looks like from the network) and, RestartAfter
+// later, launching a replacement worker that rejoins through the elastic
+// accept loop under the backoff policy. cfg.Elastic must be enabled. The
+// coordinator's result is authoritative; errors from deliberately killed
+// workers (and from replacements that raced the end of the run) are
+// expected and not surfaced.
+func RunChaos(cfg Config, plan ChaosPlan) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Elastic.enabled() {
+		return nil, errors.New("dist: RunChaos requires Config.Elastic.HeartbeatEvery > 0")
+	}
+	for _, ev := range plan.Events {
+		if ev.Worker < 0 || ev.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("dist: chaos event targets worker %d of %d", ev.Worker, cfg.Workers)
+		}
+		if ev.KillAfter < 0 {
+			return nil, fmt.Errorf("dist: chaos event for worker %d has negative KillAfter", ev.Worker)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+
+	type serveOut struct {
+		res *Result
+		err error
+	}
+	serveCh := make(chan serveOut, 1)
+	go func() {
+		res, err := Serve(ServerConfig{
+			Listener:            ln,
+			Workers:             cfg.Workers,
+			Topology:            cfg.Topology,
+			N:                   n,
+			X0:                  cfg.X0,
+			Tol:                 cfg.Tol,
+			SweepsBelowTol:      cfg.SweepsBelowTol,
+			MaxUpdatesPerWorker: cfg.MaxUpdatesPerWorker,
+			DeltaThreshold:      cfg.DeltaThreshold,
+			Fault:               cfg.Fault,
+			Timeout:             cfg.Timeout,
+			Elastic:             cfg.Elastic,
+		})
+		serveCh <- serveOut{res, err}
+	}()
+
+	type workerOut struct {
+		ctl *WorkerCtl
+		err error
+	}
+	var wg sync.WaitGroup
+	var outMu sync.Mutex
+	var outs []workerOut
+	launch := func(w int, ctl *WorkerCtl, rejoin Rejoin) {
+		wg.Add(1)
+		//repro:join-ok joined by the wg.Wait below; every blocking step inside is bounded by dial timeouts, conn deadlines and Rejoin.MaxWait
+		go func() {
+			defer wg.Done()
+			err := ConnectWorker(addr, cfg.Op, WorkerOptions{
+				Scratch: cfg.workerScratch(w),
+				Rejoin:  rejoin,
+				Ctl:     ctl,
+			})
+			outMu.Lock()
+			outs = append(outs, workerOut{ctl, err})
+			outMu.Unlock()
+		}()
+	}
+
+	ctls := make([]*WorkerCtl, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		ctls[w] = &WorkerCtl{}
+		launch(w, ctls[w], Rejoin{MaxWait: cfg.Elastic.MaxRejoinWait, Seed: cfg.Fault.Seed ^ uint64(w)})
+	}
+
+	// The churn schedule. Each event goroutine sleeps out its offsets so
+	// kills land mid-solve regardless of how the solve itself is paced.
+	for i, ev := range plan.Events {
+		ev := ev
+		seed := cfg.Fault.Seed ^ (uint64(cfg.Workers+i) * 0x9e3779b97f4a7c15)
+		wg.Add(1)
+		//repro:join-ok joined by the wg.Wait below; the sleeps are bounded by the plan's fixed offsets
+		go func() {
+			defer wg.Done()
+			time.Sleep(ev.KillAfter)
+			ctls[ev.Worker].Kill()
+			if ev.RestartAfter <= 0 {
+				return
+			}
+			time.Sleep(ev.RestartAfter)
+			launch(ev.Worker, &WorkerCtl{}, Rejoin{MaxWait: cfg.Elastic.MaxRejoinWait, Seed: seed})
+		}()
+	}
+
+	out := <-serveCh
+	wg.Wait()
+	if out.err != nil {
+		return nil, out.err
+	}
+	// The run converged (or ended legitimately): deliberate kills and
+	// replacements cut off by the end of the run are expected casualties,
+	// not failures. With a successful coordinator result there is no healthy
+	// worker left to have failed in a way the result would not show.
+	return out.res, nil
+}

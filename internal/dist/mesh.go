@@ -17,6 +17,13 @@ package dist
 // written — and counted reordered (seq below newest) or duplicate (seq
 // equal); discards and drops feed the drained counter the termination
 // probes subtract from in-flight.
+//
+// Under elastic membership the mesh additionally survives churn: every
+// frame is fenced to the membership generation it was sent in, a frame of
+// an older generation is silently disposed wherever it surfaces (outbox,
+// delay timer, delivery), the listener stays open so peers that rejoin can
+// redial, and updatePeers swaps individual links to follow the
+// coordinator's re-issued peer table ("" marks a dead slot).
 
 import (
 	"fmt"
@@ -107,8 +114,11 @@ func (d *delayQueue) drain() {
 
 // meshLink is one directed worker-to-worker connection, owned by the
 // sending worker. Writes are whole prebuilt frames under mu; lastSeq is the
-// newest sequence number delivered on this link (only the owner's frames
-// travel on it, so one scalar suffices).
+// newest sequence number delivered on this link within generation seqGen
+// (sequence streams restart at every re-shard, so the filter state is
+// lazily reset when the first frame of a newer generation arrives — an
+// older-generation frame can never reach the filter, the generation fence
+// discards it first).
 //
 // pending is the link's one-frame outbox: the compute goroutine publishes
 // each undelayed frame there and the sender goroutine swaps it out to
@@ -118,10 +128,12 @@ func (d *delayQueue) drain() {
 // socket sheds exactly the frames whose values are already stale instead of
 // queueing them.
 type meshLink struct {
+	q       int // destination worker
+	addr    string
 	conn    net.Conn
 	mu      sync.Mutex
 	lastSeq uint64
-	bytes   atomic.Int64
+	seqGen  uint32
 	pending atomic.Pointer[queuedFrame]
 }
 
@@ -129,16 +141,32 @@ type meshLink struct {
 // goroutine.
 type queuedFrame struct {
 	seq   uint64
+	gen   uint32
 	frame []byte
 }
 
-// mesh is one worker's half of the data plane: p-1 outbound links it owns,
-// p-1 inbound connections it accepted (read by reader goroutines into the
-// worker's inbox), and the sender-side fault/filter state.
+// mesh is one worker's half of the data plane: up to p-1 outbound links it
+// owns, the inbound connections it accepted (read by reader goroutines into
+// the worker's inbox), and the sender-side fault/filter state.
 type mesh struct {
 	id, p int
-	out   []*meshLink // indexed by destination worker; nil at id
-	in    []net.Conn  // accepted inbound connections
+	// out is indexed by destination worker (nil at id and at dead slots).
+	// Entries are atomic pointers because the compute goroutine swaps links
+	// at a re-shard while the sender goroutine walks them.
+	out []atomic.Pointer[meshLink]
+
+	// inMu guards the inbound connection list shared by the rendezvous, the
+	// elastic accept loop and shutdown; inClosed makes a late accept lose
+	// the race with teardown cleanly.
+	inMu     sync.Mutex
+	in       []net.Conn
+	inClosed bool
+
+	// ln, under elastic membership, stays open after rendezvous so peers
+	// that rejoin can redial us; accepts joins the accept goroutines.
+	ln       net.Listener
+	accepts  sync.WaitGroup
+	deadline time.Time
 
 	// rng draws the fault decisions; it is touched only by the compute
 	// goroutine (inside send), preserving the per-source decision order the
@@ -152,12 +180,27 @@ type mesh struct {
 	senders   sync.WaitGroup
 	flushOnce sync.Once
 
+	// genMu guards gen and the reset of the generation-scoped counters: a
+	// bump taken under RLock after re-confirming the frame's generation
+	// either lands before a re-shard's reset (and is wiped with the rest of
+	// the old generation) or observes the new generation and skips itself.
+	genMu sync.RWMutex
+	gen   uint32
+
 	// dropped counts injection drops, reordered/duplicate the link-filter
-	// discards; all three are drained messages for the termination
-	// protocol. They are atomics because delayed deliveries and sender
+	// discards. The gen- prefixed set is what the termination probes see:
+	// it is zeroed at each re-shard, mirroring the worker's sent/delivered
+	// reset, so in-flight accounting never mixes generations. The unprefixed
+	// set is cumulative for the final report; with no churn the two are
+	// identical. They are atomics because delayed deliveries and sender
 	// goroutines bump them while the compute goroutine composes status
 	// frames.
-	dropped, reordered, duplicate atomic.Int64
+	dropped, reordered, duplicate          atomic.Int64
+	genDropped, genReordered, genDuplicate atomic.Int64
+
+	// bytesTo counts data-plane wire bytes per destination; it lives on the
+	// mesh rather than the link so the totals survive link replacement.
+	bytesTo []atomic.Int64
 }
 
 // linkRNGSeed derives the fault RNG seed for frames originating at worker
@@ -182,7 +225,8 @@ func reorderHoldFor(f Fault) time.Duration {
 // cross-topology comparability contract: the star relay and the mesh
 // sender both call this one function with the same per-source RNG streams,
 // so identical seeds inject identical fault sequences on either data
-// plane.
+// plane. The decision is drawn even for a currently-dead destination, so
+// churn never desynchronizes the per-source streams.
 func (f Fault) decide(rng *rand.Rand, hold time.Duration, reliable bool) (drop bool, delay time.Duration) {
 	if !reliable && f.DropProb > 0 && rng.Float64() < f.DropProb {
 		return true, 0
@@ -196,23 +240,62 @@ func (f Fault) decide(rng *rand.Rand, hold time.Duration, reliable bool) (drop b
 	return false, delay
 }
 
-// dialMesh establishes the full data plane for one worker: listen (already
-// bound by the caller), report nothing — the peer table is already known —
-// dial every peer, and accept every peer's dial. It returns only when all
-// 2(p-1) connections exist, so no frame can ever race a missing link.
-func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline time.Time) (*mesh, error) {
+// newMesh builds the sender-side state and starts the sender goroutine; the
+// caller (dialMesh for a rendezvous worker, runWorker for a rejoiner whose
+// links arrive only with its first assign) fills in the links.
+func newMesh(id, p int, fault Fault, gen uint32, deadline time.Time) *mesh {
 	m := &mesh{
-		id:    id,
-		p:     p,
-		out:   make([]*meshLink, p),
-		fault: fault,
-		rng:   rand.New(rand.NewSource(linkRNGSeed(fault.Seed, id))),
-		hold:  reorderHoldFor(fault),
+		id:       id,
+		p:        p,
+		out:      make([]atomic.Pointer[meshLink], p),
+		bytesTo:  make([]atomic.Int64, p),
+		fault:    fault,
+		rng:      rand.New(rand.NewSource(linkRNGSeed(fault.Seed, id))),
+		hold:     reorderHoldFor(fault),
+		gen:      gen,
+		deadline: deadline,
 	}
 	// A delayed frame cancelled or skipped at teardown was counted sent and
 	// can never be delivered: account it as drained so the transport
 	// counters stay as close to balanced as a torn-down run allows.
-	m.delays.onDispose = func() { m.dropped.Add(1) }
+	m.delays.onDispose = func() {
+		m.dropped.Add(1)
+		m.genDropped.Add(1)
+	}
+
+	// One sender goroutine per worker drains the link outboxes, so the
+	// compute goroutine never waits on a socket and a burst of fan-out
+	// frames is written in one scheduling quantum — the same batching the
+	// star coordinator's relay gets from its per-link reader goroutine.
+	// The store-then-ring / receive-then-scan pairing makes missed
+	// wakeups impossible.
+	m.notify = make(chan struct{}, 1)
+	m.senders.Add(1)
+	go func() {
+		defer m.senders.Done()
+		for range m.notify {
+			for q := range m.out {
+				l := m.out[q].Load()
+				if l == nil {
+					continue
+				}
+				if qf := l.pending.Swap(nil); qf != nil {
+					m.deliver(l, qf.seq, qf.gen, qf.frame)
+				}
+			}
+		}
+	}()
+	return m
+}
+
+// dialMesh establishes the full data plane for one worker: listen (already
+// bound by the caller), report nothing — the peer table is already known —
+// dial every peer, and accept every peer's dial. It returns only when all
+// 2(p-1) connections exist, so no frame can ever race a missing link. When
+// keepListener is set (elastic membership) the listener is left open for
+// rejoining peers to redial; the caller must then start serveAccepts.
+func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, gen uint32, deadline time.Time, keepListener bool) (*mesh, error) {
+	m := newMesh(id, p, fault, gen, deadline)
 
 	// Accept the p-1 inbound connections concurrently with our own dials
 	// (every worker dials everyone else, so serial accept+dial would
@@ -225,7 +308,7 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		err  error
 	}
 	acceptCh := make(chan accepted, p-1)
-	//repro:join-ok joined by ln.Close below: the pending Accept errors out and the loop exits
+	//repro:join-ok joined by the rendezvous drain below (or ln.Close for elastic runs, where serveAccepts takes the listener over)
 	go func() {
 		for i := 0; i < p-1; i++ {
 			conn, err := ln.Accept()
@@ -266,18 +349,8 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		}
 		//repro:join-ok joined by the dialCh drain below, which always receives all p-1 results; DialTimeout and the conn deadline bound every blocking step
 		go func(q int) {
-			conn, err := net.DialTimeout("tcp", peers[q], time.Until(deadline))
-			if err != nil {
-				dialCh <- dialed{q, nil, fmt.Errorf("dist: worker %d dial peer %d (%s): %w", id, q, peers[q], err)}
-				return
-			}
-			conn.SetDeadline(deadline)
-			if _, err := conn.Write(buildFrame(msgMeshHello, appendU32(nil, uint32(id)))); err != nil {
-				conn.Close()
-				dialCh <- dialed{q, nil, fmt.Errorf("dist: worker %d mesh hello to peer %d: %w", id, q, err)}
-				return
-			}
-			dialCh <- dialed{q, &meshLink{conn: conn}, nil}
+			l, err := dialPeer(id, q, peers[q], deadline)
+			dialCh <- dialed{q, l, err}
 		}(q)
 	}
 
@@ -287,9 +360,9 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		if d.err != nil && firstErr == nil {
 			firstErr = d.err
 		}
-		m.out[d.q] = d.link
+		m.out[d.q].Store(d.link)
 	}
-	for got := 0; len(m.in) < p-1 && firstErr == nil; got++ {
+	for len(m.in) < p-1 && firstErr == nil {
 		a := <-acceptCh
 		if a.err != nil {
 			firstErr = a.err
@@ -297,59 +370,138 @@ func dialMesh(id, p int, ln net.Listener, peers []string, fault Fault, deadline 
 		}
 		m.in = append(m.in, a.conn)
 	}
-	ln.Close() // every inbound connection exists (or the rendezvous failed)
+	if keepListener && firstErr == nil {
+		m.ln = ln
+	} else {
+		ln.Close() // every inbound connection exists (or the rendezvous failed)
+	}
 	if firstErr != nil {
-		m.closeOut()
-		for _, c := range m.in {
-			c.Close()
-		}
+		m.shutdown()
 		return nil, firstErr
 	}
+	return m, nil
+}
 
-	// One sender goroutine per worker drains the link outboxes, so the
-	// compute goroutine never waits on a socket and a burst of fan-out
-	// frames is written in one scheduling quantum — the same batching the
-	// star coordinator's relay gets from its per-link reader goroutine.
-	// The store-then-ring / receive-then-scan pairing makes missed
-	// wakeups impossible.
-	m.notify = make(chan struct{}, 1)
-	m.senders.Add(1)
+// dialPeer opens one directed link to peer q and performs the mesh hello.
+func dialPeer(id, q int, addr string, deadline time.Time) (*meshLink, error) {
+	timeout := dialTimeout
+	if until := time.Until(deadline); until < timeout {
+		timeout = until
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d dial peer %d (%s): %w", id, q, addr, err)
+	}
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(buildFrame(msgMeshHello, appendU32(nil, uint32(id)))); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: worker %d mesh hello to peer %d: %w", id, q, err)
+	}
+	return &meshLink{q: q, addr: addr, conn: conn}, nil
+}
+
+// serveAccepts keeps accepting peer dials after rendezvous — the elastic
+// half of the data plane: a peer that rejoined (or re-sharded onto a fresh
+// link) redials us, and spawn wires the handshaken connection into the
+// worker's reader set. It returns when the listener closes (shutdown).
+func (m *mesh) serveAccepts(spawn func(net.Conn)) {
+	m.accepts.Add(1)
+	//repro:join-ok joined by accepts.Wait in shutdown after the listener closes
 	go func() {
-		defer m.senders.Done()
-		for range m.notify {
-			for _, l := range m.out {
-				if l == nil {
-					continue
-				}
-				if qf := l.pending.Swap(nil); qf != nil {
-					m.deliver(l, qf.seq, qf.frame)
-				}
+		defer m.accepts.Done()
+		for {
+			conn, err := m.ln.Accept()
+			if err != nil {
+				return
 			}
+			m.inMu.Lock()
+			if m.inClosed {
+				m.inMu.Unlock()
+				conn.Close()
+				return
+			}
+			m.in = append(m.in, conn)
+			m.inMu.Unlock()
+			m.accepts.Add(1)
+			//repro:join-ok joined by accepts.Wait in shutdown; the handshake read is bounded by the short conn deadline set first
+			go func() {
+				defer m.accepts.Done()
+				conn.SetDeadline(time.Now().Add(dialTimeout))
+				typ, payload, err := readFrame(conn, maxFramePayload)
+				if err != nil || typ != msgMeshHello {
+					conn.Close()
+					return
+				}
+				cur := cursor{b: payload}
+				from := int(cur.u32())
+				if cur.err != nil || from < 0 || from >= m.p || from == m.id {
+					conn.Close()
+					return
+				}
+				conn.SetDeadline(m.deadline)
+				spawn(conn)
+			}()
 		}
 	}()
-	return m, nil
+}
+
+// updatePeers follows a re-issued peer table: links to unchanged addresses
+// are kept (their sequence filters reset lazily via the generation fence),
+// dead slots ("") are closed, and changed or new addresses are redialed. A
+// failed redial leaves a nil link — frames to that slot are accounted as
+// drops until the next re-shard fixes the table. Runs on the compute
+// goroutine.
+func (m *mesh) updatePeers(addrs []string) {
+	for q := 0; q < m.p && q < len(addrs); q++ {
+		if q == m.id {
+			continue
+		}
+		cur := m.out[q].Load()
+		want := addrs[q]
+		if cur != nil && cur.addr == want {
+			continue
+		}
+		var next *meshLink
+		if want != "" {
+			if l, err := dialPeer(m.id, q, want, m.deadline); err == nil {
+				next = l
+			}
+		}
+		m.out[q].Store(next)
+		if cur != nil {
+			cur.conn.Close()
+			if cur.pending.Swap(nil) != nil {
+				m.dropped.Add(1) // a pre-reshard frame; its send was already erased
+			}
+		}
+	}
 }
 
 // send fans one prebuilt shard frame out to every peer, drawing the fault
 // decisions in destination order from the per-source RNG. It runs on the
 // compute goroutine; only delayed deliveries escape to timer callbacks.
-func (m *mesh) send(seq uint64, frame []byte, reliable bool) {
+func (m *mesh) send(seq uint64, gen uint32, frame []byte, reliable bool) {
 	for q := 0; q < m.p; q++ {
 		if q == m.id {
 			continue
 		}
-		l := m.out[q]
+		l := m.out[q].Load()
 		drop, delay := m.fault.decide(m.rng, m.hold, reliable)
 		if drop {
-			m.dropped.Add(1)
+			m.accountDiscard(gen, &m.dropped, &m.genDropped)
+			continue
+		}
+		if l == nil {
+			// Dead slot: the frame was counted sent, nobody can receive it.
+			m.accountDiscard(gen, &m.dropped, &m.genDropped)
 			continue
 		}
 		if delay > 0 {
-			if !m.delays.after(delay, func() { m.deliver(l, seq, frame) }) {
+			if !m.delays.after(delay, func() { m.deliver(l, seq, gen, frame) }) {
 				// Teardown already began: the run is stopping, no probe
 				// round will look again, but the frame was counted sent —
 				// account the disposal.
-				m.dropped.Add(1)
+				m.accountDiscard(gen, &m.dropped, &m.genDropped)
 			}
 			continue
 		}
@@ -358,13 +510,13 @@ func (m *mesh) send(seq uint64, frame []byte, reliable bool) {
 			// overflow: write them directly (the link mutex serializes
 			// with the sender goroutine, and any queued lower-sequence
 			// frame the final overtakes is then link-filtered).
-			m.deliver(l, seq, frame)
+			m.deliver(l, seq, gen, frame)
 			continue
 		}
-		if prev := l.pending.Swap(&queuedFrame{seq, frame}); prev != nil {
+		if prev := l.pending.Swap(&queuedFrame{seq, gen, frame}); prev != nil {
 			// The sender had not yet taken the previous frame: it is
 			// superseded before ever touching the wire.
-			m.reordered.Add(1)
+			m.accountDiscard(gen, &m.reordered, &m.genReordered)
 		}
 		select {
 		case m.notify <- struct{}{}:
@@ -373,19 +525,47 @@ func (m *mesh) send(seq uint64, frame []byte, reliable bool) {
 	}
 }
 
-// deliver writes one frame to a link unless a later-sequenced frame already
-// went out on it — the sender-side sequence filter. A superseded or
-// duplicate frame is discarded here, never written, so the receiver cannot
-// double-count it and the bandwidth is never spent.
-func (m *mesh) deliver(l *meshLink, seq uint64, frame []byte) {
+// accountDiscard accounts one disposed frame: always on the cumulative
+// counter, and on the generation-scoped counter only while the frame's
+// generation is still current — a frame from before a re-shard had its send
+// erased from the in-flight books, so counting its disposal would push
+// in-flight negative and stall termination. Taken under genMu so a bump can
+// never land after the re-shard's counter reset it belongs before.
+func (m *mesh) accountDiscard(gen uint32, cum, genCtr *atomic.Int64) {
+	cum.Add(1)
+	m.genMu.RLock()
+	if gen == m.gen {
+		genCtr.Add(1)
+	}
+	m.genMu.RUnlock()
+}
+
+// deliver writes one frame to a link unless the frame predates the current
+// membership generation (silently disposed — its send was erased at the
+// re-shard) or a later-sequenced frame already went out on the link — the
+// sender-side sequence filter. A superseded or duplicate frame is discarded
+// here, never written, so the receiver cannot double-count it and the
+// bandwidth is never spent.
+func (m *mesh) deliver(l *meshLink, seq uint64, gen uint32, frame []byte) {
+	m.genMu.RLock()
+	current := gen == m.gen
+	m.genMu.RUnlock()
+	if !current {
+		m.dropped.Add(1)
+		return
+	}
 	l.mu.Lock()
+	if l.seqGen != gen {
+		l.lastSeq = 0
+		l.seqGen = gen
+	}
 	if seq <= l.lastSeq {
 		newest := l.lastSeq
 		l.mu.Unlock()
 		if seq < newest {
-			m.reordered.Add(1)
+			m.accountDiscard(gen, &m.reordered, &m.genReordered)
 		} else {
-			m.duplicate.Add(1)
+			m.accountDiscard(gen, &m.duplicate, &m.genDuplicate)
 		}
 		return
 	}
@@ -393,21 +573,37 @@ func (m *mesh) deliver(l *meshLink, seq uint64, frame []byte) {
 	_, err := l.conn.Write(frame)
 	l.mu.Unlock()
 	if err == nil {
-		l.bytes.Add(int64(len(frame)))
+		m.bytesTo[l.q].Add(int64(len(frame)))
 		return
 	}
 	// A failed mesh write is a lost frame. Peers legitimately close their
 	// sockets once the coordinator stops them — which can land before our
 	// own stop — so the loss is accounted as a drop (keeping the in-flight
 	// count drainable) rather than surfaced as an error.
-	m.dropped.Add(1)
+	m.accountDiscard(gen, &m.dropped, &m.genDropped)
 }
 
-// drained is the total number of frames this sender disposed of without
-// delivering: injection drops, link-filtered reordered frames and
-// duplicates. The termination probes subtract it from in-flight.
+// pauseForGen enters membership generation gen: everything still in flight
+// from the old generation (outbox frames, delay timers, frames mid-deliver)
+// self-discards against the fence without touching the generation-scoped
+// counters, which restart at zero alongside the worker's sent/delivered.
+// Runs on the compute goroutine while it is paused between reshard and
+// assign, so no new frame can race the reset.
+func (m *mesh) pauseForGen(gen uint32) {
+	m.genMu.Lock()
+	m.gen = gen
+	m.genDropped.Store(0)
+	m.genReordered.Store(0)
+	m.genDuplicate.Store(0)
+	m.genMu.Unlock()
+}
+
+// drained is the number of frames this sender disposed of without
+// delivering in the current membership generation: injection drops,
+// link-filtered reordered frames and duplicates. The termination probes
+// subtract it from in-flight.
 func (m *mesh) drained() uint64 {
-	return uint64(m.dropped.Load()) + uint64(m.reordered.Load()) + uint64(m.duplicate.Load())
+	return uint64(m.genDropped.Load()) + uint64(m.genReordered.Load()) + uint64(m.genDuplicate.Load())
 }
 
 // flush quiesces the outbound side: cancel pending delayed sends (waiting
@@ -425,9 +621,10 @@ func (m *mesh) flush() {
 		// The run is over; any frame still sitting in an outbox is
 		// discarded (and accounted, keeping sent = delivered + drained
 		// exact) rather than written to peers that are tearing down too.
-		for _, l := range m.out {
-			if l != nil && l.pending.Swap(nil) != nil {
+		for q := range m.out {
+			if l := m.out[q].Load(); l != nil && l.pending.Swap(nil) != nil {
 				m.dropped.Add(1)
+				m.genDropped.Add(1)
 			}
 		}
 	})
@@ -435,18 +632,28 @@ func (m *mesh) flush() {
 
 // shutdown flushes the outbound side and only then closes every connection
 // — the ordering that keeps delayed and queued deliveries from writing to
-// closing conns.
+// closing conns. The elastic listener closes first so no new inbound
+// connection can be accepted while the rest tears down.
 func (m *mesh) shutdown() {
 	m.flush()
-	m.closeOut()
-	for _, c := range m.in {
-		c.Close()
+	if m.ln != nil {
+		m.ln.Close()
 	}
+	m.inMu.Lock()
+	m.inClosed = true
+	in := m.in
+	m.in = nil
+	m.inMu.Unlock()
+	for _, c := range in {
+		c.Close() // unblocks any handshake read before we join the acceptors
+	}
+	m.accepts.Wait()
+	m.closeOut()
 }
 
 func (m *mesh) closeOut() {
-	for _, l := range m.out {
-		if l != nil {
+	for q := range m.out {
+		if l := m.out[q].Load(); l != nil {
 			l.conn.Close()
 		}
 	}
@@ -456,10 +663,8 @@ func (m *mesh) closeOut() {
 // destination worker; zero at the sender's own slot).
 func (m *mesh) linkBytes() []uint64 {
 	out := make([]uint64, m.p)
-	for q, l := range m.out {
-		if l != nil {
-			out[q] = uint64(l.bytes.Load())
-		}
+	for q := range m.bytesTo {
+		out[q] = uint64(m.bytesTo[q].Load())
 	}
 	return out
 }

@@ -8,31 +8,41 @@ package dist
 //	            f64 tol | u32 sweepsBelowTol | u32 maxUpdates |
 //	            u8 topology | f64 deltaThreshold | u64 timeoutNs |
 //	            f64 dropProb | f64 reorderProb | u64 maxDelayNs | u64 faultSeed |
-//	            f64×n x0
-//	block    := u32 from | u64 seq | u8 flags | u32 lo | u32 count | f64×count
+//	            u32 gen | u8 rejoining | u64 heartbeatNs | u64 checkpointNs |
+//	            f64×n x
+//	block    := u32 from | u64 seq | u8 flags | u32 gen | u32 lo | u32 count |
+//	            f64×count
 //	meshaddr := str addr                                (worker → coordinator, mesh)
 //	peers    := u32 workers | workers × str addr        (coordinator → workers, mesh)
 //	meshhello:= u32 from                                (dialing worker → peer, mesh)
 //	probe    := u64 probeID
-//	status   := u64 probeID | u8 flags | u64 epoch | u64 sent | u64 delivered |
-//	            u64 drained
+//	status   := u64 probeID | u8 flags | u32 gen | u64 epoch | u64 sent |
+//	            u64 delivered | u64 drained
 //	stop     := (empty)
 //	final    := u32 lo | u32 count | f64×count | u32 updates |
 //	            u64 sent | u64 delivered | u64 stale |
 //	            u64 dropped | u64 reordered | u64 duplicate |
 //	            u32 workers | workers × u64 linkBytes
+//	heartbeat:= (empty)                                 (worker → coordinator)
+//	checkpoint:= u32 gen | u32 lo | u32 count | f64×count (worker → coordinator)
+//	reshard  := u32 gen                                 (coordinator → workers)
+//	reshardack:= u32 gen | u32 lo | u32 count | f64×count (worker → coordinator)
+//	assign   := u32 gen | u32 lo | u32 hi | f64×n x |
+//	            u32 peerCount | peerCount × str addr    (coordinator → workers)
+//	reject   := str reason                              (coordinator → rejoiner)
 //	str      := u32 len | len × u8
 //
-// Protocol v2 delta (v1 was the star-only format of PR 3): the welcome
-// carries the topology, the flexible-communication delta threshold, the run
-// timeout and the fault-injection config (mesh workers inject faults on
-// their own outbound links, so the knobs must reach them); meshaddr, peers
-// and meshhello exist only on the mesh rendezvous path; the status gains
-// the worker-side drained counter (frames a sender discarded — injection
-// drops plus link-filtered superseded/duplicate frames — which the
-// termination probe must subtract from in-flight); the final gains the
-// sender-side drop/reorder/duplicate counters and the per-destination
-// data-plane byte counters behind Result.LinkBytes.
+// Protocol v3 delta (v2 added topology/fault/delta-threshold config and the
+// drained/link-byte accounting; v1 was the star-only format of PR 3): the
+// elastic-membership protocol. The welcome carries the membership generation,
+// a rejoining flag and the heartbeat/checkpoint cadences; block and status
+// frames carry the generation so frames from before a re-shard are fenced
+// off; heartbeat frames keep a link observably alive between data frames;
+// checkpoint frames stream shard snapshots to the coordinator so a restarted
+// worker warm-starts; the reshard/reshardack/assign triple is the membership-
+// change barrier (pause survivors, collect their shards, re-issue the shard
+// table and — on mesh — the peer address table, "" marking dead slots); a
+// reject answers a rejoin attempt that found no free worker slot.
 //
 // block.flags bit 0 marks a reliable frame (a worker's final re-broadcast):
 // fault injection never drops or reorder-holds it, the TCP analogue of the
@@ -42,13 +52,14 @@ package dist
 // status.flags bit 0 is passive, bit 1 is done (update budget exhausted).
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 )
 
-const protocolVersion = 2
+const protocolVersion = 3
 
 const (
 	msgHello byte = iota + 1
@@ -61,6 +72,12 @@ const (
 	msgMeshAddr
 	msgPeers
 	msgMeshHello
+	msgHeartbeat
+	msgCheckpoint
+	msgReshard
+	msgReshardAck
+	msgAssign
+	msgReject
 
 	// msgConnLost is an internal sentinel a worker's control-connection
 	// reader enqueues when the coordinator link dies; it never crosses the
@@ -143,6 +160,10 @@ func (c *cursor) u64() uint64 {
 func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
 
 func (c *cursor) f64s(n int) []float64 {
+	if n < 0 {
+		c.err = io.ErrUnexpectedEOF
+		return nil
+	}
 	raw := c.take(8 * n)
 	if raw == nil {
 		return nil
@@ -155,6 +176,10 @@ func (c *cursor) f64s(n int) []float64 {
 }
 
 func (c *cursor) u64s(n int) []uint64 {
+	if n < 0 {
+		c.err = io.ErrUnexpectedEOF
+		return nil
+	}
 	raw := c.take(8 * n)
 	if raw == nil {
 		return nil
@@ -188,19 +213,27 @@ func buildFrame(typ byte, payload []byte) []byte {
 }
 
 // buildBlockFrame assembles one data-plane frame carrying the [lo, lo+count)
-// slice vals of worker from's shard.
-func buildBlockFrame(from int, seq uint64, flags byte, lo int, vals []float64) []byte {
+// slice vals of worker from's shard, fenced to membership generation gen.
+func buildBlockFrame(from int, seq uint64, flags byte, gen uint32, lo int, vals []float64) []byte {
 	b := appendU32(nil, uint32(from))
 	b = appendU64(b, seq)
 	b = append(b, flags)
+	b = appendU32(b, gen)
 	b = appendU32(b, uint32(lo))
 	b = appendU32(b, uint32(len(vals)))
 	b = appendF64s(b, vals)
 	return buildFrame(msgBlock, b)
 }
 
+// readFrameChunk bounds the allocation a single untrusted length prefix can
+// force before any payload byte has actually arrived.
+const readFrameChunk = 64 << 10
+
 // readFrame reads one frame, enforcing maxPayload as a sanity bound against
-// corrupt length prefixes.
+// corrupt length prefixes. The length prefix is never trusted for an up-front
+// allocation beyond one chunk: a large payload is read incrementally, so a
+// lying prefix on a short or hostile stream fails after the bytes that truly
+// arrived instead of first committing maxPayload of memory.
 func readFrame(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -210,9 +243,20 @@ func readFrame(r io.Reader, maxPayload int) (typ byte, payload []byte, err error
 	if length < 1 || length-1 > maxPayload {
 		return 0, nil, fmt.Errorf("dist: frame length %d out of range (max payload %d)", length, maxPayload)
 	}
-	payload = make([]byte, length-1)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	n := length - 1
+	if n <= readFrameChunk {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+		return hdr[4], payload, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, err
 	}
-	return hdr[4], payload, nil
+	return hdr[4], buf.Bytes(), nil
 }

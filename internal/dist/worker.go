@@ -26,19 +26,6 @@ type inFrame struct {
 	payload []byte
 }
 
-// Connect dials the coordinator at addr and runs one worker to completion:
-// handshake, topology rendezvous, compute/exchange loop, final-shard
-// upload. It returns when the coordinator stops the run (nil) or on a
-// protocol/network error. scr may be nil.
-func Connect(addr string, op operators.Operator, scr *operators.Scratch) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("dist: worker dial: %w", err)
-	}
-	defer conn.Close()
-	return runWorker(conn, op, scr)
-}
-
 // workerState is the per-worker protocol state. It lives entirely on the
 // compute goroutine, so status replies are self-consistent snapshots by
 // construction — the property the coordinator's probe rounds rely on. The
@@ -56,20 +43,36 @@ type workerState struct {
 	out      []float64
 	chk      []float64 // blockDelta's evaluation buffer
 	lastSent []float64 // per own component: value last shipped to peers
-	lastSeq  []uint64  // per source: highest applied block sequence
+	lastSeq  []uint64  // per source: highest applied block sequence (this gen)
 	op       operators.Operator
 	scr      *operators.Scratch
 
 	mesh *mesh // nil in the star topology
 
+	// Elastic membership. gen is the current membership generation — every
+	// data frame is fenced to it, and sent/delivered restart at zero when it
+	// changes, so in-flight accounting never mixes generations. awaitAssign
+	// is the paused window between acknowledging a reshard and receiving
+	// the new shard table; resetStreak tells the loop its convergence
+	// streak spans a re-shard and must restart.
+	gen              uint32
+	hbEvery, ckEvery time.Duration
+	awaitAssign      bool
+	resetStreak      bool
+	lastHB, lastCk   time.Time
+
 	passive, done, stopped bool
 	epoch                  uint64
+	// sent/delivered/stale are lifetime counters for the final report;
+	// gsent/gdelivered are the generation-scoped pair the termination
+	// probes see. With no churn the pairs are identical.
 	sent, delivered, stale uint64
+	gsent, gdelivered      uint64
 	updates                int
 	seq                    uint64
 }
 
-func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) error {
+func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch, ctl *WorkerCtl) error {
 	if scr == nil {
 		scr = operators.NewScratch()
 	}
@@ -79,6 +82,10 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 	typ, payload, err := readFrame(conn, maxFramePayload)
 	if err != nil {
 		return fmt.Errorf("dist: worker welcome: %w", err)
+	}
+	if typ == msgReject {
+		cur := cursor{b: payload}
+		return &rejectedError{reason: cur.str()}
 	}
 	if typ != msgWelcome {
 		return fmt.Errorf("dist: worker expected welcome, got frame type %d", typ)
@@ -106,6 +113,10 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 		MaxDelay:    time.Duration(cur.u64()),
 		Seed:        cur.u64(),
 	}
+	ws.gen = cur.u32()
+	rejoining := cur.u8() != 0
+	ws.hbEvery = time.Duration(cur.u64())
+	ws.ckEvery = time.Duration(cur.u64())
 	if cur.err == nil {
 		ws.view = cur.f64s(ws.n)
 	}
@@ -119,59 +130,17 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 	ws.chk = make([]float64, ws.hi-ws.lo)
 	ws.lastSent = append([]float64(nil), ws.view[ws.lo:ws.hi]...)
 	ws.lastSeq = make([]uint64, ws.p)
-
-	// Mesh rendezvous: open a listener on the interface that reaches the
-	// coordinator, advertise it, receive the full peer table, and establish
-	// every worker-to-worker link before the first compute phase.
-	if topology == topologyMeshWire {
-		ln, err := meshListener(conn)
-		if err != nil {
-			return err
-		}
-		if _, err := conn.Write(buildFrame(msgMeshAddr, appendStr(nil, ln.Addr().String()))); err != nil {
-			ln.Close()
-			return fmt.Errorf("dist: worker %d mesh address: %w", ws.id, err)
-		}
-		typ, payload, err := readFrame(conn, maxFramePayload)
-		if err != nil || typ != msgPeers {
-			ln.Close()
-			return fmt.Errorf("dist: worker %d peer table: %v", ws.id, err)
-		}
-		cur := cursor{b: payload}
-		count := int(cur.u32())
-		if cur.err != nil || count != ws.p {
-			ln.Close()
-			return fmt.Errorf("dist: worker %d peer table count %d, want %d", ws.id, count, ws.p)
-		}
-		peers := make([]string, count)
-		for i := range peers {
-			peers[i] = cur.str()
-		}
-		if cur.err != nil {
-			ln.Close()
-			return fmt.Errorf("dist: worker %d peer table decode: %w", ws.id, cur.err)
-		}
-		// Mesh sockets outlive the coordinator Timeout by design (the
-		// stop/final exchange), but must never outlive the run unboundedly.
-		meshDeadline := time.Now().Add(2 * timeout)
-		if timeout <= 0 {
-			meshDeadline = time.Now().Add(doneWait)
-		}
-		m, err := dialMesh(ws.id, ws.p, ln, peers, fault, meshDeadline)
-		if err != nil {
-			return err
-		}
-		ws.mesh = m
-		defer m.shutdown()
-	}
+	// A rejoiner owns no shard until its first assign re-shards it in.
+	ws.awaitAssign = rejoining
 
 	// Reader goroutines decode frames into the shared inbox; the quit
 	// channel unblocks them if the compute loop returns while they hold a
 	// frame. The control reader reports a lost coordinator with an
 	// in-band sentinel (multiple readers share the inbox, so nobody may
 	// close it); mesh readers go quiet on error — a peer closing its
-	// sockets after stop is normal teardown, and a genuinely dead peer
-	// surfaces as missing traffic, which the coordinator's Timeout bounds.
+	// sockets after stop is normal teardown (and under elastic membership a
+	// crashed peer is the coordinator's heartbeat timeout to notice, not
+	// ours), so a dead inbound link just stops producing frames.
 	inbox := make(chan inFrame, 1024)
 	quit := make(chan struct{})
 	defer close(quit)
@@ -201,10 +170,80 @@ func runWorker(conn net.Conn, op operators.Operator, scr *operators.Scratch) err
 			}
 		}
 	}
+
+	// Mesh rendezvous: open a listener on the interface that reaches the
+	// coordinator, advertise it and — unless we are rejoining a run already
+	// in flight, whose peer table arrives with our first assign — receive
+	// the full peer table and establish every worker-to-worker link before
+	// the first compute phase.
+	if topology == topologyMeshWire {
+		ln, err := meshListener(conn)
+		if err != nil {
+			return err
+		}
+		if !ctl.register(ln) {
+			ln.Close()
+			return errWorkerKilled
+		}
+		if _, err := conn.Write(buildFrame(msgMeshAddr, appendStr(nil, ln.Addr().String()))); err != nil {
+			ln.Close()
+			return fmt.Errorf("dist: worker %d mesh address: %w", ws.id, err)
+		}
+		// Mesh sockets outlive the coordinator Timeout by design (the
+		// stop/final exchange), but must never outlive the run unboundedly.
+		meshDeadline := time.Now().Add(2 * timeout)
+		if timeout <= 0 {
+			meshDeadline = time.Now().Add(doneWait)
+		}
+		if rejoining {
+			m := newMesh(ws.id, ws.p, fault, ws.gen, meshDeadline)
+			m.ln = ln
+			ws.mesh = m
+		} else {
+			typ, payload, err := readFrame(conn, maxFramePayload)
+			if err != nil || typ != msgPeers {
+				ln.Close()
+				return fmt.Errorf("dist: worker %d peer table: %v", ws.id, err)
+			}
+			cur := cursor{b: payload}
+			count := int(cur.u32())
+			if cur.err != nil || count != ws.p {
+				ln.Close()
+				return fmt.Errorf("dist: worker %d peer table count %d, want %d", ws.id, count, ws.p)
+			}
+			peers := make([]string, count)
+			for i := range peers {
+				peers[i] = cur.str()
+			}
+			if cur.err != nil {
+				ln.Close()
+				return fmt.Errorf("dist: worker %d peer table decode: %w", ws.id, cur.err)
+			}
+			m, err := dialMesh(ws.id, ws.p, ln, peers, fault, ws.gen, meshDeadline, ws.hbEvery > 0)
+			if err != nil {
+				return err
+			}
+			ws.mesh = m
+		}
+		defer ws.mesh.shutdown()
+	}
+
+	//repro:join-ok exits on conn close (the deferred Close in connectOnce) or the quit close above
 	go readInto(conn, true)
 	if ws.mesh != nil {
+		// Readers for the rendezvous links go up BEFORE the accept loop:
+		// serveAccepts appends late-accepted conns to mesh.in and spawns
+		// their readers itself, so starting it first would race on the
+		// slice and double-read any conn that lands in the gap.
 		for _, mc := range ws.mesh.in {
+			//repro:join-ok exits on conn close (mesh shutdown or peer teardown) or the quit close above
 			go readInto(mc, false)
+		}
+		if ws.mesh.ln != nil {
+			ws.mesh.serveAccepts(func(c net.Conn) {
+				//repro:join-ok exits on conn close (mesh shutdown or peer teardown) or the quit close above
+				go readInto(c, false)
+			})
 		}
 	}
 
@@ -230,6 +269,39 @@ func (ws *workerState) blockDelta() float64 {
 	return d
 }
 
+// heartbeatFrame is shared by every worker: conn.Write never mutates it.
+var heartbeatFrame = buildFrame(msgHeartbeat, nil)
+
+// maintain paces the elastic control traffic from the compute goroutine: a
+// heartbeat whenever the control link has been quiet for HeartbeatEvery
+// (every control frame proves liveness, but the heartbeat guarantees a
+// bound), and a shard checkpoint every CheckpointEvery while the worker
+// owns a shard. Both are trajectory-neutral: they read the view, never
+// write it.
+func (ws *workerState) maintain() error {
+	if ws.hbEvery <= 0 {
+		return nil
+	}
+	now := time.Now()
+	if now.Sub(ws.lastHB) >= ws.hbEvery {
+		ws.lastHB = now
+		if _, err := ws.conn.Write(heartbeatFrame); err != nil {
+			return fmt.Errorf("dist: worker %d heartbeat: %w", ws.id, err)
+		}
+	}
+	if ws.ckEvery > 0 && !ws.awaitAssign && ws.hi > ws.lo && now.Sub(ws.lastCk) >= ws.ckEvery {
+		ws.lastCk = now
+		ck := appendU32(nil, ws.gen)
+		ck = appendU32(ck, uint32(ws.lo))
+		ck = appendU32(ck, uint32(ws.hi-ws.lo))
+		ck = appendF64s(ck, ws.view[ws.lo:ws.hi])
+		if _, err := ws.conn.Write(buildFrame(msgCheckpoint, ck)); err != nil {
+			return fmt.Errorf("dist: worker %d checkpoint: %w", ws.id, err)
+		}
+	}
+	return nil
+}
+
 // handle processes one inbound frame. A block that arrives while the worker
 // is passive reactivates it BEFORE the delivery is counted — the protocol's
 // ordering rule: the coordinator's probe rounds either still see the block
@@ -241,11 +313,22 @@ func (ws *workerState) handle(f inFrame) error {
 		from := int(cur.u32())
 		seq := cur.u64()
 		cur.u8() // flags
+		gen := cur.u32()
 		blo := int(cur.u32())
 		count := int(cur.u32())
 		vals := cur.f64s(count)
 		if cur.err != nil || blo < 0 || blo+count > ws.n || from < 0 || from >= ws.p {
 			return fmt.Errorf("dist: worker %d: bad block frame", ws.id)
+		}
+		if gen != ws.gen {
+			// A frame from before a re-shard we have already acknowledged
+			// (or, transiently, after one we have not yet seen — the
+			// coordinator's reshard is in our inbox behind it). Its send was
+			// erased from the generation books, so it is disposed without
+			// touching them; the lifetime counters still record it.
+			ws.delivered++
+			ws.stale++
+			return nil
 		}
 		if seq <= ws.lastSeq[from] {
 			// Defense in depth: the link filter already discards superseded
@@ -257,6 +340,7 @@ func (ws *workerState) handle(f inFrame) error {
 			// reactivate anyone, so no epoch bump is needed.
 			ws.delivered++
 			ws.stale++
+			ws.gdelivered++
 			return nil
 		}
 		ws.lastSeq[from] = seq
@@ -272,6 +356,7 @@ func (ws *workerState) handle(f inFrame) error {
 		}
 		copy(ws.view[blo:blo+count], vals)
 		ws.delivered++
+		ws.gdelivered++
 	case msgProbe:
 		cur := cursor{b: f.payload}
 		probeID := cur.u64()
@@ -291,13 +376,85 @@ func (ws *workerState) handle(f inFrame) error {
 		}
 		st := appendU64(nil, probeID)
 		st = append(st, flags)
+		st = appendU32(st, ws.gen)
 		st = appendU64(st, ws.epoch)
-		st = appendU64(st, ws.sent)
-		st = appendU64(st, ws.delivered)
+		st = appendU64(st, ws.gsent)
+		st = appendU64(st, ws.gdelivered)
 		st = appendU64(st, drained)
 		if _, err := ws.conn.Write(buildFrame(msgStatus, st)); err != nil {
 			return fmt.Errorf("dist: worker %d status: %w", ws.id, err)
 		}
+	case msgReshard:
+		cur := cursor{b: f.payload}
+		gen := cur.u32()
+		if cur.err != nil {
+			return fmt.Errorf("dist: worker %d: bad reshard frame", ws.id)
+		}
+		if gen <= ws.gen {
+			return nil // a barrier attempt we already acknowledged
+		}
+		// Enter the new generation: a re-shard is a reactivation under the
+		// two-phase protocol (the epoch bump invalidates any probe round in
+		// flight), the generation-scoped books restart at zero on both
+		// sides, sequence streams restart, and the mesh fence flips so
+		// everything still in flight from the old generation self-discards.
+		ws.gen = gen
+		ws.epoch++
+		ws.passive = false
+		ws.awaitAssign = true
+		ws.resetStreak = true
+		ws.gsent, ws.gdelivered = 0, 0
+		ws.seq = 0
+		for i := range ws.lastSeq {
+			ws.lastSeq[i] = 0
+		}
+		if ws.mesh != nil {
+			ws.mesh.pauseForGen(gen)
+		}
+		// Acknowledge with our current shard — the freshest values the
+		// coordinator can fold into the warm-start iterate it re-issues.
+		ack := appendU32(nil, gen)
+		ack = appendU32(ack, uint32(ws.lo))
+		ack = appendU32(ack, uint32(ws.hi-ws.lo))
+		ack = appendF64s(ack, ws.view[ws.lo:ws.hi])
+		if _, err := ws.conn.Write(buildFrame(msgReshardAck, ack)); err != nil {
+			return fmt.Errorf("dist: worker %d reshard ack: %w", ws.id, err)
+		}
+	case msgAssign:
+		cur := cursor{b: f.payload}
+		gen := cur.u32()
+		lo := int(cur.u32())
+		hi := int(cur.u32())
+		x := cur.f64s(ws.n)
+		peerCount := int(cur.u32())
+		var addrs []string
+		if peerCount > 0 {
+			addrs = make([]string, peerCount)
+			for i := range addrs {
+				addrs[i] = cur.str()
+			}
+		}
+		if cur.err != nil || lo < 0 || lo > hi || hi > ws.n || (peerCount != 0 && peerCount != ws.p) {
+			return fmt.Errorf("dist: worker %d: bad assign frame", ws.id)
+		}
+		if gen != ws.gen {
+			return nil // a barrier attempt that was superseded before landing
+		}
+		// Adopt the new shard over the coordinator's merged iterate. A
+		// current-generation frame absorbed while we awaited this assign is
+		// overwritten here — transient staleness the totally-asynchronous
+		// regime tolerates by construction (its sender re-broadcasts
+		// whatever still moves).
+		copy(ws.view, x)
+		ws.lo, ws.hi = lo, hi
+		ws.out = make([]float64, hi-lo)
+		ws.chk = make([]float64, hi-lo)
+		ws.lastSent = append(ws.lastSent[:0], ws.view[lo:hi]...)
+		if ws.mesh != nil && addrs != nil {
+			ws.mesh.updatePeers(addrs)
+		}
+		ws.awaitAssign = false
+		ws.resetStreak = true
 	case msgStop:
 		ws.stopped = true
 	case msgConnLost:
@@ -313,9 +470,10 @@ func (ws *workerState) handle(f inFrame) error {
 // fresh data left the shard converged. A done worker that stays active here
 // can never be part of a certified quiescence — it absorbed data it has no
 // budget left to verify, so the run ends by budget exhaustion instead of a
-// false Converged.
+// false Converged. A worker awaiting its assign owns no verifiable shard
+// and stays active until it does.
 func (ws *workerState) recheck() {
-	if ws.passive || ws.stopped || ws.tol <= 0 {
+	if ws.passive || ws.stopped || ws.awaitAssign || ws.tol <= 0 {
 		return
 	}
 	if ws.blockDelta() <= ws.tol {
@@ -385,24 +543,62 @@ func (ws *workerState) broadcast(vals []float64, flags byte) error {
 // filtering) or through the coordinator's relay in the star topology.
 func (ws *workerState) sendSlice(lo int, vals []float64, flags byte) error {
 	ws.seq++
-	frame := buildBlockFrame(ws.id, ws.seq, flags, lo, vals)
+	frame := buildBlockFrame(ws.id, ws.seq, flags, ws.gen, lo, vals)
 	if ws.mesh != nil {
-		ws.mesh.send(ws.seq, frame, flags&blockReliable != 0)
+		ws.mesh.send(ws.seq, ws.gen, frame, flags&blockReliable != 0)
 	} else if _, err := ws.conn.Write(frame); err != nil {
 		return fmt.Errorf("dist: worker %d broadcast: %w", ws.id, err)
 	}
 	ws.sent += uint64(ws.p - 1)
+	ws.gsent += uint64(ws.p - 1)
 	return nil
 }
 
 func (ws *workerState) loop(inbox chan inFrame) error {
 	streak := 0
+	ws.lastHB = time.Now()
+	ws.lastCk = ws.lastHB
 	for k := 0; k < ws.maxUpds && !ws.stopped; k++ {
+		if err := ws.maintain(); err != nil {
+			return err
+		}
+		wasPassive := ws.passive
 		if err := ws.drain(inbox); err != nil {
 			return err
 		}
 		if ws.stopped {
 			break
+		}
+		if ws.resetStreak {
+			streak = 0
+			ws.resetStreak = false
+		}
+		if wasPassive && !ws.passive {
+			// A block absorbed by that drain reactivated us. Re-verify local
+			// convergence BEFORE resuming the active compute-and-broadcast
+			// path: when the fresh data left the shard converged, we
+			// re-passivate without broadcasting. Skipping this check lets
+			// converged workers whose evaluations are slow enough to always
+			// have a peer frame in flight reactivate each other forever —
+			// every spurious resume broadcasts, and every broadcast is the
+			// next worker's spurious resume.
+			ws.recheck()
+			if !ws.passive {
+				streak = 0
+			}
+		}
+		if ws.awaitAssign {
+			// Paused across a re-shard barrier: keep serving probes and
+			// absorbing frames (staying observably active) until the new
+			// shard table lands. The coordinator's run Timeout bounds this.
+			select {
+			case f := <-inbox:
+				if err := ws.handle(f); err != nil {
+					return err
+				}
+			case <-time.After(passiveWait):
+			}
+			continue
 		}
 		if ws.passive {
 			// Passive: wait briefly for input; a reactivating block was
@@ -461,6 +657,9 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 				if ws.stopped {
 					break
 				}
+				if ws.awaitAssign {
+					continue // a re-shard landed in that drain
+				}
 				if ws.blockDelta() > ws.tol {
 					streak = 0
 					continue
@@ -480,6 +679,9 @@ func (ws *workerState) loop(inbox chan inFrame) error {
 		for !ws.stopped {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("dist: worker %d: no stop from coordinator", ws.id)
+			}
+			if err := ws.maintain(); err != nil {
+				return err
 			}
 			select {
 			case f := <-inbox:

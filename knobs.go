@@ -23,6 +23,7 @@ const (
 	KnobFloat
 	KnobBool
 	KnobDuration
+	KnobString
 )
 
 // Knob is one tuning or fault knob: its name on every surface, its type and
@@ -32,7 +33,7 @@ type Knob struct {
 	Flag string
 	// JSON is the field name in the server's /v1/solve job request.
 	JSON string
-	// Group is "tuning" or "faults".
+	// Group is "tuning", "faults" or "elastic".
 	Group string
 	// Kind is the value type; it decides flag-value and JSON syntax.
 	Kind KnobKind
@@ -79,6 +80,26 @@ var knobTable = []Knob{
 		Flag: "maxdelay", JSON: "max_link_delay", Group: "faults", Kind: KnobDuration, Default: "0s",
 		Help:  "per-link max injected transit delay (e.g. 10ms)",
 		apply: durationKnob("maxdelay", func(s *Spec, v time.Duration) { s.MaxLinkDelay = v }),
+	},
+	{
+		Flag: "heartbeat", JSON: "heartbeat_every", Group: "elastic", Kind: KnobDuration, Default: "0s",
+		Help:  "dist worker heartbeat period; non-zero enables elastic mode (worker churn survival)",
+		apply: durationKnob("heartbeat", func(s *Spec, v time.Duration) { s.HeartbeatEvery = v }),
+	},
+	{
+		Flag: "checkpoint", JSON: "checkpoint_every", Group: "elastic", Kind: KnobDuration, Default: "0s",
+		Help:  "dist worker shard-checkpoint period; 0 = 4x heartbeat (elastic mode)",
+		apply: durationKnob("checkpoint", func(s *Spec, v time.Duration) { s.CheckpointEvery = v }),
+	},
+	{
+		Flag: "rejoin-wait", JSON: "max_rejoin_wait", Group: "elastic", Kind: KnobDuration, Default: "0s",
+		Help:  "max time a restarted dist worker retries dial-and-register; 0 = 10s (elastic mode)",
+		apply: durationKnob("rejoin-wait", func(s *Spec, v time.Duration) { s.MaxRejoinWait = v }),
+	},
+	{
+		Flag: "checkpoint-file", JSON: "checkpoint_file", Group: "elastic", Kind: KnobString, Default: "",
+		Help:  "file the dist coordinator persists its assembled checkpoint to (elastic mode)",
+		apply: stringKnob(func(s *Spec, v string) { s.CheckpointPath = v }),
 	},
 }
 
@@ -135,6 +156,13 @@ func durationKnob(name string, set func(*Spec, time.Duration)) func(*Spec, strin
 	}
 }
 
+func stringKnob(set func(*Spec, string)) func(*Spec, string) error {
+	return func(s *Spec, value string) error {
+		set(s, value)
+		return nil
+	}
+}
+
 // Apply parses value (flag syntax) and applies the knob to s.
 func (k Knob) Apply(s *Spec, value string) error { return k.apply(s, value) }
 
@@ -168,13 +196,14 @@ func KnobByFlag(name string) (Knob, bool) {
 }
 
 // JSONValue converts a flag-syntax knob value into its JSON wire form:
-// numeric and boolean knobs as bare literals, durations as quoted strings.
+// numeric and boolean knobs as bare literals, durations and strings as
+// quoted strings.
 func (k Knob) JSONValue(value string) (json.RawMessage, error) {
 	var probe Spec
 	if err := k.apply(&probe, value); err != nil {
 		return nil, err
 	}
-	if k.Kind == KnobDuration {
+	if k.Kind == KnobDuration || k.Kind == KnobString {
 		return json.Marshal(value)
 	}
 	return json.RawMessage(value), nil
@@ -192,6 +221,9 @@ func KnobValueFromJSON(k Knob, raw json.RawMessage) (string, error) {
 	}
 	if k.Kind == KnobDuration {
 		return "", fmt.Errorf("repro: knob field %s: durations are JSON strings (try \"10ms\")", k.JSON)
+	}
+	if k.Kind == KnobString {
+		return "", fmt.Errorf("repro: knob field %s: expected a JSON string", k.JSON)
 	}
 	return string(raw), nil
 }

@@ -25,7 +25,7 @@ func TestKnobTableWellFormed(t *testing.T) {
 		if k.Flag == "" || k.JSON == "" || k.Help == "" {
 			t.Errorf("knob %+v: empty flag, json or help", k)
 		}
-		if k.Group != "tuning" && k.Group != "faults" {
+		if k.Group != "tuning" && k.Group != "faults" && k.Group != "elastic" {
 			t.Errorf("knob %s: unknown group %q", k.Flag, k.Group)
 		}
 		if flags[k.Flag] {
@@ -50,7 +50,8 @@ func TestKnobTableWellFormed(t *testing.T) {
 	}
 	// The table must cover exactly the knobs the API groups expose.
 	for _, want := range []string{"block-size", "intra-parallel", "gram-precompute",
-		"drop", "reorder", "maxdelay"} {
+		"drop", "reorder", "maxdelay",
+		"heartbeat", "checkpoint", "rejoin-wait", "checkpoint-file"} {
 		if !flags[want] {
 			t.Errorf("knob table missing flag %q", want)
 		}
@@ -146,6 +147,7 @@ func TestKnobJSONRoundTrip(t *testing.T) {
 	cases := map[string]string{
 		"block-size": "128", "intra-parallel": "8", "gram-precompute": "false",
 		"drop": "0.5", "reorder": "0.125", "maxdelay": "250ms",
+		"heartbeat": "20ms", "checkpoint-file": "/tmp/ckpt.bin",
 	}
 	for flagName, val := range cases {
 		k, ok := repro.KnobByFlag(flagName)
@@ -168,6 +170,39 @@ func TestKnobJSONRoundTrip(t *testing.T) {
 	k, _ := repro.KnobByFlag("maxdelay")
 	if _, err := repro.KnobValueFromJSON(k, []byte("10")); err == nil {
 		t.Error("bare-number duration accepted from JSON")
+	}
+	// String knobs too.
+	k, _ = repro.KnobByFlag("checkpoint-file")
+	if _, err := repro.KnobValueFromJSON(k, []byte("10")); err == nil {
+		t.Error("bare-literal string knob accepted from JSON")
+	}
+}
+
+// WithElastic and the elastic knob-table entries must write the same
+// fields, and Elastic() must read them back as one unit.
+func TestWithElasticMatchesKnobTable(t *testing.T) {
+	e := repro.Elastic{
+		HeartbeatEvery:  20 * time.Millisecond,
+		CheckpointEvery: 80 * time.Millisecond,
+		MaxRejoinWait:   2 * time.Second,
+		CheckpointPath:  "/tmp/ckpt.bin",
+	}
+	grouped := repro.NewSpec(nil, repro.WithElastic(e))
+	if grouped.Elastic() != e {
+		t.Errorf("Elastic() read back %+v, want %+v", grouped.Elastic(), e)
+	}
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ks := repro.RegisterKnobFlags(fs, "elastic")
+	if err := fs.Parse([]string{"-heartbeat", "20ms", "-checkpoint", "80ms",
+		"-rejoin-wait", "2s", "-checkpoint-file", "/tmp/ckpt.bin"}); err != nil {
+		t.Fatal(err)
+	}
+	viaTable, err := ks.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaTable.Elastic() != e {
+		t.Errorf("knob table wrote %+v, want %+v", viaTable.Elastic(), e)
 	}
 }
 

@@ -92,6 +92,13 @@ type Report struct {
 	// (dist engine).
 	BytesSent     int64 `json:"bytes_sent,omitempty"`
 	BytesReceived int64 `json:"bytes_received,omitempty"`
+	// WorkersLost / WorkersRejoined count worker links declared dead and
+	// fresh connections installed into a vacated slot mid-solve;
+	// Resharding counts completed re-shard barriers (dist engine under
+	// WithElastic — all zero on a churn-free run).
+	WorkersLost     int64 `json:"workers_lost,omitempty"`
+	WorkersRejoined int64 `json:"workers_rejoined,omitempty"`
+	Resharding      int64 `json:"resharding,omitempty"`
 	// Time is the virtual clock at stop (simulated engines).
 	Time float64 `json:"time,omitempty"`
 	// Elapsed is the wall-clock duration (goroutine and dist engines),
@@ -195,6 +202,9 @@ type reportWire struct {
 	MessagesDuplicate int64             `json:"messages_duplicate,omitempty"`
 	BytesSent         int64             `json:"bytes_sent,omitempty"`
 	BytesReceived     int64             `json:"bytes_received,omitempty"`
+	WorkersLost       int64             `json:"workers_lost,omitempty"`
+	WorkersRejoined   int64             `json:"workers_rejoined,omitempty"`
+	Resharding        int64             `json:"resharding,omitempty"`
 	Time              jsonFloat         `json:"time,omitempty"`
 	Elapsed           time.Duration     `json:"elapsed_ns,omitempty"`
 }
@@ -223,6 +233,9 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		MessagesDuplicate: r.MessagesDuplicate,
 		BytesSent:         r.BytesSent,
 		BytesReceived:     r.BytesReceived,
+		WorkersLost:       r.WorkersLost,
+		WorkersRejoined:   r.WorkersRejoined,
+		Resharding:        r.Resharding,
 		Time:              jsonFloat(r.Time),
 		Elapsed:           r.Elapsed,
 	}
@@ -263,6 +276,9 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 		MessagesDuplicate: w.MessagesDuplicate,
 		BytesSent:         w.BytesSent,
 		BytesReceived:     w.BytesReceived,
+		WorkersLost:       w.WorkersLost,
+		WorkersRejoined:   w.WorkersRejoined,
+		Resharding:        w.Resharding,
 		Time:              float64(w.Time),
 		Elapsed:           w.Elapsed,
 	}

@@ -42,6 +42,9 @@ func goldenReport() repro.Report {
 		MessagesDuplicate: 1,
 		BytesSent:         4096,
 		BytesReceived:     4000,
+		WorkersLost:       2,
+		WorkersRejoined:   2,
+		Resharding:        4,
 		Time:              17.5,
 		Elapsed:           1500 * time.Millisecond,
 	}
@@ -85,9 +88,9 @@ func TestReportJSONGoldenKeys(t *testing.T) {
 		"elapsed_ns", "engine", "epochs", "error_trace", "errors",
 		"final_error", "final_residual", "iterations",
 		"messages_dropped", "messages_duplicate", "messages_reordered",
-		"messages_sent", "messages_stale", "records",
+		"messages_sent", "messages_stale", "records", "resharding",
 		"strict_boundaries", "time", "updates", "updates_per_worker",
-		"x",
+		"workers_lost", "workers_rejoined", "x",
 	}
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("wire keys drifted:\n got %v\nwant %v", keys, want)
